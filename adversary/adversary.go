@@ -1,0 +1,599 @@
+// Package adversary implements T-bounded adversaries for the stabilizing
+// consensus protocol (paper Section 1.1): at the beginning of each round an
+// adversary may rewrite the state of up to T processes, restricted to the
+// initial value set (values are assumed signed by an outside authority).
+//
+// The strategies provided are the ones the paper discusses or that its
+// analysis identifies as extremal:
+//
+//   - Balancer — the tightness strategy for Theorems 2–4: keep two value
+//     groups in perfect balance. With budget Ω̃(√n) it stalls the median
+//     rule for polynomially long (the paper's remark after Theorem 2); with
+//     budget ≤ √n it fails, which experiment E1/E5 measures.
+//   - Reviver — the introduction's attack on the minimum rule: wait until a
+//     small value has gone extinct, then re-inject it, restarting the
+//     epidemic. One corruption per epoch suffices, so the minimum rule has
+//     unbounded stabilization time even under a 1-bounded adversary.
+//   - Hider — pins T processes to a fixed minority value forever ("hiding
+//     values for an unbounded amount of time", which the paper notes is
+//     ineffective against the median rule).
+//   - Flipper — alternates T processes between the two extreme values each
+//     round ("switching values").
+//   - RandomNoise — rewrites T random processes with random initial values;
+//     the unbiased baseline.
+//   - MedianSplitter — mass-balances the two sides of the current median to
+//     fight the gravity drift of Section 4.2.
+//
+// Budgets are expressed as functions of n so the paper's √n-bounded
+// adversary and the Ω(√(n log n)) lower-bound adversary are both one-line
+// constructions.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Value aliases the shared process-value type (int64).
+type Value = model.Value
+
+// Rand aliases the engine randomness interface.
+type Rand = model.Rand
+
+// BudgetFunc maps the population size n to the per-round corruption budget T.
+type BudgetFunc func(n int) int
+
+// Fixed returns a constant budget.
+func Fixed(t int) BudgetFunc {
+	if t < 0 {
+		panic("adversary: negative budget")
+	}
+	return func(int) int { return t }
+}
+
+// Sqrt returns the paper's canonical budget ⌊factor·√n⌋.
+func Sqrt(factor float64) BudgetFunc {
+	if factor < 0 {
+		panic("adversary: negative factor")
+	}
+	return func(n int) int { return int(factor * math.Sqrt(float64(n))) }
+}
+
+// SqrtLog returns ⌊factor·√(n·ln n)⌋ — the Ω̃(√n) regime in which the
+// balancing strategy provably stalls the median rule.
+func SqrtLog(factor float64) BudgetFunc {
+	if factor < 0 {
+		panic("adversary: negative factor")
+	}
+	return func(n int) int {
+		if n < 2 {
+			return 0
+		}
+		return int(factor * math.Sqrt(float64(n)*math.Log(float64(n))))
+	}
+}
+
+// base carries the name and budget shared by all strategies.
+type base struct {
+	name   string
+	budget BudgetFunc
+}
+
+func (b base) Name() string     { return b.name }
+func (b base) Budget(n int) int { return b.budget(n) }
+
+// findBin locates v in the sorted vals slice, returning (index, true) or the
+// insertion point and false.
+func findBin(vals []Value, v Value) (int, bool) {
+	i := sort.Search(len(vals), func(i int) bool { return vals[i] >= v })
+	if i < len(vals) && vals[i] == v {
+		return i, true
+	}
+	return i, false
+}
+
+// addBin inserts value v with count 0 at its sorted position, returning the
+// extended slices and the index of the new bin.
+func addBin(vals []Value, counts []int64, v Value) ([]Value, []int64, int) {
+	i, ok := findBin(vals, v)
+	if ok {
+		return vals, counts, i
+	}
+	vals = append(vals, 0)
+	copy(vals[i+1:], vals[i:])
+	vals[i] = v
+	counts = append(counts, 0)
+	copy(counts[i+1:], counts[i:])
+	counts[i] = 0
+	return vals, counts, i
+}
+
+// totalBalls sums a count vector.
+func totalBalls(counts []int64) int64 {
+	var n int64
+	for _, k := range counts {
+		n += k
+	}
+	return n
+}
+
+// Balancer keeps the loads of two target values as equal as possible by
+// moving up to T balls per round from the heavier to the lighter bin. If the
+// targets are unset it locks onto the two heaviest bins the first time it
+// acts. This is the strategy showing the √n budget bound of Theorems 2–4 is
+// essentially tight.
+type Balancer struct {
+	base
+	// Low and High are the two target values. Zero-valued targets are
+	// resolved to the two heaviest bins on first corruption.
+	Low, High Value
+	resolved  bool
+}
+
+// NewBalancer returns a balancing adversary with the given budget and
+// target pair. Pass low == high == 0 to auto-select targets.
+func NewBalancer(budget BudgetFunc, low, high Value) *Balancer {
+	if low > high {
+		low, high = high, low
+	}
+	return &Balancer{
+		base: base{name: "balancer", budget: budget},
+		Low:  low, High: high,
+		resolved: low != high,
+	}
+}
+
+// CorruptCounts implements model.CountAdversary.
+func (a *Balancer) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	n := int(totalBalls(counts))
+	t := int64(a.Budget(n))
+	if t == 0 || len(vals) == 0 {
+		return vals, counts
+	}
+	if !a.resolved {
+		a.resolveTargets(vals, counts)
+	}
+	li, lok := findBin(vals, a.Low)
+	hi, hok := findBin(vals, a.High)
+	// (Re-)create an extinct target bin if the budget allows: the
+	// balancer's whole point is to keep both groups alive.
+	if !lok {
+		vals, counts, li = addBin(vals, counts, a.Low)
+		hi, hok = findBin(vals, a.High)
+	}
+	if !hok {
+		vals, counts, hi = addBin(vals, counts, a.High)
+		li, _ = findBin(vals, a.Low)
+	}
+	diff := counts[li] - counts[hi]
+	move := diff / 2
+	if move < 0 {
+		move = -move
+	}
+	if move > t {
+		move = t
+	}
+	if diff > 0 {
+		counts[li] -= move
+		counts[hi] += move
+	} else if diff < 0 {
+		counts[hi] -= move
+		counts[li] += move
+	}
+	return vals, counts
+}
+
+func (a *Balancer) resolveTargets(vals []Value, counts []int64) {
+	// Two heaviest bins.
+	first, second := -1, -1
+	for i := range counts {
+		if first == -1 || counts[i] > counts[first] {
+			second = first
+			first = i
+		} else if second == -1 || counts[i] > counts[second] {
+			second = i
+		}
+	}
+	if second == -1 {
+		second = first
+	}
+	a.Low, a.High = vals[first], vals[second]
+	if a.Low > a.High {
+		a.Low, a.High = a.High, a.Low
+	}
+	a.resolved = true
+}
+
+// CorruptBalls implements model.BallAdversary by scanning the state vector.
+func (a *Balancer) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	n := len(state)
+	t := a.Budget(n)
+	if t == 0 || n == 0 {
+		return
+	}
+	if !a.resolved {
+		d := distOf(state)
+		a.resolveTargets(d.vals, d.counts)
+	}
+	var cl, ch int
+	for _, v := range state {
+		switch v {
+		case a.Low:
+			cl++
+		case a.High:
+			ch++
+		}
+	}
+	diff := cl - ch
+	move := diff / 2
+	if move < 0 {
+		move = -move
+	}
+	if move > t {
+		move = t
+	}
+	if move == 0 {
+		return
+	}
+	from, to := a.Low, a.High
+	if diff < 0 {
+		from, to = a.High, a.Low
+	}
+	for i := range state {
+		if move == 0 {
+			break
+		}
+		if state[i] == from {
+			state[i] = to
+			move--
+		}
+	}
+}
+
+// CorruptAfter implements model.PostRoundAdversary: the Section 3 /
+// Theorem 10 timing, where the adversary "is allowed to change the choices
+// of at most √n balls" after they are made. Rewriting a ball's freshly
+// computed value to the other target bin is exactly the reach of a choice
+// manipulation in the two-bin case, so the post-state balancing move is
+// the same as the pre-state one.
+func (a *Balancer) CorruptAfter(round int, next []Value, allowed []Value, r Rand) {
+	a.CorruptBalls(round, next, allowed, r)
+}
+
+// Reviver attacks rules without stability: it watches a target value and,
+// whenever the value has been extinct for Delay consecutive rounds,
+// re-injects it into a single random process. Against the minimum rule one
+// injection restarts global convergence, so the rule never stabilizes; the
+// median rule absorbs the injection in O(1) expected rounds.
+type Reviver struct {
+	base
+	// Target is the value to keep resurrecting.
+	Target Value
+	// Delay is the number of extinct rounds to wait before re-injecting
+	// (the paper's adversary "may delay this arbitrarily long").
+	Delay int
+
+	extinctFor int
+	// Injections counts how many times the target was re-injected.
+	Injections int
+}
+
+// NewReviver returns a reviver with budget 1 (it never needs more).
+func NewReviver(target Value, delay int) *Reviver {
+	if delay < 0 {
+		panic("adversary: negative delay")
+	}
+	return &Reviver{
+		base:   base{name: "reviver", budget: Fixed(1)},
+		Target: target,
+		Delay:  delay,
+	}
+}
+
+// CorruptBalls implements model.BallAdversary.
+func (a *Reviver) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	present := false
+	for _, v := range state {
+		if v == a.Target {
+			present = true
+			break
+		}
+	}
+	if present {
+		a.extinctFor = 0
+		return
+	}
+	a.extinctFor++
+	if a.extinctFor > a.Delay {
+		state[r.Intn(len(state))] = a.Target
+		a.extinctFor = 0
+		a.Injections++
+	}
+}
+
+// CorruptCounts implements model.CountAdversary.
+func (a *Reviver) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	i, ok := findBin(vals, a.Target)
+	if ok && counts[i] > 0 {
+		a.extinctFor = 0
+		return vals, counts
+	}
+	a.extinctFor++
+	if a.extinctFor > a.Delay {
+		// Take one ball from the heaviest bin.
+		hv := 0
+		for j := range counts {
+			if counts[j] > counts[hv] {
+				hv = j
+			}
+		}
+		if counts[hv] == 0 {
+			return vals, counts
+		}
+		counts[hv]--
+		vals, counts, i = addBin(vals, counts, a.Target)
+		counts[i]++
+		a.extinctFor = 0
+		a.Injections++
+	}
+	return vals, counts
+}
+
+// Hider pins up to T processes at a fixed value every round, the "hiding
+// values for an unbounded amount of time" strategy.
+type Hider struct {
+	base
+	// Held is the value the hidden processes are pinned to.
+	Held Value
+}
+
+// NewHider returns a hider pinning budget-many processes to held.
+func NewHider(budget BudgetFunc, held Value) *Hider {
+	return &Hider{base: base{name: "hider", budget: budget}, Held: held}
+}
+
+// CorruptBalls implements model.BallAdversary: the first T processes whose
+// value differs from Held are rewritten.
+func (a *Hider) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	t := a.Budget(len(state))
+	for i := range state {
+		if t == 0 {
+			return
+		}
+		if state[i] != a.Held {
+			state[i] = a.Held
+			t--
+		}
+	}
+}
+
+// CorruptCounts implements model.CountAdversary.
+func (a *Hider) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	n := int(totalBalls(counts))
+	t := int64(a.Budget(n))
+	if t == 0 {
+		return vals, counts
+	}
+	vals, counts, hi := addBin(vals, counts, a.Held)
+	deficit := t // pin up to t balls drawn from other bins
+	for j := range counts {
+		if deficit == 0 {
+			break
+		}
+		if j == hi || counts[j] == 0 {
+			continue
+		}
+		take := counts[j]
+		if take > deficit {
+			take = deficit
+		}
+		counts[j] -= take
+		counts[hi] += take
+		deficit -= take
+	}
+	return vals, counts
+}
+
+// Flipper alternates T processes between two values round by round — the
+// "switching values" counter-strategy.
+type Flipper struct {
+	base
+	// A and B are the two values flipped between.
+	A, B Value
+}
+
+// NewFlipper returns a flipper alternating between a and b.
+func NewFlipper(budget BudgetFunc, a, b Value) *Flipper {
+	return &Flipper{base: base{name: "flipper", budget: budget}, A: a, B: b}
+}
+
+// CorruptBalls implements model.BallAdversary.
+func (f *Flipper) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	v := f.A
+	if round%2 == 1 {
+		v = f.B
+	}
+	t := f.Budget(len(state))
+	for i := 0; i < len(state) && t > 0; i++ {
+		if state[i] != v {
+			state[i] = v
+			t--
+		}
+	}
+}
+
+// RandomNoise rewrites T uniformly chosen processes with uniformly chosen
+// allowed values. It is the unbiased corruption baseline.
+type RandomNoise struct {
+	base
+}
+
+// NewRandomNoise returns a random-noise adversary.
+func NewRandomNoise(budget BudgetFunc) *RandomNoise {
+	return &RandomNoise{base: base{name: "random-noise", budget: budget}}
+}
+
+// CorruptBalls implements model.BallAdversary.
+func (a *RandomNoise) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	if len(allowed) == 0 {
+		return
+	}
+	t := a.Budget(len(state))
+	for i := 0; i < t; i++ {
+		state[r.Intn(len(state))] = allowed[r.Intn(len(allowed))]
+	}
+}
+
+// CorruptCounts implements model.CountAdversary.
+func (a *RandomNoise) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	if len(allowed) == 0 {
+		return vals, counts
+	}
+	n := totalBalls(counts)
+	if n == 0 {
+		return vals, counts
+	}
+	t := int64(a.Budget(int(n)))
+	for i := int64(0); i < t; i++ {
+		// Pick a uniform ball: walk the cumulative counts.
+		target := int64(r.Intn(int(n)))
+		var acc int64
+		src := -1
+		for j, k := range counts {
+			acc += k
+			if target < acc {
+				src = j
+				break
+			}
+		}
+		if src == -1 || counts[src] == 0 {
+			continue
+		}
+		counts[src]--
+		v := allowed[r.Intn(len(allowed))]
+		var di int
+		vals, counts, di = addBin(vals, counts, v)
+		counts[di]++
+	}
+	return vals, counts
+}
+
+// MedianSplitter balances the total mass strictly left and strictly right of
+// the current median bin, spending its budget to cancel the gravity drift of
+// Section 4.2 that concentrates mass at the median.
+type MedianSplitter struct {
+	base
+}
+
+// NewMedianSplitter returns a median-splitting adversary.
+func NewMedianSplitter(budget BudgetFunc) *MedianSplitter {
+	return &MedianSplitter{base: base{name: "median-splitter", budget: budget}}
+}
+
+// CorruptCounts implements model.CountAdversary.
+func (a *MedianSplitter) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	n := totalBalls(counts)
+	if n == 0 || len(vals) < 2 {
+		return vals, counts
+	}
+	t := int64(a.Budget(int(n)))
+	if t == 0 {
+		return vals, counts
+	}
+	mi := medianBin(counts, n)
+	var left, right int64
+	for j := range counts {
+		switch {
+		case j < mi:
+			left += counts[j]
+		case j > mi:
+			right += counts[j]
+		}
+	}
+	// Move balls from the median bin to the lighter flank to starve the
+	// median's gravity advantage.
+	move := t
+	if counts[mi] < move {
+		move = counts[mi]
+	}
+	if move == 0 {
+		return vals, counts
+	}
+	dst := mi - 1
+	if right < left {
+		dst = mi + 1
+	}
+	if dst < 0 || dst >= len(counts) {
+		return vals, counts
+	}
+	counts[mi] -= move
+	counts[dst] += move
+	return vals, counts
+}
+
+// medianBin returns the index of the median bin per Section 2.1.
+func medianBin(counts []int64, n int64) int {
+	var below int64
+	for j, k := range counts {
+		above := n - below - k
+		if 2*below <= n && 2*above <= n {
+			return j
+		}
+		below += k
+	}
+	return len(counts) - 1
+}
+
+// distView is a scratch count view used by ball-level scans.
+type distView struct {
+	vals   []Value
+	counts []int64
+}
+
+func distOf(state []Value) distView {
+	m := make(map[Value]int64)
+	for _, v := range state {
+		m[v]++
+	}
+	d := distView{
+		vals:   make([]Value, 0, len(m)),
+		counts: make([]int64, 0, len(m)),
+	}
+	for v := range m {
+		d.vals = append(d.vals, v)
+	}
+	sort.Slice(d.vals, func(i, j int) bool { return d.vals[i] < d.vals[j] })
+	for _, v := range d.vals {
+		d.counts = append(d.counts, m[v])
+	}
+	return d
+}
+
+// Func adapts a plain function into a ball-level adversary; intended for
+// tests and custom experiment strategies.
+type Func struct {
+	base
+	F func(round int, state []Value, allowed []Value, r Rand)
+}
+
+// NewFunc wraps f as a named adversary with the given budget. The wrapper
+// does not enforce the budget; f is trusted (use in tests).
+func NewFunc(name string, budget BudgetFunc, f func(round int, state []Value, allowed []Value, r Rand)) *Func {
+	return &Func{base: base{name: name, budget: budget}, F: f}
+}
+
+// CorruptBalls implements model.BallAdversary.
+func (a *Func) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	a.F(round, state, allowed, r)
+}
+
+// String renders an adversary for logs.
+func String(a model.Adversary, n int) string {
+	if a == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%s(T=%d)", a.Name(), a.Budget(n))
+}

@@ -1,0 +1,563 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func r(seed uint64) model.Rand { return rng.NewXoshiro256(seed) }
+
+func TestBudgetFuncs(t *testing.T) {
+	if Fixed(7)(1000) != 7 {
+		t.Fatal("Fixed")
+	}
+	if got := Sqrt(1)(10000); got != 100 {
+		t.Fatalf("Sqrt(1)(1e4) = %d", got)
+	}
+	if got := Sqrt(2)(10000); got != 200 {
+		t.Fatalf("Sqrt(2)(1e4) = %d", got)
+	}
+	// SqrtLog: floor(sqrt(n ln n)); spot-check monotonicity and magnitude.
+	a, b := SqrtLog(1)(1000), SqrtLog(1)(100000)
+	if a <= 0 || b <= a {
+		t.Fatalf("SqrtLog not growing: %d, %d", a, b)
+	}
+	if SqrtLog(1)(1) != 0 {
+		t.Fatal("SqrtLog(1)(1) should be 0")
+	}
+}
+
+func TestBudgetPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fixed":   func() { Fixed(-1) },
+		"sqrt":    func() { Sqrt(-1) },
+		"sqrtlog": func() { SqrtLog(-0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBalancerCountsEqualizes(t *testing.T) {
+	a := NewBalancer(Fixed(200), 1, 2)
+	vals := []model.Value{1, 2}
+	counts := []int64{700, 300}
+	vals, counts = a.CorruptCounts(0, vals, counts, vals, r(1))
+	if counts[0] != 500 || counts[1] != 500 {
+		t.Fatalf("counts %v, want perfectly balanced", counts)
+	}
+}
+
+func TestBalancerRespectsbudget(t *testing.T) {
+	a := NewBalancer(Fixed(10), 1, 2)
+	vals := []model.Value{1, 2}
+	counts := []int64{700, 300}
+	_, counts = a.CorruptCounts(0, vals, counts, vals, r(1))
+	if counts[0] != 690 || counts[1] != 310 {
+		t.Fatalf("counts %v, want 690/310 (budget 10)", counts)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("ball count changed: %d", total)
+	}
+}
+
+func TestBalancerRevivesExtinctTarget(t *testing.T) {
+	a := NewBalancer(Fixed(50), 1, 2)
+	vals := []model.Value{2}
+	counts := []int64{1000}
+	vals, counts = a.CorruptCounts(0, vals, counts, []model.Value{1, 2}, r(1))
+	// Bin 1 must exist again with up to 50 balls moved into it... the
+	// balancer moves diff/2 capped at budget: diff = 0-1000 → move 50.
+	if len(vals) != 2 || vals[0] != 1 {
+		t.Fatalf("vals %v", vals)
+	}
+	if counts[0] != 50 || counts[1] != 950 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestBalancerAutoTargets(t *testing.T) {
+	a := NewBalancer(Fixed(1000), 0, 0)
+	vals := []model.Value{3, 7, 9}
+	counts := []int64{500, 100, 400}
+	vals, counts = a.CorruptCounts(0, vals, counts, vals, r(1))
+	// Auto-targets are the two heaviest bins: 3 (500) and 9 (400).
+	if a.Low != 3 || a.High != 9 {
+		t.Fatalf("targets %d, %d", a.Low, a.High)
+	}
+	var c3, c9 int64
+	for i, v := range vals {
+		switch v {
+		case 3:
+			c3 = counts[i]
+		case 9:
+			c9 = counts[i]
+		}
+	}
+	if c3 != 450 || c9 != 450 {
+		t.Fatalf("after balance: 3→%d 9→%d", c3, c9)
+	}
+}
+
+func TestBalancerBalls(t *testing.T) {
+	a := NewBalancer(Fixed(100), 1, 2)
+	state := make([]model.Value, 100)
+	for i := range state {
+		if i < 80 {
+			state[i] = 1
+		} else {
+			state[i] = 2
+		}
+	}
+	a.CorruptBalls(0, state, []model.Value{1, 2}, r(1))
+	var c1 int
+	for _, v := range state {
+		if v == 1 {
+			c1++
+		}
+	}
+	if c1 != 50 {
+		t.Fatalf("c1 = %d, want 50", c1)
+	}
+}
+
+func TestBalancerBallsBudgetCap(t *testing.T) {
+	a := NewBalancer(Fixed(5), 1, 2)
+	state := make([]model.Value, 100)
+	for i := range state {
+		if i < 80 {
+			state[i] = 1
+		} else {
+			state[i] = 2
+		}
+	}
+	a.CorruptBalls(0, state, []model.Value{1, 2}, r(1))
+	var c1 int
+	for _, v := range state {
+		if v == 1 {
+			c1++
+		}
+	}
+	if c1 != 75 {
+		t.Fatalf("c1 = %d, want 75 (moved 5)", c1)
+	}
+}
+
+func TestReviverWaitsThenInjects(t *testing.T) {
+	a := NewReviver(1, 3)
+	state := []model.Value{2, 2, 2, 2}
+	for round := 0; round < 3; round++ {
+		a.CorruptBalls(round, state, []model.Value{1, 2}, r(1))
+		for _, v := range state {
+			if v == 1 {
+				t.Fatalf("round %d: injected too early", round)
+			}
+		}
+	}
+	a.CorruptBalls(3, state, []model.Value{1, 2}, r(1))
+	count1 := 0
+	for _, v := range state {
+		if v == 1 {
+			count1++
+		}
+	}
+	if count1 != 1 {
+		t.Fatalf("injected %d balls, want exactly 1", count1)
+	}
+	if a.Injections != 1 {
+		t.Fatalf("Injections = %d", a.Injections)
+	}
+}
+
+func TestReviverResetsWhenPresent(t *testing.T) {
+	a := NewReviver(1, 2)
+	state := []model.Value{1, 2, 2}
+	a.CorruptBalls(0, state, []model.Value{1, 2}, r(1))
+	if a.Injections != 0 {
+		t.Fatal("injected while target alive")
+	}
+	// Target goes extinct; the delay counter must restart from zero.
+	state[0] = 2
+	a.CorruptBalls(1, state, []model.Value{1, 2}, r(1))
+	a.CorruptBalls(2, state, []model.Value{1, 2}, r(1))
+	if a.Injections != 0 {
+		t.Fatal("injected before delay elapsed")
+	}
+	a.CorruptBalls(3, state, []model.Value{1, 2}, r(1))
+	if a.Injections != 1 {
+		t.Fatal("failed to inject after delay")
+	}
+}
+
+func TestReviverCounts(t *testing.T) {
+	a := NewReviver(5, 0)
+	vals := []model.Value{7}
+	counts := []int64{10}
+	vals, counts = a.CorruptCounts(0, vals, counts, []model.Value{5, 7}, r(1))
+	if len(vals) != 2 || vals[0] != 5 || counts[0] != 1 || counts[1] != 9 {
+		t.Fatalf("vals %v counts %v", vals, counts)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestReviverPanicsNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReviver(1, -1)
+}
+
+func TestHiderBalls(t *testing.T) {
+	a := NewHider(Fixed(3), 9)
+	state := []model.Value{1, 2, 3, 4, 5}
+	a.CorruptBalls(0, state, []model.Value{1, 9}, r(1))
+	count9 := 0
+	for _, v := range state {
+		if v == 9 {
+			count9++
+		}
+	}
+	if count9 != 3 {
+		t.Fatalf("pinned %d, want 3", count9)
+	}
+}
+
+func TestHiderCounts(t *testing.T) {
+	a := NewHider(Fixed(4), 9)
+	vals := []model.Value{1, 2}
+	counts := []int64{3, 3}
+	vals, counts = a.CorruptCounts(0, vals, counts, []model.Value{1, 2, 9}, r(1))
+	var c9, total int64
+	for i, v := range vals {
+		if v == 9 {
+			c9 = counts[i]
+		}
+		total += counts[i]
+	}
+	if c9 != 4 || total != 6 {
+		t.Fatalf("vals %v counts %v", vals, counts)
+	}
+}
+
+func TestFlipperAlternates(t *testing.T) {
+	a := NewFlipper(Fixed(2), 10, 20)
+	state := []model.Value{1, 1, 1, 1}
+	a.CorruptBalls(0, state, nil, r(1))
+	if state[0] != 10 || state[1] != 10 {
+		t.Fatalf("even round: %v", state)
+	}
+	a.CorruptBalls(1, state, nil, r(1))
+	if state[0] != 20 || state[1] != 20 {
+		t.Fatalf("odd round: %v", state)
+	}
+}
+
+func TestRandomNoiseBudget(t *testing.T) {
+	a := NewRandomNoise(Fixed(10))
+	state := make([]model.Value, 1000)
+	for i := range state {
+		state[i] = 1
+	}
+	a.CorruptBalls(0, state, []model.Value{1, 2}, r(3))
+	changed := 0
+	for _, v := range state {
+		if v != 1 {
+			changed++
+		}
+	}
+	if changed > 10 {
+		t.Fatalf("changed %d > budget 10", changed)
+	}
+}
+
+func TestRandomNoiseCountsConserve(t *testing.T) {
+	a := NewRandomNoise(Fixed(20))
+	vals := []model.Value{1, 5}
+	counts := []int64{50, 50}
+	vals, counts = a.CorruptCounts(0, vals, counts, []model.Value{1, 5, 9}, r(4))
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			t.Fatalf("negative count: %v", counts)
+		}
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("total %d", total)
+	}
+	for _, v := range vals {
+		if v != 1 && v != 5 && v != 9 {
+			t.Fatalf("illegal value %d", v)
+		}
+	}
+}
+
+func TestMedianSplitterMoves(t *testing.T) {
+	a := NewMedianSplitter(Fixed(10))
+	vals := []model.Value{1, 2, 3}
+	counts := []int64{10, 80, 10} // median bin is 2
+	vals, counts = a.CorruptCounts(0, vals, counts, vals, r(5))
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("total %d", total)
+	}
+	if counts[1] != 70 {
+		t.Fatalf("median bin kept %d, want 70 (10 moved)", counts[1])
+	}
+	_ = vals
+}
+
+func TestMedianSplitterSingleBinNoop(t *testing.T) {
+	a := NewMedianSplitter(Fixed(10))
+	vals := []model.Value{1}
+	counts := []int64{100}
+	vals, counts = a.CorruptCounts(0, vals, counts, vals, r(6))
+	if len(vals) != 1 || counts[0] != 100 {
+		t.Fatalf("single-bin corrupted: %v %v", vals, counts)
+	}
+}
+
+func TestFuncAdversary(t *testing.T) {
+	called := 0
+	a := NewFunc("probe", Fixed(1), func(round int, state []model.Value, allowed []model.Value, r model.Rand) {
+		called++
+		state[0] = 42
+	})
+	if a.Name() != "probe" || a.Budget(10) != 1 {
+		t.Fatal("metadata")
+	}
+	state := []model.Value{1, 2}
+	a.CorruptBalls(0, state, nil, r(1))
+	if called != 1 || state[0] != 42 {
+		t.Fatal("func not invoked")
+	}
+}
+
+func TestStringHelper(t *testing.T) {
+	if got := String(nil, 100); got != "none" {
+		t.Fatalf("nil: %q", got)
+	}
+	if got := String(NewHider(Sqrt(1), 3), 10000); got != "hider(T=100)" {
+		t.Fatalf("hider: %q", got)
+	}
+}
+
+func TestAddBinKeepsSorted(t *testing.T) {
+	vals := []model.Value{2, 5, 9}
+	counts := []int64{1, 2, 3}
+	vals, counts, idx := addBin(vals, counts, 7)
+	want := []model.Value{2, 5, 7, 9}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals %v", vals)
+		}
+	}
+	if idx != 2 || counts[2] != 0 {
+		t.Fatalf("idx %d counts %v", idx, counts)
+	}
+	// Existing value: no duplicate.
+	vals2, counts2, idx2 := addBin(vals, counts, 5)
+	if len(vals2) != 4 || idx2 != 1 || counts2[1] != 2 {
+		t.Fatalf("dup insert: %v %v %d", vals2, counts2, idx2)
+	}
+}
+
+func TestBalancerCorruptAfter(t *testing.T) {
+	// The post-round view (Theorem 10 timing) must re-balance the freshly
+	// computed state exactly like the pre-round view.
+	a := NewBalancer(Fixed(10), 1, 2)
+	next := make([]Value, 0, 100)
+	for i := 0; i < 70; i++ {
+		next = append(next, 1)
+	}
+	for i := 0; i < 30; i++ {
+		next = append(next, 2)
+	}
+	a.CorruptAfter(0, next, []Value{1, 2}, rng.NewXoshiro256(1))
+	var c1, c2 int
+	for _, v := range next {
+		if v == 1 {
+			c1++
+		} else {
+			c2++
+		}
+	}
+	// diff = 40, move = min(20, 10) = 10: 60 vs 40.
+	if c1 != 60 || c2 != 40 {
+		t.Fatalf("after CorruptAfter: %d/%d, want 60/40", c1, c2)
+	}
+}
+
+func TestBalancerIsPostRoundAdversary(t *testing.T) {
+	var a model.Adversary = NewBalancer(Sqrt(1), 1, 2)
+	if _, ok := a.(model.PostRoundAdversary); !ok {
+		t.Fatal("Balancer must implement model.PostRoundAdversary")
+	}
+}
+
+func TestBalancerAutoTargetsBalls(t *testing.T) {
+	// low == high == 0 defers target selection to the two heaviest bins
+	// at first corruption (exercising distOf + resolveTargets).
+	a := NewBalancer(Fixed(50), 0, 0)
+	state := make([]Value, 0, 100)
+	for i := 0; i < 60; i++ {
+		state = append(state, 5)
+	}
+	for i := 0; i < 30; i++ {
+		state = append(state, 9)
+	}
+	for i := 0; i < 10; i++ {
+		state = append(state, 7)
+	}
+	a.CorruptBalls(0, state, []Value{5, 7, 9}, r(1))
+	if a.Low != 5 || a.High != 9 {
+		t.Fatalf("auto targets = (%d, %d), want (5, 9)", a.Low, a.High)
+	}
+	var c5, c9 int
+	for _, v := range state {
+		switch v {
+		case 5:
+			c5++
+		case 9:
+			c9++
+		}
+	}
+	// diff 30, move 15: 45 vs 45.
+	if c5 != 45 || c9 != 45 {
+		t.Fatalf("after balancing: %d/%d, want 45/45", c5, c9)
+	}
+}
+
+func TestBalancerAutoTargetsCounts(t *testing.T) {
+	a := NewBalancer(Fixed(10), 0, 0)
+	vals := []Value{1, 2, 3}
+	counts := []int64{70, 20, 10}
+	vals, counts = a.CorruptCounts(0, vals, counts, vals, r(2))
+	if a.Low != 1 || a.High != 2 {
+		t.Fatalf("auto targets = (%d, %d), want (1, 2)", a.Low, a.High)
+	}
+	// diff 50, move min(25, 10) = 10: 60 vs 30.
+	i1, _ := findBin(vals, 1)
+	i2, _ := findBin(vals, 2)
+	if counts[i1] != 60 || counts[i2] != 30 {
+		t.Fatalf("after balancing: %d/%d, want 60/30", counts[i1], counts[i2])
+	}
+}
+
+func TestBalancerRevivesExtinctTargetBin(t *testing.T) {
+	// The balancer's point is keeping both groups alive: when a target
+	// bin has died out it must be re-created.
+	a := NewBalancer(Fixed(8), 1, 2)
+	vals := []Value{2}
+	counts := []int64{100}
+	vals, counts = a.CorruptCounts(0, vals, counts, []Value{1, 2}, r(3))
+	i1, ok := findBin(vals, 1)
+	if !ok {
+		t.Fatal("extinct target bin 1 was not re-created")
+	}
+	if counts[i1] == 0 {
+		t.Fatal("re-created bin stayed empty")
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("ball count changed: %d", total)
+	}
+}
+
+func TestBalancerZeroBudgetIsInert(t *testing.T) {
+	a := NewBalancer(Fixed(0), 1, 2)
+	state := []Value{1, 1, 2}
+	want := []Value{1, 1, 2}
+	a.CorruptBalls(0, state, []Value{1, 2}, r(4))
+	for i := range state {
+		if state[i] != want[i] {
+			t.Fatal("zero-budget balancer modified state")
+		}
+	}
+	vals, counts := a.CorruptCounts(0, []Value{1, 2}, []int64{2, 1}, []Value{1, 2}, r(5))
+	if counts[0] != 2 || counts[1] != 1 || len(vals) != 2 {
+		t.Fatal("zero-budget balancer modified counts")
+	}
+}
+
+func TestBalancerAlreadyBalancedNoOp(t *testing.T) {
+	a := NewBalancer(Fixed(10), 1, 2)
+	state := []Value{1, 1, 2, 2}
+	a.CorruptBalls(0, state, []Value{1, 2}, r(6))
+	var c1 int
+	for _, v := range state {
+		if v == 1 {
+			c1++
+		}
+	}
+	if c1 != 2 {
+		t.Fatalf("balanced state disturbed: %d ones", c1)
+	}
+}
+
+func TestNewBalancerSwapsTargets(t *testing.T) {
+	a := NewBalancer(Fixed(1), 9, 4) // reversed order must be normalised
+	if a.Low != 4 || a.High != 9 {
+		t.Fatalf("targets (%d, %d), want (4, 9)", a.Low, a.High)
+	}
+}
+
+func TestReviverCorruptCountsRevives(t *testing.T) {
+	// Count-level view: once the target is extinct for longer than the
+	// delay, one ball is taken from the heaviest bin.
+	a := NewReviver(1, 2)
+	vals := []Value{2, 3}
+	counts := []int64{80, 20}
+	for round := 0; round < 2; round++ { // extinctFor reaches 2 <= delay
+		vals, counts = a.CorruptCounts(round, vals, counts, []Value{1, 2, 3}, r(7))
+		if _, ok := findBin(vals, 1); ok {
+			t.Fatalf("revived too early at round %d", round)
+		}
+	}
+	vals, counts = a.CorruptCounts(2, vals, counts, []Value{1, 2, 3}, r(8))
+	i1, ok := findBin(vals, 1)
+	if !ok || counts[i1] != 1 {
+		t.Fatal("target not revived after delay")
+	}
+	if a.Injections != 1 {
+		t.Fatalf("Injections = %d, want 1", a.Injections)
+	}
+	// Present target resets the extinction counter.
+	vals, counts = a.CorruptCounts(3, vals, counts, []Value{1, 2, 3}, r(9))
+	if a.Injections != 1 {
+		t.Fatal("reviver acted while target present")
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("ball count changed: %d", total)
+	}
+}

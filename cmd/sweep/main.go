@@ -1,0 +1,172 @@
+// Command sweep measures convergence rounds over a population-size grid and
+// prints an aligned table (or CSV) plus the growth-law fit — the generic
+// workhorse behind the Figure 1 reproductions.
+//
+// Examples:
+//
+//	sweep -ns 1e3,1e4,1e5,1e6 -reps 25
+//	sweep -ns 1e3,1e4,1e5 -rule median -adversary balancer -fit logn
+//	sweep -ns 1e4 -m 16 -init uniform -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/adversary"
+	"repro/consensus"
+	"repro/internal/experiment"
+	"repro/rules"
+)
+
+func main() {
+	nsFlag := flag.String("ns", "1e3,1e4,1e5", "comma-separated population sizes")
+	m := flag.Int("m", 2, "number of initial values (init twovalue ignores)")
+	initKind := flag.String("init", "twovalue", "initial state: distinct, uniform, twovalue, blocks")
+	ruleName := flag.String("rule", "median", "rule: median, majority, minimum, maximum, mean, voter")
+	advName := flag.String("adversary", "none", "adversary: none, balancer, noise, splitter, hider")
+	reps := flag.Int("reps", 10, "repetitions per grid point")
+	maxRounds := flag.Int("rounds", 100000, "round cap")
+	fit := flag.String("fit", "logn", "growth-law fit: logn, loglogn, linear, none")
+	seed := flag.Uint64("seed", 1, "base seed")
+	workers := flag.Int("workers", 2, "sweep worker pool size")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	ns, err := parseNs(*nsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rule, err := parseRule(*ruleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	task := experiment.Task{
+		Name: "sweep",
+		Keys: []string{"n"},
+		Grid: experiment.Grid1(ns...),
+		Reps: *reps,
+		Run: func(p []float64, s uint64) float64 {
+			n := int(p[0])
+			adv, err := parseAdversary(*advName)
+			if err != nil {
+				fatal(err)
+			}
+			slack := 0
+			if adv != nil {
+				slack = 3 * adv.Budget(n)
+			}
+			values, err := parseInit(*initKind, n, *m, s)
+			if err != nil {
+				fatal(err)
+			}
+			return float64(consensus.Run(consensus.Config{
+				Values:      values,
+				Rule:        rule,
+				Adversary:   adv,
+				Seed:        s,
+				MaxRounds:   *maxRounds,
+				AlmostSlack: slack,
+			}).Rounds)
+		},
+	}
+	cells := experiment.Sweep(task, *seed, *workers)
+	tab := experiment.CellsTable(
+		fmt.Sprintf("rounds to consensus: rule=%s init=%s adversary=%s", *ruleName, *initKind, *advName),
+		task.Keys, cells)
+	if *csv {
+		tab.CSV(os.Stdout)
+	} else {
+		tab.Render(os.Stdout)
+	}
+	if *fit != "none" && len(cells) >= 2 {
+		var law experiment.GrowthLaw
+		switch *fit {
+		case "logn":
+			law = experiment.LawLogN
+		case "loglogn":
+			law = experiment.LawLogLogN
+		case "linear":
+			law = experiment.LawLinear
+		default:
+			fatal(fmt.Errorf("unknown fit %q", *fit))
+		}
+		_, desc := experiment.DescribeFit(cells, law)
+		fmt.Println("fit:", desc)
+	}
+}
+
+func parseNs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad population size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -ns")
+	}
+	return out, nil
+}
+
+func parseRule(name string) (consensus.Rule, error) {
+	switch name {
+	case "median":
+		return rules.Median{}, nil
+	case "majority":
+		return rules.Majority{}, nil
+	case "minimum":
+		return rules.Minimum{}, nil
+	case "maximum":
+		return rules.Maximum{}, nil
+	case "mean":
+		return rules.Mean{}, nil
+	case "voter":
+		return rules.Voter{}, nil
+	}
+	return nil, fmt.Errorf("unknown rule %q", name)
+}
+
+func parseAdversary(name string) (consensus.Adversary, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "balancer":
+		return adversary.NewBalancer(adversary.Sqrt(1), 0, 0), nil
+	case "noise":
+		return adversary.NewRandomNoise(adversary.Sqrt(1)), nil
+	case "splitter":
+		return adversary.NewMedianSplitter(adversary.Sqrt(1)), nil
+	case "hider":
+		return adversary.NewHider(adversary.Sqrt(1), 1), nil
+	}
+	return nil, fmt.Errorf("unknown adversary %q", name)
+}
+
+func parseInit(kind string, n, m int, seed uint64) ([]consensus.Value, error) {
+	if m <= 0 || m > n {
+		m = n
+	}
+	switch kind {
+	case "distinct":
+		return consensus.AllDistinct(n), nil
+	case "uniform":
+		return consensus.UniformRandom(n, m, seed), nil
+	case "twovalue":
+		return consensus.TwoValue(n, n/2, 1, 2), nil
+	case "blocks":
+		return consensus.EvenBlocks(n, m), nil
+	}
+	return nil, fmt.Errorf("unknown init %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseNs(t *testing.T) {
+	ns, err := parseNs("1e3, 1e4,100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1000, 10000, 100000}
+	if len(ns) != 3 {
+		t.Fatalf("%d sizes", len(ns))
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("ns[%d] = %v, want %v", i, ns[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "x", "1", "-5", "1e3,,1e4"} {
+		if _, err := parseNs(bad); err == nil {
+			t.Fatalf("parseNs(%q) must error", bad)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	for _, name := range []string{"median", "majority", "minimum", "maximum", "mean", "voter"} {
+		r, err := parseRule(name)
+		if err != nil || r.Name() != name {
+			t.Fatalf("parseRule(%q): %v", name, err)
+		}
+	}
+	if _, err := parseRule("kmedian2"); err == nil {
+		t.Fatal("sweep does not expose kmedian; must error")
+	}
+}
+
+func TestParseAdversary(t *testing.T) {
+	if a, err := parseAdversary("none"); err != nil || a != nil {
+		t.Fatal("none must parse to nil")
+	}
+	for _, name := range []string{"balancer", "noise", "splitter", "hider"} {
+		a, err := parseAdversary(name)
+		if err != nil || a == nil {
+			t.Fatalf("parseAdversary(%q): %v", name, err)
+		}
+		if a.Budget(10000) != 100 {
+			t.Fatalf("%s budget at n=10000: %d, want sqrt = 100", name, a.Budget(10000))
+		}
+	}
+	if _, err := parseAdversary("reviver"); err == nil {
+		t.Fatal("sweep does not expose reviver; must error")
+	}
+}
+
+func TestParseInitClampsM(t *testing.T) {
+	// m > n clamps to n; the blocks initialiser must still cover n balls.
+	vals, err := parseInit("blocks", 5, 99, 1)
+	if err != nil || len(vals) != 5 {
+		t.Fatalf("clamp failed: %v %v", vals, err)
+	}
+	if _, err := parseInit("nonsense", 5, 2, 1); err == nil {
+		t.Fatal("unknown init must error")
+	}
+}

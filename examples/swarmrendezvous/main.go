@@ -1,0 +1,120 @@
+// Swarm rendezvous: the paper's two Section 6 open questions — higher
+// dimensions and robustness — exercised together on one scenario.
+//
+// Run with:
+//
+//	go run ./examples/swarmrendezvous
+//
+// A swarm of n autonomous drones must agree on a single 3-D rendezvous
+// waypoint. Each drone proposes the waypoint it currently considers best
+// (integer grid coordinates). There is no leader, no identifiers and no
+// global view — exactly the paper's anonymous gossip model. Every round
+// each drone queries two random peers and moves its proposal to the
+// coordinate-wise median (package multidim, the natural d-dimensional
+// generalisation the paper's conclusion poses).
+//
+// Part 1 measures the open question directly: convergence speed versus
+// dimension, and the tuple-validity price — the agreed waypoint has every
+// coordinate from some proposal, but the full tuple may be fabricated (a
+// point nobody proposed). For rendezvous that is acceptable — the median
+// waypoint is centrally located by construction — but it is exactly the
+// validity loss that makes the d-dimensional problem "challenging" in the
+// paper's sense.
+//
+// Part 2 stresses the scalar protocol the paper analyses (agreeing on a
+// single rendezvous altitude) under the conclusion's robustness question
+// (package robust): fully asynchronous activations, lossy radio links,
+// and crashed drones that still answer queries with stale proposals.
+package main
+
+import (
+	"fmt"
+
+	"repro/multidim"
+	"repro/robust"
+)
+
+const nDrones = 4_096
+
+func main() {
+	partDimensions()
+	partRobustness()
+}
+
+func partDimensions() {
+	fmt.Println("== part 1: 3-D waypoint agreement (coordinate-wise median) ==")
+	fmt.Println()
+	// Proposals spread over a 1 km³ grid (metres), clustered around two
+	// candidate staging areas plus stragglers.
+	pts := make([]multidim.Point, 0, nDrones)
+	for i := 0; i < nDrones; i++ {
+		var p multidim.Point
+		switch {
+		case i < nDrones*55/100: // cluster A
+			p = multidim.Point{250 + int64(i%40), 300 + int64(i%25), 80 + int64(i%10)}
+		case i < nDrones*90/100: // cluster B
+			p = multidim.Point{700 + int64(i%30), 650 + int64(i%35), 120 + int64(i%12)}
+		default: // stragglers anywhere
+			p = multidim.Point{int64(i) % 1000, int64(i*7) % 1000, int64(i*3) % 200}
+		}
+		pts = append(pts, p)
+	}
+	e := multidim.NewEngine(pts, nil, 7, multidim.Options{MaxRounds: 4000})
+	res := e.Run()
+	fmt.Printf("%d drones agreed on waypoint %v after %d rounds\n",
+		res.WinnerCount, res.Winner, res.Rounds)
+	fmt.Printf("  consensus: %v   coordinates all proposed: %v   exact tuple proposed: %v\n",
+		res.Consensus, res.CoordValid, res.TupleValid)
+	fmt.Println()
+
+	// The open question's empirical answer: dimension sweep.
+	fmt.Println("dimension sweep (n=2000, maximally spread proposals, 5 seeds):")
+	fmt.Println("  d   rounds   tuple-valid")
+	for _, d := range []int{1, 2, 4, 8} {
+		var rounds, valid float64
+		for seed := uint64(1); seed <= 5; seed++ {
+			r := multidim.NewEngine(multidim.DistinctPoints(2000, d), nil, seed,
+				multidim.Options{MaxRounds: 4000}).Run()
+			rounds += float64(r.Rounds)
+			if r.TupleValid {
+				valid++
+			}
+		}
+		fmt.Printf("  %d   %5.1f    %3.0f%%\n", d, rounds/5, 100*valid/5)
+	}
+	fmt.Println()
+	fmt.Println("Rounds stay logarithmic as d grows (the conclusion's conjecture,")
+	fmt.Println("measured); what degrades is tuple validity — the price of the")
+	fmt.Println("coordinate-wise generalisation.")
+	fmt.Println()
+}
+
+func partRobustness() {
+	fmt.Println("== part 2: altitude agreement under real-world conditions ==")
+	fmt.Println()
+	// Scalar proposals: preferred altitudes in metres, 40 distinct bands.
+	altitudes := make([]robust.Value, nDrones)
+	for i := range altitudes {
+		altitudes[i] = int64(80 + 5*(i%40))
+	}
+	fmt.Println("  scenario                                parallel time   agreed   dissenters")
+	for _, tc := range []struct {
+		name string
+		opts robust.Options
+	}{
+		{"asynchronous, clean", robust.Options{}},
+		{"30% radio loss", robust.Options{LossProb: 0.3}},
+		{"64 crashed (stale answers)", robust.Options{Crashes: 64}},
+		{"64 crashed (silent)", robust.Options{Crashes: 64, Silent: true}},
+		{"30% loss + 64 silent crashes", robust.Options{LossProb: 0.3, Crashes: 64, Silent: true}},
+	} {
+		res := robust.NewEngine(altitudes, tc.opts, 42).Run()
+		fmt.Printf("  %-38s  %8.1f      %5d      %5d\n",
+			tc.name, res.ParallelTime, res.WinnerCount, res.Dissenters)
+	}
+	fmt.Println()
+	fmt.Println("Asynchrony costs a small constant over the synchronous O(log n);")
+	fmt.Println("loss degrades gracefully; crashed drones never block the live")
+	fmt.Println("swarm and bound the final disagreement — the almost-stable")
+	fmt.Println("picture with T = crash count, with zero coordination machinery.")
+}

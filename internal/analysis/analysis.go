@@ -1,0 +1,349 @@
+// Package analysis implements the observables of the paper's proofs so the
+// experiments can measure exactly what the lemmas claim:
+//
+//   - gravity g(i) (Section 4.2, Equation 1): the expected number of balls
+//     that choose ball i as their median in the next step, both the exact
+//     combinatorial value and the paper's closed form 6(n−i)i/n².
+//   - imbalance Δt = (Yt−Xt)/2 and labelled imbalance Ψt = (Rt−Lt)/2 of the
+//     two-bin analysis (Section 3).
+//   - heavy-ball sets H(t,j) (Section 4.2): the Φ = C·√(n·log n) balls of a
+//     bin with the largest gravity.
+//   - the phase tracker of Theorem 20: the candidate-bin set S_i that halves
+//     once the meta-bin imbalance reaches C·√(n·log n).
+//   - a per-round trace recorder used as an engine Observer.
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// Value aliases the shared process-value type.
+type Value = model.Value
+
+// GravityExact returns the exact gravity of the ball at position i in the
+// sorted ball ordering (1-based, per the paper's Section 4.2): the expected
+// number of balls that pick position i as the median of {their own position,
+// two uniform positions}. Derivation (positions are distinct by the paper's
+// ordering convention):
+//
+//   - the ball at i itself keeps the median at i unless both samples fall
+//     strictly on the same side: probability 1 − ((i−1)² + (n−i)²)/n².
+//   - a ball at j < i medians to i iff it samples i and a position ≥ i:
+//     (2(n−i+1) − 1)/n² each, for i−1 such balls.
+//   - a ball at j > i symmetrically: (2i − 1)/n² each, for n−i balls.
+func GravityExact(n int64, i int64) float64 {
+	if n <= 0 || i < 1 || i > n {
+		panic("analysis: GravityExact needs 1 <= i <= n")
+	}
+	nf := float64(n)
+	fi := float64(i)
+	n2 := nf * nf
+	self := (n2 - (fi-1)*(fi-1) - (nf-fi)*(nf-fi)) / n2
+	below := (fi - 1) * (2*(nf-fi+1) - 1) / n2
+	above := (nf - fi) * (2*fi - 1) / n2
+	return self + below + above
+}
+
+// GravityApprox returns the paper's Equation 1 closed form
+// g(i) ≈ 6(n−i)i/n², accurate to O(1/n).
+func GravityApprox(n int64, i int64) float64 {
+	if n <= 0 || i < 1 || i > n {
+		panic("analysis: GravityApprox needs 1 <= i <= n")
+	}
+	nf := float64(n)
+	fi := float64(i)
+	return 6 * (nf - fi) * fi / (nf * nf)
+}
+
+// GravityThresholdPosition returns the smallest 1-based position i whose
+// approximate gravity reaches g — the boundary the proof of Lemma 18 uses
+// with g = 4/3, which yields i ≈ n/3 (balls between n/3 and 2n/3 have
+// gravity ≥ 4/3). Returns (position, ok); ok is false when no position
+// reaches g (g > 1.5 asymptotically).
+func GravityThresholdPosition(n int64, g float64) (int64, bool) {
+	// Solve 6(n−i)i/n² = g: i = n(1 ± sqrt(1−2g/3))/2; smallest root.
+	disc := 1 - 2*g/3
+	if disc < 0 {
+		return 0, false
+	}
+	i := int64(math.Ceil(float64(n) * (1 - math.Sqrt(disc)) / 2))
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		return 0, false
+	}
+	return i, true
+}
+
+// TwoBinState summarises a two-bin configuration per Section 3.
+type TwoBinState struct {
+	L, R      int64   // loads of the left (smaller value) and right bins
+	Delta     float64 // imbalance Δ = (max−min)/2
+	Psi       float64 // labelled imbalance Ψ = (R−L)/2
+	MinorityL bool    // true when the left bin is the smaller one
+}
+
+// TwoBin computes the Section 3 statistics from a two-entry count vector.
+// It panics unless exactly two bins are supplied.
+func TwoBin(counts []int64) TwoBinState {
+	if len(counts) != 2 {
+		panic("analysis: TwoBin needs exactly two bins")
+	}
+	l, r := counts[0], counts[1]
+	x, y := l, r
+	if x > y {
+		x, y = y, x
+	}
+	return TwoBinState{
+		L: l, R: r,
+		Delta:     float64(y-x) / 2,
+		Psi:       float64(r-l) / 2,
+		MinorityL: l <= r,
+	}
+}
+
+// MedianIndex returns the index of the median bin of an ordered count
+// vector (Section 2.1): the bin m with at most n/2 balls strictly below and
+// at most n/2 strictly above.
+func MedianIndex(counts []int64) int {
+	var n int64
+	for _, k := range counts {
+		n += k
+	}
+	if n == 0 {
+		panic("analysis: MedianIndex of empty distribution")
+	}
+	var below int64
+	for j, k := range counts {
+		if k == 0 {
+			below += k
+			continue
+		}
+		above := n - below - k
+		if 2*below <= n && 2*above <= n {
+			return j
+		}
+		below += k
+	}
+	panic("analysis: no median bin (unreachable)")
+}
+
+// SideMass returns the total loads strictly left and strictly right of the
+// median bin.
+func SideMass(counts []int64) (left, right int64) {
+	mi := MedianIndex(counts)
+	for j, k := range counts {
+		switch {
+		case j < mi:
+			left += k
+		case j > mi:
+			right += k
+		}
+	}
+	return left, right
+}
+
+// Phi returns the heavy-set size Φ = ⌈C·√(n·log n)⌉ of Section 4.2.
+func Phi(n int64, c float64) int64 {
+	if n < 2 {
+		return 1
+	}
+	return int64(math.Ceil(c * math.Sqrt(float64(n)*math.Log(float64(n)))))
+}
+
+// HeavySet describes the heavy-ball set H(t,j) of one bin: the (up to) Φ
+// balls of the bin whose positions have the largest gravity. Because
+// gravity is unimodal with peak at ⌈n/2⌉, those are the positions of the
+// bin's interval closest to the middle position.
+type HeavySet struct {
+	// Size is |H| ∈ [0, Φ].
+	Size int64
+	// MinGravity is the smallest (approximate) gravity within H; 0 when
+	// the set is empty.
+	MinGravity float64
+	// AllAboveThreshold reports MinGravity >= 4/3 − the Lemma 19 dichotomy
+	// condition for the bin to keep growing.
+	AllAboveThreshold bool
+}
+
+// HeavyBalls computes H(t,j) for bin j of an ordered count vector, with
+// heavy-set size Φ. Positions are assigned in bin order: bin 0 occupies
+// positions 1..counts[0], and so on (the paper's ball ordering).
+func HeavyBalls(counts []int64, j int, phi int64) HeavySet {
+	if j < 0 || j >= len(counts) {
+		panic("analysis: HeavyBalls bin out of range")
+	}
+	var n, lo int64
+	for idx, k := range counts {
+		if idx < j {
+			lo += k
+		}
+		n += k
+	}
+	load := counts[j]
+	if load == 0 {
+		return HeavySet{}
+	}
+	first := lo + 1    // first position of bin j (1-based)
+	last := lo + load  // last position
+	mid := (n + 1) / 2 // gravity peak position
+	size := phi
+	if load < size {
+		size = load
+	}
+	// The `size` positions of [first,last] closest to mid form a window;
+	// its minimum gravity is attained at the window edge farthest from mid.
+	var wloFirst, wloLast int64
+	switch {
+	case mid < first:
+		wloFirst, wloLast = first, first+size-1
+	case mid > last:
+		wloFirst, wloLast = last-size+1, last
+	default:
+		// mid inside the bin: centre the window on mid, clamped.
+		half := size / 2
+		wloFirst = mid - half
+		if wloFirst < first {
+			wloFirst = first
+		}
+		wloLast = wloFirst + size - 1
+		if wloLast > last {
+			wloLast = last
+			wloFirst = wloLast - size + 1
+		}
+	}
+	gLo := GravityApprox(n, wloFirst)
+	gHi := GravityApprox(n, wloLast)
+	minG := gLo
+	if gHi < minG {
+		minG = gHi
+	}
+	return HeavySet{
+		Size:              size,
+		MinGravity:        minG,
+		AllAboveThreshold: minG >= 4.0/3.0,
+	}
+}
+
+// PhaseTracker follows the Theorem 20 induction: a candidate bin interval
+// S_i that halves whenever the meta-bin imbalance reaches the threshold
+// n/2 + C·√(n·log n). After ⌈log₂ m⌉ phases at most two candidate bins
+// remain.
+type PhaseTracker struct {
+	// Lo and Hi delimit the current candidate interval (bin indices,
+	// inclusive).
+	Lo, Hi int
+	// Threshold is C·√(n·log n).
+	Threshold float64
+	// Phases counts completed halvings.
+	Phases int
+	// RoundsPerPhase records how many observations each phase consumed.
+	RoundsPerPhase []int
+	inPhase        int
+}
+
+// NewPhaseTracker starts tracking an m-bin system of n balls with constant c.
+func NewPhaseTracker(m int, n int64, c float64) *PhaseTracker {
+	if m < 1 {
+		panic("analysis: NewPhaseTracker needs m >= 1")
+	}
+	return &PhaseTracker{
+		Lo: 0, Hi: m - 1,
+		Threshold: c * math.Sqrt(float64(n)*math.Log(float64(n))),
+	}
+}
+
+// Done reports whether at most two candidate bins remain.
+func (p *PhaseTracker) Done() bool { return p.Hi-p.Lo+1 <= 2 }
+
+// Observe consumes one round's ordered count vector (length must cover Hi)
+// and advances the phase when the halving condition holds. It returns true
+// if a phase completed on this observation.
+func (p *PhaseTracker) Observe(counts []int64) bool {
+	if p.Done() {
+		return false
+	}
+	p.inPhase++
+	var n int64
+	for _, k := range counts {
+		n += k
+	}
+	mid := (p.Lo + p.Hi) / 2
+	// Meta-bin loads: everything up to mid vs everything after.
+	var left int64
+	for j := 0; j <= mid && j < len(counts); j++ {
+		left += counts[j]
+	}
+	right := n - left
+	half := float64(n) / 2
+	switch {
+	case float64(left) >= half+p.Threshold:
+		p.Hi = mid
+	case float64(right) >= half+p.Threshold:
+		p.Lo = mid + 1
+	default:
+		return false
+	}
+	p.Phases++
+	p.RoundsPerPhase = append(p.RoundsPerPhase, p.inPhase)
+	p.inPhase = 0
+	return true
+}
+
+// Trace records one scalar per round; Recorder assembles several.
+type Trace struct {
+	Name   string
+	Points []float64
+}
+
+// Recorder is an engine Observer that captures the proof-level observables
+// every round: support size, max load, median-bin index, side masses, and —
+// for two-bin states — Δ and Ψ.
+type Recorder struct {
+	Support  Trace
+	MaxLoad  Trace
+	Median   Trace
+	LeftMass Trace
+	Delta    Trace
+	Psi      Trace
+	Rounds   int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		Support:  Trace{Name: "support"},
+		MaxLoad:  Trace{Name: "max-load"},
+		Median:   Trace{Name: "median-index"},
+		LeftMass: Trace{Name: "left-mass"},
+		Delta:    Trace{Name: "delta"},
+		Psi:      Trace{Name: "psi"},
+	}
+}
+
+// Observe implements the engine Observer signature.
+func (rec *Recorder) Observe(round int, vals []Value, counts []int64) {
+	rec.Rounds = round
+	rec.Support.Points = append(rec.Support.Points, float64(len(counts)))
+	var maxLoad int64
+	for _, k := range counts {
+		if k > maxLoad {
+			maxLoad = k
+		}
+	}
+	rec.MaxLoad.Points = append(rec.MaxLoad.Points, float64(maxLoad))
+	if len(counts) > 0 {
+		mi := MedianIndex(counts)
+		rec.Median.Points = append(rec.Median.Points, float64(vals[mi]))
+		l, _ := SideMass(counts)
+		rec.LeftMass.Points = append(rec.LeftMass.Points, float64(l))
+	}
+	if len(counts) == 2 {
+		st := TwoBin(counts)
+		rec.Delta.Points = append(rec.Delta.Points, st.Delta)
+		rec.Psi.Points = append(rec.Psi.Points, st.Psi)
+	}
+}

@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// GravityExact must sum to n over all positions: every ball chooses exactly
+// one median, so total gravity is the total number of balls.
+func TestGravityExactSumsToN(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 5, 10, 101, 1000} {
+		var sum float64
+		for i := int64(1); i <= n; i++ {
+			sum += GravityExact(n, i)
+		}
+		if math.Abs(sum-float64(n)) > 1e-6*float64(n) {
+			t.Errorf("n=%d: gravities sum to %v", n, sum)
+		}
+	}
+}
+
+// Monte-Carlo check of GravityExact: simulate the median choices of all
+// balls one round from the all-distinct state and compare per-position
+// frequencies.
+func TestGravityExactMonteCarlo(t *testing.T) {
+	const n = 21
+	const trials = 200000
+	g := rng.NewXoshiro256(7)
+	counts := make([]float64, n+1)
+	for tr := 0; tr < trials; tr++ {
+		j := int64(g.Intn(n)) + 1
+		a := int64(g.Intn(n)) + 1
+		b := int64(g.Intn(n)) + 1
+		// median position of (j, a, b)
+		lo, mid, hi := j, a, b
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		if mid > hi {
+			mid = hi
+		}
+		if lo > mid {
+			mid = lo
+		}
+		_ = hi
+		counts[mid]++
+	}
+	for i := int64(1); i <= n; i++ {
+		// counts[i]/trials estimates E[#balls choosing i]/n = g(i)/n.
+		emp := counts[i] / trials * n
+		want := GravityExact(n, i)
+		se := math.Sqrt(want/n*(1-want/n)/trials) * n * 6
+		if math.Abs(emp-want) > se+0.02 {
+			t.Errorf("i=%d: empirical %v want %v", i, emp, want)
+		}
+	}
+}
+
+// Equation 1: |exact − 6(n−i)i/n²| = O(1/n).
+func TestGravityApproxWithinBigO(t *testing.T) {
+	for _, n := range []int64{100, 1000, 10000} {
+		worst := 0.0
+		for i := int64(1); i <= n; i += n / 100 {
+			d := math.Abs(GravityExact(n, i) - GravityApprox(n, i))
+			if d > worst {
+				worst = d
+			}
+		}
+		// The O(1/n) constant is small; 6/n is generous.
+		if worst > 6/float64(n) {
+			t.Errorf("n=%d: worst gap %v exceeds 6/n", n, worst)
+		}
+	}
+}
+
+// The gravity peak is at the median position and the peak value approaches
+// 3/2 (set i = n/2 in Equation 1).
+func TestGravityPeak(t *testing.T) {
+	const n = 10001
+	mid := int64((n + 1) / 2)
+	peak := GravityExact(n, mid)
+	if math.Abs(peak-1.5) > 0.01 {
+		t.Fatalf("peak gravity %v, want ~1.5", peak)
+	}
+	for _, i := range []int64{1, n / 4, n - 1} {
+		if GravityExact(n, i) > peak+1e-9 {
+			t.Fatalf("gravity at %d exceeds peak", i)
+		}
+	}
+	// Edge balls have gravity ≈ 1 (they mostly keep only themselves...
+	// exact value at i=1: (n²−(n−1)²)/n² + (n−1)(2·1−1)/n² ≈ 3/n... wait:
+	// the ball at position 1 is chosen as median only when sampled; its
+	// gravity tends to 0? No: self term = 1−(n−1)²/n² ≈ 2/n → small.
+	if g := GravityExact(n, 1); g > 0.01 {
+		t.Fatalf("edge gravity %v, want ~0", g)
+	}
+}
+
+func TestGravityPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GravityExact(10, 0) },
+		func() { GravityExact(10, 11) },
+		func() { GravityApprox(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The Lemma 18 boundary: gravity < 4/3 implies i ≤ n/3 + O(1) (or the
+// mirror image). GravityThresholdPosition(4/3) must return ~n/3.
+func TestGravityThresholdPosition(t *testing.T) {
+	const n = 30000
+	pos, ok := GravityThresholdPosition(n, 4.0/3.0)
+	if !ok {
+		t.Fatal("threshold not found")
+	}
+	if math.Abs(float64(pos)-float64(n)/3) > float64(n)/100 {
+		t.Fatalf("threshold at %d, want ~n/3 = %d", pos, n/3)
+	}
+	if g := GravityApprox(n, pos); g < 4.0/3.0-0.01 {
+		t.Fatalf("gravity at threshold %v < 4/3", g)
+	}
+	// Gravity above 1.5 is unattainable.
+	if _, ok := GravityThresholdPosition(n, 1.6); ok {
+		t.Fatal("impossible threshold accepted")
+	}
+}
+
+func TestTwoBin(t *testing.T) {
+	st := TwoBin([]int64{30, 70})
+	if st.Delta != 20 || st.Psi != 20 || !st.MinorityL {
+		t.Fatalf("%+v", st)
+	}
+	st = TwoBin([]int64{70, 30})
+	if st.Delta != 20 || st.Psi != -20 || st.MinorityL {
+		t.Fatalf("%+v", st)
+	}
+	st = TwoBin([]int64{50, 50})
+	if st.Delta != 0 || st.Psi != 0 {
+		t.Fatalf("%+v", st)
+	}
+	// Odd difference: half-integer imbalance.
+	st = TwoBin([]int64{50, 51})
+	if st.Delta != 0.5 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestTwoBinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TwoBin([]int64{1, 2, 3})
+}
+
+func TestMedianIndex(t *testing.T) {
+	cases := []struct {
+		counts []int64
+		want   int
+	}{
+		{[]int64{1, 1, 1}, 1},
+		{[]int64{5, 1}, 0},
+		{[]int64{1, 5}, 1},
+		{[]int64{3, 3}, 0}, // below=0 ≤ 3, above=3 ≤ 3 at bin 0
+		{[]int64{0, 7, 0}, 1},
+		{[]int64{2, 0, 2, 0, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := MedianIndex(c.counts); got != c.want {
+			t.Errorf("MedianIndex(%v) = %d want %d", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestSideMass(t *testing.T) {
+	l, r := SideMass([]int64{10, 5, 20, 5, 10})
+	// total 50; median bin: idx 2 (below 15 ≤ 25, above 15 ≤ 25)
+	if l != 15 || r != 15 {
+		t.Fatalf("side mass %d/%d", l, r)
+	}
+}
+
+func TestPhi(t *testing.T) {
+	if Phi(1, 10) != 1 {
+		t.Fatal("tiny n")
+	}
+	got := Phi(10000, 1)
+	want := int64(math.Ceil(math.Sqrt(10000 * math.Log(10000))))
+	if got != want {
+		t.Fatalf("Phi = %d want %d", got, want)
+	}
+}
+
+func TestHeavyBallsFullBin(t *testing.T) {
+	// Bin 1 holds everything around the middle: its heavy set saturates at
+	// Φ with min gravity near the peak.
+	counts := []int64{100, 800, 100}
+	hs := HeavyBalls(counts, 1, 50)
+	if hs.Size != 50 {
+		t.Fatalf("size %d", hs.Size)
+	}
+	if !hs.AllAboveThreshold {
+		t.Fatalf("central bin heavy set below 4/3: %+v", hs)
+	}
+}
+
+func TestHeavyBallsEdgeBin(t *testing.T) {
+	// Bin 0 sits entirely below n/3: all its balls have gravity < 4/3.
+	counts := []int64{100, 900}
+	hs := HeavyBalls(counts, 0, 50)
+	if hs.Size != 50 {
+		t.Fatalf("size %d", hs.Size)
+	}
+	if hs.AllAboveThreshold {
+		t.Fatalf("edge bin heavy set above 4/3: %+v", hs)
+	}
+}
+
+func TestHeavyBallsSmallBin(t *testing.T) {
+	counts := []int64{10, 990}
+	hs := HeavyBalls(counts, 0, 50)
+	if hs.Size != 10 {
+		t.Fatalf("size %d, want the full bin load", hs.Size)
+	}
+}
+
+func TestHeavyBallsEmptyBin(t *testing.T) {
+	counts := []int64{0, 100}
+	hs := HeavyBalls(counts, 0, 50)
+	if hs.Size != 0 || hs.MinGravity != 0 {
+		t.Fatalf("%+v", hs)
+	}
+}
+
+func TestHeavyBallsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HeavyBalls([]int64{1}, 5, 10)
+}
+
+func TestPhaseTrackerHalves(t *testing.T) {
+	// 8 bins, 1000 balls. Feed count vectors in which the left meta-bin is
+	// overwhelmingly heavy: the candidate interval must halve leftwards.
+	p := NewPhaseTracker(8, 1000, 0.5)
+	counts := []int64{900, 20, 20, 20, 10, 10, 10, 10}
+	steps := 0
+	for !p.Done() && steps < 100 {
+		p.Observe(counts)
+		steps++
+	}
+	if !p.Done() {
+		t.Fatal("tracker never finished")
+	}
+	if p.Lo != 0 || p.Hi > 1 {
+		t.Fatalf("candidates [%d,%d], want [0,0] or [0,1]", p.Lo, p.Hi)
+	}
+	if p.Phases < 2 {
+		t.Fatalf("phases %d", p.Phases)
+	}
+	if len(p.RoundsPerPhase) != p.Phases {
+		t.Fatalf("rounds-per-phase %v for %d phases", p.RoundsPerPhase, p.Phases)
+	}
+}
+
+func TestPhaseTrackerWaitsBelowThreshold(t *testing.T) {
+	p := NewPhaseTracker(4, 1000, 10) // threshold 10·√(1000·ln1000) ≈ 831
+	balanced := []int64{250, 250, 250, 250}
+	for i := 0; i < 10; i++ {
+		if p.Observe(balanced) {
+			t.Fatal("phase advanced on balanced state")
+		}
+	}
+	if p.Phases != 0 {
+		t.Fatalf("phases %d", p.Phases)
+	}
+}
+
+func TestPhaseTrackerRightward(t *testing.T) {
+	p := NewPhaseTracker(4, 100, 0.1)
+	counts := []int64{1, 1, 1, 97}
+	for !p.Done() {
+		if !p.Observe(counts) {
+			t.Fatal("phase did not advance")
+		}
+	}
+	if p.Hi != 3 || p.Lo < 2 {
+		t.Fatalf("candidates [%d,%d], want right edge", p.Lo, p.Hi)
+	}
+}
+
+func TestPhaseTrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPhaseTracker(0, 10, 1)
+}
+
+func TestRecorder(t *testing.T) {
+	rec := NewRecorder()
+	rec.Observe(0, []Value{1, 2}, []int64{30, 70})
+	rec.Observe(1, []Value{2}, []int64{100})
+	if len(rec.Support.Points) != 2 || rec.Support.Points[0] != 2 || rec.Support.Points[1] != 1 {
+		t.Fatalf("support %v", rec.Support.Points)
+	}
+	if len(rec.Delta.Points) != 1 || rec.Delta.Points[0] != 20 {
+		t.Fatalf("delta %v", rec.Delta.Points)
+	}
+	if rec.MaxLoad.Points[1] != 100 {
+		t.Fatalf("maxload %v", rec.MaxLoad.Points)
+	}
+	if rec.Rounds != 1 {
+		t.Fatalf("rounds %d", rec.Rounds)
+	}
+}
+
+// Property: gravity is symmetric: g(i) == g(n+1−i).
+func TestQuickGravitySymmetry(t *testing.T) {
+	f := func(nRaw uint16, iRaw uint16) bool {
+		n := int64(nRaw)%5000 + 2
+		i := int64(iRaw)%n + 1
+		a := GravityExact(n, i)
+		b := GravityExact(n, n+1-i)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact gravity lies in [0, 1.5 + o(1)].
+func TestQuickGravityBounded(t *testing.T) {
+	f := func(nRaw uint16, iRaw uint16) bool {
+		n := int64(nRaw)%5000 + 2
+		i := int64(iRaw)%n + 1
+		g := GravityExact(n, i)
+		return g >= 0 && g <= 1.5+3/float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MedianIndex returns a bin satisfying the paper's definition.
+func TestQuickMedianIndexDefinition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int64, len(raw))
+		var n int64
+		for i, r := range raw {
+			counts[i] = int64(r % 16)
+			n += counts[i]
+		}
+		if n == 0 {
+			return true
+		}
+		mi := MedianIndex(counts)
+		var below, above int64
+		for j, k := range counts {
+			if j < mi {
+				below += k
+			}
+			if j > mi {
+				above += k
+			}
+		}
+		return 2*below <= n && 2*above <= n && counts[mi] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGravityThresholdPositionEdges(t *testing.T) {
+	// g beyond the 1.5 maximum has no solution.
+	if _, ok := GravityThresholdPosition(1000, 1.6); ok {
+		t.Fatal("g > 3/2 cannot be reached")
+	}
+	// g = 0 is reached at the very first ball.
+	i, ok := GravityThresholdPosition(1000, 0)
+	if !ok || i != 1 {
+		t.Fatalf("g=0 position = %d, %v", i, ok)
+	}
+	// Lemma 18's g = 4/3 boundary lands near n/3.
+	i, ok = GravityThresholdPosition(3_000_000, 4.0/3)
+	if !ok {
+		t.Fatal("4/3 must be reachable")
+	}
+	if i < 990_000 || i > 1_010_000 {
+		t.Fatalf("4/3 threshold at %d, want ≈ n/3 = 1e6", i)
+	}
+}

@@ -1,0 +1,404 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAllDistinct(t *testing.T) {
+	c := AllDistinct(5)
+	for i, v := range c {
+		if v != Value(i+1) {
+			t.Fatalf("ball %d has value %d", i, v)
+		}
+	}
+	d := c.Dist()
+	if d.Support() != 5 || d.N() != 5 {
+		t.Fatalf("dist %+v", d)
+	}
+}
+
+func TestAllDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AllDistinct(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	g := rng.NewXoshiro256(1)
+	c := Uniform(1000, 7, g)
+	if len(c) != 1000 {
+		t.Fatalf("len %d", len(c))
+	}
+	for _, v := range c {
+		if v < 1 || v > 7 {
+			t.Fatalf("value %d out of [1,7]", v)
+		}
+	}
+	// All 7 bins should be hit for n=1000.
+	if s := c.Dist().Support(); s != 7 {
+		t.Fatalf("support %d", s)
+	}
+}
+
+func TestUniformRoughlyBalanced(t *testing.T) {
+	g := rng.NewXoshiro256(2)
+	c := Uniform(70000, 7, g)
+	d := c.Dist()
+	for i, k := range d.Counts {
+		if math.Abs(float64(k)-10000) > 500 {
+			t.Fatalf("bin %d count %d, want ~10000", i, k)
+		}
+	}
+}
+
+func TestTwoValue(t *testing.T) {
+	c := TwoValue(10, 3, 1, 2)
+	if got := c.AgreeingWith(1); got != 3 {
+		t.Fatalf("low count %d", got)
+	}
+	if got := c.AgreeingWith(2); got != 7 {
+		t.Fatalf("high count %d", got)
+	}
+}
+
+func TestTwoValuePanics(t *testing.T) {
+	cases := []func(){
+		func() { TwoValue(0, 0, 1, 2) },
+		func() { TwoValue(10, 11, 1, 2) },
+		func() { TwoValue(10, -1, 1, 2) },
+		func() { TwoValue(10, 5, 2, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	c := Blocks([]int64{2, 0, 3})
+	if len(c) != 5 {
+		t.Fatalf("len %d", len(c))
+	}
+	d := c.Dist()
+	if d.Support() != 2 || d.Vals[0] != 1 || d.Vals[1] != 3 {
+		t.Fatalf("dist %+v", d)
+	}
+	if d.Counts[0] != 2 || d.Counts[1] != 3 {
+		t.Fatalf("counts %+v", d.Counts)
+	}
+}
+
+func TestBlocksPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative: expected panic")
+			}
+		}()
+		Blocks([]int64{1, -1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty: expected panic")
+			}
+		}()
+		Blocks([]int64{0, 0})
+	}()
+}
+
+func TestEvenBlocks(t *testing.T) {
+	c := EvenBlocks(10, 3)
+	d := c.Dist()
+	if d.Support() != 3 {
+		t.Fatalf("support %d", d.Support())
+	}
+	want := []int64{4, 3, 3}
+	for i, k := range d.Counts {
+		if k != want[i] {
+			t.Fatalf("counts %v want %v", d.Counts, want)
+		}
+	}
+}
+
+func TestDistSortedAndComplete(t *testing.T) {
+	c := Config{5, 3, 5, 1, 3, 5}
+	d := c.Dist()
+	wantVals := []Value{1, 3, 5}
+	wantCounts := []int64{1, 2, 3}
+	for i := range wantVals {
+		if d.Vals[i] != wantVals[i] || d.Counts[i] != wantCounts[i] {
+			t.Fatalf("dist %+v", d)
+		}
+	}
+	if d.N() != 6 {
+		t.Fatalf("N %d", d.N())
+	}
+}
+
+func TestMedianValue(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want Value
+	}{
+		{Config{1, 2, 3}, 2},
+		{Config{1, 1, 2, 3}, 1}, // below(1)=0<=2, above=2<=2 → 1
+		{Config{1, 2, 2, 3}, 2}, // bin 1: above=3 > 2; bin 2: below=1, above=1
+		{Config{7}, 7},
+		{Config{4, 4, 4, 4}, 4},
+		{Config{1, 2}, 1},          // below(1)=0<=1, above(1)=1<=1
+		{Config{1, 1, 5, 5, 5}, 5}, // bin 1: above=3 > 2.5; bin 5: below=2<=2.5
+	}
+	for _, c := range cases {
+		if got := c.cfg.Dist().MedianValue(); got != c.want {
+			t.Errorf("MedianValue(%v) = %d want %d", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestMedianValueEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist{}.MedianValue()
+}
+
+func TestMaxCount(t *testing.T) {
+	c := Config{2, 2, 9, 9, 9, 1}
+	v, k := c.Dist().MaxCount()
+	if v != 9 || k != 3 {
+		t.Fatalf("MaxCount = (%d, %d)", v, k)
+	}
+}
+
+func TestIsConsensus(t *testing.T) {
+	if !(Config{3, 3, 3}).IsConsensus() {
+		t.Fatal("consensus not detected")
+	}
+	if (Config{3, 3, 4}).IsConsensus() {
+		t.Fatal("false consensus")
+	}
+	if !(Config{}).IsConsensus() {
+		t.Fatal("empty config should be consensus")
+	}
+}
+
+func TestValueSet(t *testing.T) {
+	s := (Config{1, 5, 1, 9}).ValueSet()
+	if len(s) != 3 {
+		t.Fatalf("set size %d", len(s))
+	}
+	for _, v := range []Value{1, 5, 9} {
+		if _, ok := s[v]; !ok {
+			t.Fatalf("missing %d", v)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Config{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestFinerThanAllOneVsAny(t *testing.T) {
+	// The all-one vector is finer than any vector of the same total
+	// (the paper's canonical example).
+	fine := []int64{1, 1, 1, 1, 1, 1, 1, 1}
+	coarse := []int64{3, 2, 0, 1, 2}
+	f, ok := FinerThan(fine, coarse)
+	if !ok {
+		t.Fatal("all-one should be finer")
+	}
+	if !IsMonotone(f) {
+		t.Fatalf("witness not monotone: %v", f)
+	}
+	// Verify the witness reproduces coarse.
+	rebuilt := make([]int64, len(coarse))
+	for j, k := range fine {
+		rebuilt[f[j]] += k
+	}
+	for i := range coarse {
+		if rebuilt[i] != coarse[i] {
+			t.Fatalf("rebuilt %v want %v", rebuilt, coarse)
+		}
+	}
+}
+
+func TestFinerThanRejectsSplit(t *testing.T) {
+	// (3) cannot be finer than (1, 2): a fine bin cannot be split.
+	if _, ok := FinerThan([]int64{3}, []int64{1, 2}); ok {
+		t.Fatal("split accepted")
+	}
+}
+
+func TestFinerThanRejectsTotalMismatch(t *testing.T) {
+	if _, ok := FinerThan([]int64{2, 2}, []int64{3}); ok {
+		t.Fatal("total mismatch accepted")
+	}
+}
+
+func TestFinerThanIdentity(t *testing.T) {
+	v := []int64{2, 0, 5, 1}
+	f, ok := FinerThan(v, v)
+	if !ok || !IsMonotone(f) {
+		t.Fatal("vector should be finer than itself")
+	}
+}
+
+func TestFinerThanTrailingEmpty(t *testing.T) {
+	f, ok := FinerThan([]int64{2, 3, 0, 0}, []int64{5})
+	if !ok || !IsMonotone(f) {
+		t.Fatalf("trailing empties rejected (ok=%v f=%v)", ok, f)
+	}
+	if _, ok := FinerThan([]int64{2, 3, 1}, []int64{5}); ok {
+		t.Fatal("nonempty trailing bin accepted")
+	}
+}
+
+func TestFinerThanNegative(t *testing.T) {
+	if _, ok := FinerThan([]int64{-1, 2}, []int64{1}); ok {
+		t.Fatal("negative fine accepted")
+	}
+	if _, ok := FinerThan([]int64{1}, []int64{-1, 2}); ok {
+		t.Fatal("negative coarse accepted")
+	}
+}
+
+func TestCoarsenAndCheckMonotone(t *testing.T) {
+	c := Config{1, 2, 3, 4}
+	halve := func(v Value) Value { return (v + 1) / 2 } // 1,1,2,2
+	if err := CheckMonotoneOn(c, halve); err != nil {
+		t.Fatalf("monotone map rejected: %v", err)
+	}
+	out := Coarsen(c, halve)
+	want := Config{1, 1, 2, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("coarsened %v want %v", out, want)
+		}
+	}
+	flip := func(v Value) Value { return -v }
+	if err := CheckMonotoneOn(c, flip); err == nil {
+		t.Fatal("antitone map accepted")
+	}
+}
+
+func TestMedian3Exhaustive(t *testing.T) {
+	// All 27 orderings of a 3-element domain.
+	vals := []Value{1, 2, 3}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				got := Median3(a, b, c)
+				// Reference: sort and take middle.
+				xs := []Value{a, b, c}
+				if xs[0] > xs[1] {
+					xs[0], xs[1] = xs[1], xs[0]
+				}
+				if xs[1] > xs[2] {
+					xs[1], xs[2] = xs[2], xs[1]
+				}
+				if xs[0] > xs[1] {
+					xs[0], xs[1] = xs[1], xs[0]
+				}
+				if got != xs[1] {
+					t.Fatalf("Median3(%d,%d,%d) = %d want %d", a, b, c, got, xs[1])
+				}
+			}
+		}
+	}
+}
+
+// The key algebraic fact behind Lemma 17: the median of three commutes with
+// monotone maps. Quick-check over random triples and random monotone
+// step functions.
+func TestQuickMedianCommutesWithMonotone(t *testing.T) {
+	f := func(a, b, c int32, thresh int32, loRaw, hiRaw int8) bool {
+		lo, hi := Value(loRaw), Value(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		step := func(v Value) Value {
+			if v < Value(thresh) {
+				return lo
+			}
+			return hi
+		}
+		av, bv, cv := Value(a), Value(b), Value(c)
+		return Median3(step(av), step(bv), step(cv)) == step(Median3(av, bv, cv))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Median3 is symmetric in its arguments.
+func TestQuickMedian3Symmetric(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		m := Median3(a, b, c)
+		return m == Median3(a, c, b) && m == Median3(b, a, c) &&
+			m == Median3(b, c, a) && m == Median3(c, a, b) && m == Median3(c, b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Median3 returns one of its arguments (validity at the kernel
+// level — the median rule can only ever output existing values).
+func TestQuickMedian3Validity(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		m := Median3(a, b, c)
+		return m == a || m == b || m == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FinerThan(allOne(n), v) succeeds for every non-negative vector v
+// with total n.
+func TestQuickAllOneFinest(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		coarse := make([]int64, len(raw))
+		var total int64
+		for i, r := range raw {
+			coarse[i] = int64(r % 8)
+			total += coarse[i]
+		}
+		if total == 0 {
+			return true
+		}
+		fine := make([]int64, total)
+		for i := range fine {
+			fine[i] = 1
+		}
+		fmap, ok := FinerThan(fine, coarse)
+		return ok && IsMonotone(fmap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

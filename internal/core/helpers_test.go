@@ -1,0 +1,7 @@
+package core
+
+import "repro/internal/rng"
+
+// newTestRng returns a seeded generator for constructing initial
+// configurations in tests.
+func newTestRng(seed uint64) *rng.Xoshiro256 { return rng.NewXoshiro256(seed) }

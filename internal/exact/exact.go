@@ -1,0 +1,269 @@
+// Package exact computes the two-bin median dynamics *exactly* as a
+// finite Markov chain, providing ground truth against which the
+// Monte-Carlo engines are cross-validated.
+//
+// Section 3 of the paper reduces the two-bin case to the chain
+//
+//	L_{t+1} ~ Bin(L_t, 1−(1−p)²) + Bin(n−L_t, p²),   p = L_t/n,
+//
+// on the state space {0, …, n}: a ball in the left bin stays when it does
+// not sample two right-bin balls, and a right-bin ball defects when it
+// samples two left-bin balls. States 0 and n are absorbing (the stable
+// consensus fixed points of Section 2.1).
+//
+// For populations up to a few hundred balls the full transition matrix is
+// small enough to build densely, so absorption probabilities and expected
+// absorption times come from direct linear algebra rather than simulation.
+// The package is used three ways:
+//
+//   - to validate the TwoBinEngine's binomial-update implementation
+//     (its empirical absorption times must match the exact expectation),
+//   - to validate Lemma 12/15-style drift claims at small n where "w.h.p."
+//     statements can be checked against exact probabilities, and
+//   - to report exact expected convergence times for the EXPERIMENTS.md
+//     small-n appendix.
+//
+// Everything is stdlib-only float64 dense linear algebra; n ≤ ~400 keeps
+// the O(n³) solves well under a second.
+package exact
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialPMF returns the probability mass function of Bin(n, p) as a
+// vector of length n+1. It is computed in log space (math.Lgamma) so that
+// n in the thousands stays accurate.
+func BinomialPMF(n int, p float64) []float64 {
+	if n < 0 {
+		panic("exact: negative n")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("exact: p = %v outside [0,1]", p))
+	}
+	pmf := make([]float64, n+1)
+	switch {
+	case p == 0:
+		pmf[0] = 1
+		return pmf
+	case p == 1:
+		pmf[n] = 1
+		return pmf
+	}
+	logP, logQ := math.Log(p), math.Log1p(-p)
+	lgN, _ := math.Lgamma(float64(n + 1))
+	for k := 0; k <= n; k++ {
+		lgK, _ := math.Lgamma(float64(k + 1))
+		lgNK, _ := math.Lgamma(float64(n - k + 1))
+		pmf[k] = math.Exp(lgN - lgK - lgNK + float64(k)*logP + float64(n-k)*logQ)
+	}
+	return pmf
+}
+
+// Convolve returns the distribution of X+Y for independent X ~ a, Y ~ b
+// given as PMF vectors.
+func Convolve(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			out[i+j] += pa * pb
+		}
+	}
+	return out
+}
+
+// StayProb is the probability that a left-bin ball stays left when the
+// left bin holds fraction p of the balls: 1 − (1−p)².
+func StayProb(p float64) float64 { q := 1 - p; return 1 - q*q }
+
+// DefectProb is the probability that a right-bin ball moves left: p².
+func DefectProb(p float64) float64 { return p * p }
+
+// Chain is the exact two-bin median chain for a fixed population size.
+type Chain struct {
+	// N is the population size.
+	N int
+	// P is the (N+1)×(N+1) row-stochastic transition matrix:
+	// P[i][j] = Pr[L_{t+1} = j | L_t = i].
+	P [][]float64
+}
+
+// NewChain builds the exact chain for n balls.
+func NewChain(n int) *Chain {
+	if n < 1 {
+		panic("exact: n must be >= 1")
+	}
+	P := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		p := float64(i) / float64(n)
+		stay := BinomialPMF(i, StayProb(p))
+		defect := BinomialPMF(n-i, DefectProb(p))
+		row := Convolve(stay, defect) // length n+1
+		P[i] = row
+	}
+	return &Chain{N: n, P: P}
+}
+
+// Absorbing reports whether state i is absorbing (full consensus).
+func (c *Chain) Absorbing(i int) bool { return i == 0 || i == c.N }
+
+// Step propagates a distribution over states one round: out = dist · P.
+func (c *Chain) Step(dist []float64) []float64 {
+	if len(dist) != c.N+1 {
+		panic("exact: distribution has wrong length")
+	}
+	out := make([]float64, c.N+1)
+	for i, di := range dist {
+		if di == 0 {
+			continue
+		}
+		row := c.P[i]
+		for j, pij := range row {
+			out[j] += di * pij
+		}
+	}
+	return out
+}
+
+// AbsorptionTimes returns t[i] = E[rounds until absorption | L_0 = i],
+// the exact expected convergence time of the two-bin median rule. It
+// solves (I − Q)t = 1 over the transient states by Gaussian elimination
+// with partial pivoting.
+func (c *Chain) AbsorptionTimes() []float64 {
+	n := c.N
+	m := n - 1 // transient states 1..n-1
+	if m <= 0 {
+		return make([]float64, n+1)
+	}
+	a := newAugmented(c, func(i int) []float64 { return []float64{1} })
+	sol := solve(a, m, 1)
+	t := make([]float64, n+1)
+	for i := 1; i < n; i++ {
+		t[i] = sol[i-1][0]
+	}
+	return t
+}
+
+// WinProbabilities returns h[i] = Pr[absorbed at N | L_0 = i]: the exact
+// probability that the left value wins from i supporters. h[0] = 0,
+// h[N] = 1, and by the symmetry of the dynamics h[i] + h[N−i] = 1.
+func (c *Chain) WinProbabilities() []float64 {
+	n := c.N
+	m := n - 1
+	h := make([]float64, n+1)
+	h[n] = 1
+	if m <= 0 {
+		return h
+	}
+	a := newAugmented(c, func(i int) []float64 { return []float64{c.P[i][n]} })
+	sol := solve(a, m, 1)
+	for i := 1; i < n; i++ {
+		h[i] = sol[i-1][0]
+	}
+	return h
+}
+
+// AbsorptionCDF returns F[t] = Pr[absorbed by round t | L_0 = start] for
+// t = 0..maxRounds, computed by exact distribution propagation.
+func (c *Chain) AbsorptionCDF(start, maxRounds int) []float64 {
+	if start < 0 || start > c.N {
+		panic("exact: start out of range")
+	}
+	dist := make([]float64, c.N+1)
+	dist[start] = 1
+	cdf := make([]float64, maxRounds+1)
+	cdf[0] = dist[0] + dist[c.N]
+	for t := 1; t <= maxRounds; t++ {
+		dist = c.Step(dist)
+		cdf[t] = dist[0] + dist[c.N]
+	}
+	return cdf
+}
+
+// DriftProbability returns Pr[Δ_{t+1} ≥ factor·Δ_t | L_t = i] exactly,
+// where Δ is the imbalance (Y−X)/2 of Section 3 — the quantity Lemma 15
+// bounds below by 1 − exp(−Θ(Δ²/n)) for factor 4/3.
+func (c *Chain) DriftProbability(i int, factor float64) float64 {
+	n := c.N
+	delta := math.Abs(float64(n)/2 - float64(i))
+	target := factor * delta
+	var sum float64
+	for j, pij := range c.P[i] {
+		if math.Abs(float64(n)/2-float64(j)) >= target {
+			sum += pij
+		}
+	}
+	return sum
+}
+
+// --- dense linear algebra ---------------------------------------------------
+
+// newAugmented builds the m×(m+k) system (I − Q | B) over the transient
+// states 1..n−1, where row i of B is rhs(i).
+func newAugmented(c *Chain, rhs func(i int) []float64) [][]float64 {
+	n := c.N
+	m := n - 1
+	k := len(rhs(1))
+	a := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		i := r + 1
+		row := make([]float64, m+k)
+		for cIdx := 0; cIdx < m; cIdx++ {
+			j := cIdx + 1
+			row[cIdx] = -c.P[i][j]
+			if i == j {
+				row[cIdx] += 1
+			}
+		}
+		copy(row[m:], rhs(i))
+		a[r] = row
+	}
+	return a
+}
+
+// solve runs Gaussian elimination with partial pivoting on the m×(m+k)
+// augmented matrix and returns the k solution columns per row.
+func solve(a [][]float64, m, k int) [][]float64 {
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			panic("exact: singular system (is some transient state absorbing?)")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < m+k; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	// Back substitution.
+	sol := make([][]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		row := make([]float64, k)
+		for kk := 0; kk < k; kk++ {
+			v := a[r][m+kk]
+			for j := r + 1; j < m; j++ {
+				v -= a[r][j] * sol[j][kk]
+			}
+			row[kk] = v / a[r][r]
+		}
+		sol[r] = row
+	}
+	return sol
+}

@@ -1,0 +1,248 @@
+// Package experiment is the harness that turns simulation runs into the
+// tables the paper reports: parameter sweeps with repetitions, deterministic
+// per-cell seeding, a worker pool, summary statistics per cell, growth-law
+// fits, and ASCII/CSV table rendering.
+//
+// Every experiment in cmd/experiments and every benchmark row in
+// bench_test.go is a Task: a named measurement function evaluated over a
+// parameter grid with R repetitions per cell. Seeds are derived as
+// Mix64(base ⊕ cellIndex·reps + rep), so any cell can be reproduced in
+// isolation.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Task describes one sweep: Run is called Reps times for every parameter
+// tuple in Grid and must return the measured quantity (typically rounds to
+// consensus).
+type Task struct {
+	// Name labels the experiment in output.
+	Name string
+	// Keys are the parameter names, matching the tuples in Grid.
+	Keys []string
+	// Grid lists the parameter tuples to sweep.
+	Grid [][]float64
+	// Reps is the number of repetitions per tuple (>= 1).
+	Reps int
+	// Run executes one measurement for the given tuple and seed.
+	Run func(params []float64, seed uint64) float64
+}
+
+// Cell is the aggregated result of one parameter tuple.
+type Cell struct {
+	// Params is the tuple this cell measured.
+	Params []float64
+	// Summary aggregates the Reps measurements.
+	Summary stats.Summary
+	// Raw holds the individual measurements in repetition order.
+	Raw []float64
+}
+
+// Sweep evaluates the task over its grid using the given worker count
+// (minimum 1) and returns one Cell per tuple, in grid order. Seeding is
+// deterministic: cell i, rep r uses seed Mix64(base + i·Reps + r), so
+// results are independent of the worker count.
+func Sweep(t Task, baseSeed uint64, workers int) []Cell {
+	if t.Reps < 1 {
+		panic("experiment: Reps must be >= 1")
+	}
+	if t.Run == nil {
+		panic("experiment: nil Run")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct{ cell, rep int }
+	jobs := make(chan job, len(t.Grid)*t.Reps)
+	raw := make([][]float64, len(t.Grid))
+	for i := range raw {
+		raw[i] = make([]float64, t.Reps)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				seed := rng.Mix64(baseSeed + uint64(j.cell)*uint64(t.Reps) + uint64(j.rep))
+				raw[j.cell][j.rep] = t.Run(t.Grid[j.cell], seed)
+			}
+		}()
+	}
+	for c := range t.Grid {
+		for r := 0; r < t.Reps; r++ {
+			jobs <- job{c, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	cells := make([]Cell, len(t.Grid))
+	for i := range cells {
+		cells[i] = Cell{
+			Params:  t.Grid[i],
+			Summary: stats.Summarize(raw[i]),
+			Raw:     raw[i],
+		}
+	}
+	return cells
+}
+
+// Grid1 builds a single-parameter grid from values.
+func Grid1(values ...float64) [][]float64 {
+	g := make([][]float64, len(values))
+	for i, v := range values {
+		g[i] = []float64{v}
+	}
+	return g
+}
+
+// Grid2 builds the cartesian product of two parameter lists.
+func Grid2(a, b []float64) [][]float64 {
+	g := make([][]float64, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			g = append(g, []float64{x, y})
+		}
+	}
+	return g
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned ASCII table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values (no title line).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float compactly for tables.
+func F(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// CellsTable renders sweep cells as a Table with mean ± stderr, median and
+// extremes.
+func CellsTable(title string, keys []string, cells []Cell) *Table {
+	t := &Table{Title: title}
+	t.Header = append(append([]string{}, keys...),
+		"mean", "stderr", "median", "min", "max", "reps")
+	for _, c := range cells {
+		row := make([]string, 0, len(c.Params)+6)
+		for _, p := range c.Params {
+			row = append(row, F(p))
+		}
+		s := c.Summary
+		row = append(row, fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.StdErr),
+			F(s.Median), F(s.Min), F(s.Max), fmt.Sprintf("%d", s.N))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// GrowthLaw names a fit family for DescribeFit.
+type GrowthLaw int
+
+const (
+	// LawLogN fits rounds ≈ a·ln n + b.
+	LawLogN GrowthLaw = iota
+	// LawLogLogN fits rounds ≈ a·ln ln n + b.
+	LawLogLogN
+	// LawLinear fits rounds ≈ a·x + b on the raw parameter.
+	LawLinear
+)
+
+// DescribeFit fits the cells' means against the first parameter under the
+// law and returns a human-readable verdict string including R².
+func DescribeFit(cells []Cell, law GrowthLaw) (stats.LinearFit, string) {
+	xs := make([]float64, len(cells))
+	ys := make([]float64, len(cells))
+	for i, c := range cells {
+		xs[i] = c.Params[0]
+		ys[i] = c.Summary.Mean
+	}
+	var fit stats.LinearFit
+	var name string
+	switch law {
+	case LawLogN:
+		fit = stats.FitLogN(xs, ys)
+		name = "a*ln(n)+b"
+	case LawLogLogN:
+		fit = stats.FitLogLogN(xs, ys)
+		name = "a*ln(ln(n))+b"
+	case LawLinear:
+		fit = stats.FitLinear(xs, ys)
+		name = "a*x+b"
+	default:
+		panic("experiment: unknown growth law")
+	}
+	return fit, fmt.Sprintf("%s: a=%.3f b=%.3f R2=%.4f", name, fit.Slope, fit.Intercept, fit.R2)
+}
+
+// SortCells orders cells by their first parameter (in-place) — convenient
+// after concurrent collection.
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Params[0] < cells[j].Params[0] })
+}

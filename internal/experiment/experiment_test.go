@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	task := Task{
+		Name: "probe",
+		Keys: []string{"x"},
+		Grid: Grid1(1, 2, 3),
+		Reps: 5,
+		Run: func(p []float64, seed uint64) float64 {
+			return p[0]*1000 + float64(seed%97)
+		},
+	}
+	a := Sweep(task, 42, 1)
+	b := Sweep(task, 42, 8)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("cell counts %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		for r := range a[i].Raw {
+			if a[i].Raw[r] != b[i].Raw[r] {
+				t.Fatalf("cell %d rep %d differs across worker counts", i, r)
+			}
+		}
+	}
+}
+
+func TestSweepSeedsDistinct(t *testing.T) {
+	seeds := make(map[uint64]bool)
+	task := Task{
+		Keys: []string{"x"},
+		Grid: Grid1(1, 2),
+		Reps: 4,
+		Run: func(p []float64, seed uint64) float64 {
+			seeds[seed] = true
+			return 0
+		},
+	}
+	Sweep(task, 7, 1)
+	if len(seeds) != 8 {
+		t.Fatalf("expected 8 distinct seeds, got %d", len(seeds))
+	}
+}
+
+func TestSweepSummary(t *testing.T) {
+	task := Task{
+		Keys: []string{"x"},
+		Grid: Grid1(10),
+		Reps: 3,
+		Run: func(p []float64, seed uint64) float64 {
+			return float64(seed % 3) // deterministic but varied
+		},
+	}
+	cells := Sweep(task, 1, 2)
+	if cells[0].Summary.N != 3 {
+		t.Fatalf("N = %d", cells[0].Summary.N)
+	}
+	if cells[0].Params[0] != 10 {
+		t.Fatalf("params %v", cells[0].Params)
+	}
+}
+
+func TestSweepPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("reps: expected panic")
+			}
+		}()
+		Sweep(Task{Grid: Grid1(1), Reps: 0, Run: func([]float64, uint64) float64 { return 0 }}, 1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil run: expected panic")
+			}
+		}()
+		Sweep(Task{Grid: Grid1(1), Reps: 1}, 1, 1)
+	}()
+}
+
+func TestGrid1(t *testing.T) {
+	g := Grid1(5, 6)
+	if len(g) != 2 || g[0][0] != 5 || g[1][0] != 6 {
+		t.Fatalf("%v", g)
+	}
+}
+
+func TestGrid2(t *testing.T) {
+	g := Grid2([]float64{1, 2}, []float64{10, 20, 30})
+	if len(g) != 6 {
+		t.Fatalf("len %d", len(g))
+	}
+	if g[0][0] != 1 || g[0][1] != 10 || g[5][0] != 2 || g[5][1] != 30 {
+		t.Fatalf("%v", g)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"n", "rounds"}}
+	tab.AddRow("100", "12.5")
+	tab.AddRow("100000", "30.1")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Alignment: the first row's n-column is padded to the widest value.
+	if !strings.HasPrefix(lines[3], "100    ") {
+		t.Fatalf("row not padded: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv: %q", buf.String())
+	}
+}
+
+func TestFormatF(t *testing.T) {
+	if F(3) != "3" {
+		t.Fatalf("F(3) = %q", F(3))
+	}
+	if F(3.14159) != "3.14" {
+		t.Fatalf("F(pi) = %q", F(3.14159))
+	}
+	if F(1e6) != "1000000" {
+		t.Fatalf("F(1e6) = %q", F(1e6))
+	}
+}
+
+func TestCellsTable(t *testing.T) {
+	task := Task{
+		Keys: []string{"n"},
+		Grid: Grid1(4, 8),
+		Reps: 2,
+		Run:  func(p []float64, seed uint64) float64 { return p[0] },
+	}
+	cells := Sweep(task, 1, 1)
+	tab := CellsTable("t", task.Keys, cells)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "4" || tab.Rows[0][1] != "4.00" {
+		t.Fatalf("row %v", tab.Rows[0])
+	}
+}
+
+func TestDescribeFitLogN(t *testing.T) {
+	// Means that are exactly 3 ln n + 1.
+	grid := Grid1(100, 1000, 10000, 100000)
+	cells := Sweep(Task{
+		Keys: []string{"n"},
+		Grid: grid,
+		Reps: 1,
+		Run:  func(p []float64, seed uint64) float64 { return 3*math.Log(p[0]) + 1 },
+	}, 1, 1)
+	fit, desc := DescribeFit(cells, LawLogN)
+	if math.Abs(fit.Slope-3) > 1e-9 || fit.R2 < 1-1e-12 {
+		t.Fatalf("fit %+v (%s)", fit, desc)
+	}
+	if !strings.Contains(desc, "ln(n)") {
+		t.Fatalf("desc %q", desc)
+	}
+}
+
+func TestDescribeFitLogLogAndLinear(t *testing.T) {
+	grid := Grid1(100, 10000, 100000000)
+	cells := Sweep(Task{
+		Keys: []string{"n"},
+		Grid: grid,
+		Reps: 1,
+		Run:  func(p []float64, seed uint64) float64 { return 5 * math.Log(math.Log(p[0])) },
+	}, 1, 1)
+	fit, _ := DescribeFit(cells, LawLogLogN)
+	if math.Abs(fit.Slope-5) > 1e-9 {
+		t.Fatalf("loglog fit %+v", fit)
+	}
+	cells2 := Sweep(Task{
+		Keys: []string{"x"},
+		Grid: Grid1(1, 2, 3),
+		Reps: 1,
+		Run:  func(p []float64, seed uint64) float64 { return 2 * p[0] },
+	}, 1, 1)
+	fit2, _ := DescribeFit(cells2, LawLinear)
+	if math.Abs(fit2.Slope-2) > 1e-9 {
+		t.Fatalf("linear fit %+v", fit2)
+	}
+}
+
+func TestSortCells(t *testing.T) {
+	cells := []Cell{{Params: []float64{3}}, {Params: []float64{1}}, {Params: []float64{2}}}
+	SortCells(cells)
+	if cells[0].Params[0] != 1 || cells[2].Params[0] != 3 {
+		t.Fatalf("%v", cells)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Cell results must depend only on (task, baseSeed), not on the
+	// worker count, so parallel sweeps are reproducible.
+	task := Task{
+		Name: "det",
+		Keys: []string{"x"},
+		Grid: Grid1(1, 2, 3, 4),
+		Reps: 3,
+		Run: func(p []float64, seed uint64) float64 {
+			return p[0]*1e6 + float64(seed%1000)
+		},
+	}
+	a := Sweep(task, 42, 1)
+	b := Sweep(task, 42, 4)
+	SortCells(a)
+	SortCells(b)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Summary.Mean != b[i].Summary.Mean {
+			t.Fatalf("cell %d: mean %v (1 worker) vs %v (4 workers)", i, a[i].Summary.Mean, b[i].Summary.Mean)
+		}
+		for j := range a[i].Raw {
+			if a[i].Raw[j] != b[i].Raw[j] {
+				t.Fatalf("cell %d raw %d differs across worker counts", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopMaxRounds:    "max-rounds",
+		StopConsensus:    "consensus",
+		StopAlmostStable: "almost-stable",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	if got := StopReason(99).String(); got == "" {
+		t.Error("unknown StopReason must still render")
+	}
+}
+
+// Compile-time checks that the package RNG satisfies the Rand contract the
+// engines hand to adversaries.
+var _ Rand = (*rng.Xoshiro256)(nil)
+
+// stubRule is a minimal conforming Rule used to pin the contract.
+type stubRule struct{ samples int }
+
+func (s stubRule) Name() string { return "stub" }
+func (s stubRule) Samples() int { return s.samples }
+func (stubRule) Update(own Value, sampled []Value) Value {
+	if len(sampled) > 0 {
+		return sampled[0]
+	}
+	return own
+}
+
+var _ Rule = stubRule{}
+
+// stubAdversary implements all three corruption views; engines must be able
+// to select each via type assertion.
+type stubAdversary struct {
+	balls, counts, after int
+}
+
+func (s *stubAdversary) Name() string     { return "stub-adv" }
+func (s *stubAdversary) Budget(n int) int { return 1 }
+func (s *stubAdversary) CorruptBalls(round int, state []Value, allowed []Value, r Rand) {
+	s.balls++
+}
+func (s *stubAdversary) CorruptCounts(round int, vals []Value, counts []int64, allowed []Value, r Rand) ([]Value, []int64) {
+	s.counts++
+	return vals, counts
+}
+func (s *stubAdversary) CorruptAfter(round int, next []Value, allowed []Value, r Rand) {
+	s.after++
+}
+
+func TestAdversaryViewSelection(t *testing.T) {
+	var a Adversary = &stubAdversary{}
+	if _, ok := a.(BallAdversary); !ok {
+		t.Error("stub must be selectable as BallAdversary")
+	}
+	if _, ok := a.(CountAdversary); !ok {
+		t.Error("stub must be selectable as CountAdversary")
+	}
+	if _, ok := a.(PostRoundAdversary); !ok {
+		t.Error("stub must be selectable as PostRoundAdversary")
+	}
+}
+
+func TestRuleContractZeroSamples(t *testing.T) {
+	// Samples() == 0 is legal per the contract (a rule that never
+	// contacts peers); Update must then work with an empty slice.
+	r := stubRule{samples: 0}
+	if got := r.Update(7, nil); got != 7 {
+		t.Fatalf("zero-sample update = %d, want 7", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package plot renders small ASCII charts for the CLI tools: convergence
+// trajectories from cmd/mediansim, growth curves from cmd/sweep, and
+// distribution histograms. Pure text, no dependencies — the output is
+// meant for terminals and for pasting into issue reports.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// blocks are the eighth-height bar glyphs used by Spark.
+var blocks = []rune(" ▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line sparkline. An empty input yields an
+// empty string. Non-finite values render as spaces.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > hi { // nothing finite
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			sb.WriteRune(' ')
+			continue
+		}
+		idx := len(blocks) - 1
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}
+
+// Line renders a y-versus-index line chart with the given width and
+// height in character cells, returning one string per row (top first).
+// Values are downsampled by bucket means when len(values) > width.
+func Line(values []float64, width, height int) []string {
+	if width < 1 || height < 1 {
+		panic("plot: width and height must be >= 1")
+	}
+	if len(values) == 0 {
+		return []string{strings.Repeat(" ", width)}
+	}
+	ys := resample(values, width)
+	lo, hi := minMax(ys)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for x, v := range ys {
+		level := int((v - lo) / span * float64(height-1))
+		row := height - 1 - level
+		grid[row][x] = '•'
+	}
+	out := make([]string, height)
+	for r := range grid {
+		out[r] = string(grid[r])
+	}
+	return out
+}
+
+// LabeledLine renders Line with a y-axis label gutter: the first row is
+// suffixed with the maximum, the last with the minimum.
+func LabeledLine(values []float64, width, height int) []string {
+	rows := Line(values, width, height)
+	if len(values) == 0 {
+		return rows
+	}
+	lo, hi := minMax(resample(values, width))
+	for i := range rows {
+		switch i {
+		case 0:
+			rows[i] = fmt.Sprintf("%s ┤ %.4g", rows[i], hi)
+		case len(rows) - 1:
+			rows[i] = fmt.Sprintf("%s ┤ %.4g", rows[i], lo)
+		default:
+			rows[i] = rows[i] + " │"
+		}
+	}
+	return rows
+}
+
+// Histogram renders counts as horizontal bars, one line per bucket, each
+// scaled to at most width cells: "label │█████ count".
+func Histogram(labels []string, counts []int64, width int) []string {
+	if len(labels) != len(counts) {
+		panic("plot: labels and counts must have equal length")
+	}
+	if width < 1 {
+		panic("plot: width must be >= 1")
+	}
+	var max int64 = 1
+	labelW := 0
+	for i, c := range counts {
+		if c > max {
+			max = c
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	out := make([]string, len(labels))
+	for i, c := range counts {
+		bar := int(float64(c) / float64(max) * float64(width))
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		out[i] = fmt.Sprintf("%-*s │%s %d", labelW, labels[i], strings.Repeat("█", bar), c)
+	}
+	return out
+}
+
+// resample reduces values to exactly width points by bucket means (or
+// repeats them when fewer).
+func resample(values []float64, width int) []float64 {
+	n := len(values)
+	out := make([]float64, width)
+	if n == 0 {
+		return out
+	}
+	for x := 0; x < width; x++ {
+		lo := x * n / width
+		hi := (x + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[x] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

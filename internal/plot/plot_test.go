@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparkBasics(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Fatalf("empty input: %q", got)
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length %d, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Flat series renders at the top block (span 0).
+	flat := []rune(Spark([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '█' {
+			t.Fatalf("flat series: %q", string(flat))
+		}
+	}
+}
+
+func TestSparkNonFinite(t *testing.T) {
+	s := []rune(Spark([]float64{1, math.NaN(), 2, math.Inf(1)}))
+	if s[1] != ' ' || s[3] != ' ' {
+		t.Fatalf("non-finite values must render as spaces: %q", string(s))
+	}
+}
+
+func TestSparkMonotone(t *testing.T) {
+	// A nondecreasing series must produce nondecreasing glyph levels.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		var acc float64
+		for i, r := range raw {
+			acc += float64(r)
+			vals[i] = acc
+		}
+		prev := -1
+		for _, r := range []rune(Spark(vals)) {
+			level := strings.IndexRune(string(blocks), r)
+			if level < prev {
+				return false
+			}
+			prev = level
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineDimensions(t *testing.T) {
+	rows := Line([]float64{1, 2, 3, 4, 5, 4, 3, 2, 1}, 20, 5)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if len([]rune(r)) != 20 {
+			t.Fatalf("row width %d, want 20", len([]rune(r)))
+		}
+	}
+	// The peak must appear on the top row, the valley on the bottom.
+	if !strings.Contains(rows[0], "•") || !strings.Contains(rows[4], "•") {
+		t.Fatalf("extremes not plotted:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
+func TestLineEmptyAndPanics(t *testing.T) {
+	rows := Line(nil, 10, 3)
+	if len(rows) != 1 || rows[0] != strings.Repeat(" ", 10) {
+		t.Fatalf("empty input: %#v", rows)
+	}
+	assertPanics(t, func() { Line([]float64{1}, 0, 3) })
+	assertPanics(t, func() { Line([]float64{1}, 3, 0) })
+}
+
+func TestLabeledLine(t *testing.T) {
+	rows := LabeledLine([]float64{0, 10}, 8, 3)
+	if !strings.Contains(rows[0], "10") {
+		t.Fatalf("top row missing max label: %q", rows[0])
+	}
+	if !strings.Contains(rows[len(rows)-1], "0") {
+		t.Fatalf("bottom row missing min label: %q", rows[len(rows)-1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rows := Histogram([]string{"a", "bb"}, []int64{4, 2}, 8)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !strings.Contains(rows[0], "████████") {
+		t.Fatalf("max bucket not full width: %q", rows[0])
+	}
+	if !strings.Contains(rows[1], "████") || strings.Contains(rows[1], "█████") {
+		t.Fatalf("half bucket wrong: %q", rows[1])
+	}
+	if !strings.HasPrefix(rows[1], "bb") || !strings.HasPrefix(rows[0], "a ") {
+		t.Fatalf("labels not aligned: %q / %q", rows[0], rows[1])
+	}
+	// Non-zero counts always show at least one cell.
+	tiny := Histogram([]string{"x", "y"}, []int64{1000, 1}, 10)
+	if !strings.Contains(tiny[1], "█") {
+		t.Fatalf("tiny bucket invisible: %q", tiny[1])
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { Histogram([]string{"a"}, []int64{1, 2}, 5) })
+	assertPanics(t, func() { Histogram([]string{"a"}, []int64{1}, 0) })
+}
+
+func TestResample(t *testing.T) {
+	// Downsampling preserves the overall mean.
+	vals := make([]float64, 100)
+	var want float64
+	for i := range vals {
+		vals[i] = float64(i)
+		want += float64(i)
+	}
+	want /= 100
+	out := resample(vals, 10)
+	if len(out) != 10 {
+		t.Fatalf("%d points", len(out))
+	}
+	var got float64
+	for _, v := range out {
+		got += v
+	}
+	got /= 10
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("resampled mean %v, want %v", got, want)
+	}
+	// Upsampling repeats values, never zero-fills.
+	up := resample([]float64{7}, 4)
+	for _, v := range up {
+		if v != 7 {
+			t.Fatalf("upsample: %v", up)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

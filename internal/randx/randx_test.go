@@ -1,0 +1,449 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func g(seed uint64) *rng.Xoshiro256 { return rng.NewXoshiro256(seed) }
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := g(1)
+	if v := Binomial(r, 0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+	if v := Binomial(r, 100, 0); v != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", v)
+	}
+	if v := Binomial(r, 100, 1); v != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", v)
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{{-1, 0.5}, {10, -0.1}, {10, 1.1}, {10, math.NaN()}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Binomial(%d, %v): expected panic", c.n, c.p)
+				}
+			}()
+			Binomial(g(1), c.n, c.p)
+		}()
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := g(2)
+	for _, c := range []struct {
+		n int64
+		p float64
+	}{{1, 0.5}, {10, 0.3}, {100, 0.01}, {1000, 0.5}, {1 << 20, 0.25}, {1 << 30, 1e-7}} {
+		for i := 0; i < 200; i++ {
+			v := Binomial(r, c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, v)
+			}
+		}
+	}
+}
+
+// TestBinomialMoments checks empirical mean and variance against np and
+// npq for both the inversion regime (np small) and the BTRS regime
+// (np large). Tolerances are ~6 standard errors with fixed seeds.
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n    int64
+		p    float64
+		name string
+	}{
+		{50, 0.05, "inversion small"},
+		{40, 0.4, "inversion mid"},
+		{1000, 0.3, "btrs"},
+		{100000, 0.5, "btrs large"},
+		{100000, 0.9, "btrs symmetric"},
+	}
+	r := g(3)
+	const trials = 30000
+	for _, c := range cases {
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(Binomial(r, c.n, c.p))
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / trials
+		variance := sumsq/trials - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		seMean := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 6*seMean+1e-9 {
+			t.Errorf("%s: mean %.3f want %.3f (se %.4f)", c.name, mean, wantMean, seMean)
+		}
+		// Variance of sample variance ~ 2*var^2/trials for near-normal.
+		seVar := wantVar * math.Sqrt(2.0/trials) * 3
+		if math.Abs(variance-wantVar) > 6*seVar+1e-9 {
+			t.Errorf("%s: var %.3f want %.3f", c.name, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialExactPMFSmall compares empirical frequencies with the exact
+// pmf for a small case, exercising the inversion path cell by cell.
+func TestBinomialExactPMFSmall(t *testing.T) {
+	const n = 8
+	const p = 0.3
+	r := g(4)
+	const trials = 200000
+	var counts [n + 1]int
+	for i := 0; i < trials; i++ {
+		counts[Binomial(r, n, p)]++
+	}
+	// Exact pmf.
+	for k := 0; k <= n; k++ {
+		pmf := math.Exp(logFactorial(n)-logFactorial(int64(k))-logFactorial(int64(n-k))) *
+			math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		freq := float64(counts[k]) / trials
+		se := math.Sqrt(pmf * (1 - pmf) / trials)
+		if math.Abs(freq-pmf) > 6*se+1e-4 {
+			t.Errorf("k=%d: freq %.5f want %.5f", k, freq, pmf)
+		}
+	}
+}
+
+// TestBinomialBTRSTail verifies the BTRS sampler's tail mass: for
+// Binomial(10^4, 1/2), Pr[|X - 5000| > 200] ~ 6e-5. An excess of tail draws
+// indicates a broken acceptance test.
+func TestBinomialBTRSTail(t *testing.T) {
+	r := g(5)
+	const trials = 50000
+	tail := 0
+	for i := 0; i < trials; i++ {
+		v := Binomial(r, 10000, 0.5)
+		if v < 4800 || v > 5200 {
+			tail++
+		}
+	}
+	if tail > 25 { // expected ~3
+		t.Fatalf("tail count %d far above expectation", tail)
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	// Exact small values.
+	want := []float64{0, 0, math.Log(2), math.Log(6), math.Log(24)}
+	for k, w := range want {
+		if got := logFactorial(int64(k)); math.Abs(got-w) > 1e-12 {
+			t.Errorf("logFactorial(%d) = %v want %v", k, got, w)
+		}
+	}
+	// Stirling region consistency: ln((k)!) - ln((k-1)!) == ln k.
+	for _, k := range []int64{128, 200, 1000, 1 << 20} {
+		diff := logFactorial(k) - logFactorial(k-1)
+		if math.Abs(diff-math.Log(float64(k))) > 1e-9 {
+			t.Errorf("logFactorial diff at %d: %v want %v", k, diff, math.Log(float64(k)))
+		}
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := g(6)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		const trials = 100000
+		var sum float64
+		min := int64(math.MaxInt64)
+		for i := 0; i < trials; i++ {
+			v := Geometric(r, p)
+			if v < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", p, v)
+			}
+			if v < min {
+				min = v
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := 1 / p
+		se := math.Sqrt((1-p)/(p*p)) / math.Sqrt(trials) * 6
+		if math.Abs(mean-want) > se+0.01 {
+			t.Errorf("p=%v: mean %.4f want %.4f", p, mean, want)
+		}
+		if min != 1 {
+			t.Errorf("p=%v: minimum %d, expected support to reach 1", p, min)
+		}
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := g(7)
+	for i := 0; i < 100; i++ {
+		if v := Geometric(r, 1); v != 1 {
+			t.Fatalf("Geometric(1) = %d", v)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v): expected panic", p)
+				}
+			}()
+			Geometric(g(1), p)
+		}()
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	r := g(8)
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	out := make([]int64, 4)
+	for i := 0; i < 1000; i++ {
+		Multinomial(r, 1000, probs, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				t.Fatalf("negative count %v", out)
+			}
+			sum += c
+		}
+		if sum != 1000 {
+			t.Fatalf("counts sum to %d, want 1000", sum)
+		}
+	}
+}
+
+func TestMultinomialMeans(t *testing.T) {
+	r := g(9)
+	probs := []float64{1, 2, 3, 4} // unnormalised on purpose
+	out := make([]int64, 4)
+	sums := make([]float64, 4)
+	const trials = 20000
+	const n = 100
+	for i := 0; i < trials; i++ {
+		Multinomial(r, n, probs, out)
+		for j, c := range out {
+			sums[j] += float64(c)
+		}
+	}
+	for j := range probs {
+		mean := sums[j] / trials
+		want := n * probs[j] / 10
+		if math.Abs(mean-want) > 0.5 {
+			t.Errorf("bucket %d: mean %.3f want %.3f", j, mean, want)
+		}
+	}
+}
+
+func TestMultinomialZeroTrials(t *testing.T) {
+	out := make([]int64, 3)
+	Multinomial(g(1), 0, []float64{1, 1, 1}, out)
+	for _, c := range out {
+		if c != 0 {
+			t.Fatalf("expected all-zero, got %v", out)
+		}
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch: expected panic")
+			}
+		}()
+		Multinomial(g(1), 10, []float64{1, 1}, make([]int64, 3))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative prob: expected panic")
+			}
+		}()
+		Multinomial(g(1), 10, []float64{1, -1}, make([]int64, 2))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero mass: expected panic")
+			}
+		}()
+		Multinomial(g(1), 10, []float64{0, 0}, make([]int64, 2))
+	}()
+}
+
+func TestAliasUniform(t *testing.T) {
+	r := g(10)
+	a := NewAlias([]float64{1, 1, 1, 1})
+	var counts [4]int
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("outcome %d frequency %.4f", i, frac)
+		}
+	}
+}
+
+func TestAliasSkewed(t *testing.T) {
+	r := g(11)
+	weights := []float64{0, 1, 0, 3, 0, 0, 6}
+	a := NewAlias(weights)
+	counts := make([]int, len(weights))
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		frac := float64(counts[i]) / trials
+		want := w / 10
+		if math.Abs(frac-want) > 0.01 {
+			t.Errorf("outcome %d frequency %.4f want %.4f", i, frac, want)
+		}
+		if w == 0 && counts[i] != 0 {
+			t.Errorf("outcome %d has zero weight but %d draws", i, counts[i])
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{5})
+	r := g(12)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero")
+		}
+	}
+	if a.K() != 1 {
+		t.Fatalf("K() = %d", a.K())
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, w := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%v): expected panic", w)
+				}
+			}()
+			NewAlias(w)
+		}()
+	}
+}
+
+func TestHypergeometricExhaustive(t *testing.T) {
+	r := g(13)
+	// Degenerate cases.
+	if v := Hypergeometric(r, 10, 0, 5); v != 0 {
+		t.Fatalf("no marked: %d", v)
+	}
+	if v := Hypergeometric(r, 10, 10, 5); v != 5 {
+		t.Fatalf("all marked: %d", v)
+	}
+	if v := Hypergeometric(r, 10, 4, 0); v != 0 {
+		t.Fatalf("no draws: %d", v)
+	}
+	// Range + mean check.
+	const trials = 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		v := Hypergeometric(r, 100, 30, 20)
+		if v < 0 || v > 20 || v > 30 {
+			t.Fatalf("out of range: %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / trials
+	want := 20.0 * 30 / 100
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("mean %.3f want %.3f", mean, want)
+	}
+}
+
+func TestHypergeometricPanics(t *testing.T) {
+	cases := [][3]int64{{10, 11, 5}, {10, 5, 11}, {-1, 0, 0}, {10, -1, 5}, {10, 5, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Hypergeometric(%v): expected panic", c)
+				}
+			}()
+			Hypergeometric(g(1), c[0], c[1], c[2])
+		}()
+	}
+}
+
+// Property: binomial draws always lie in [0, n].
+func TestQuickBinomialRange(t *testing.T) {
+	r := g(14)
+	f := func(n uint16, pRaw uint16) bool {
+		n64 := int64(n)
+		p := float64(pRaw) / 65536.0
+		v := Binomial(r, n64, p)
+		return v >= 0 && v <= n64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multinomial conserves the trial count for random weights.
+func TestQuickMultinomialConserves(t *testing.T) {
+	r := g(15)
+	f := func(n uint16, w1, w2, w3 uint8) bool {
+		probs := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1}
+		out := make([]int64, 3)
+		Multinomial(r, int64(n), probs, out)
+		return out[0]+out[1]+out[2] == int64(n) &&
+			out[0] >= 0 && out[1] >= 0 && out[2] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinomialInversion(b *testing.B) {
+	r := g(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= Binomial(r, 50, 0.1)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	r := g(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= Binomial(r, 1<<30, 0.5)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	r := g(1)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i%7) + 1
+	}
+	a := NewAlias(w)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= a.Draw(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,9 @@
+package rng
+
+import "math"
+
+// sqrt and logf isolate the math package dependency of the polar method so
+// the core generator file stays dependency-free and the indirection is
+// visible in profiles.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func logf(x float64) float64 { return math.Log(x) }

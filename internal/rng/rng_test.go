@@ -1,0 +1,404 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitMix64DistinctSeeds(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d times in 1000 draws", same)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// The splitmix64 finalizer is a bijection on 64-bit words; check no
+	// collisions on a sample and that it is not the identity.
+	seen := make(map[uint64]uint64)
+	identity := 0
+	for i := uint64(0); i < 5000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d) == %d", i, prev, h)
+		}
+		seen[h] = i
+		if h == i {
+			identity++
+		}
+	}
+	if identity > 1 {
+		t.Fatalf("Mix64 fixed %d of 5000 inputs; not mixing", identity)
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroNotAllZero(t *testing.T) {
+	g := NewXoshiro256(0)
+	if g.s0|g.s1|g.s2|g.s3 == 0 {
+		t.Fatal("all-zero state")
+	}
+	// The sequence must not be constant zero.
+	nz := 0
+	for i := 0; i < 100; i++ {
+		if g.Uint64() != 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		t.Fatal("generator stuck at zero")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	g := NewXoshiro256(99)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 40, (1 << 63) + 12345} {
+		for i := 0; i < 2000; i++ {
+			if v := g.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nOneIsZero(t *testing.T) {
+	g := NewXoshiro256(5)
+	for i := 0; i < 100; i++ {
+		if v := g.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewXoshiro256(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d): expected panic", n)
+				}
+			}()
+			NewXoshiro256(1).Intn(n)
+		}()
+	}
+}
+
+// TestUint64nUniform performs a chi-square goodness-of-fit test on a small
+// modulus with a fixed seed. With 16 cells and 160000 draws the expected
+// count per cell is 10000; the 0.999-quantile of chi2(15) is ~37.7, so a
+// threshold of 60 makes the test deterministic and extremely conservative.
+func TestUint64nUniform(t *testing.T) {
+	g := NewXoshiro256(2024)
+	const cells = 16
+	const draws = 160000
+	var counts [cells]int
+	for i := 0; i < draws; i++ {
+		counts[g.Uint64n(cells)]++
+	}
+	expected := float64(draws) / cells
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 60 {
+		t.Fatalf("chi2 = %.2f, counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := NewXoshiro256(3)
+	for i := 0; i < 100000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	g := NewXoshiro256(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		f := g.Float64()
+		sum += f
+		sumsq += f * f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	second := sumsq / n
+	if math.Abs(second-1.0/3) > 0.005 {
+		t.Fatalf("E[X^2] = %v, want ~1/3", second)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	g := NewXoshiro256(13)
+	const n = 200000
+	var sum, sumsq, sum4 float64
+	for i := 0; i < n; i++ {
+		x := g.NormFloat64()
+		sum += x
+		sumsq += x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+	if math.Abs(kurt-3) > 0.15 {
+		t.Fatalf("4th moment = %v, want ~3", kurt)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewXoshiro256(17)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := g.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// Over many permutations of size 4, element 0 should land in each
+	// position about 1/4 of the time.
+	g := NewXoshiro256(19)
+	var pos [4]int
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		p := g.Perm(4)
+		for j, v := range p {
+			if v == 0 {
+				pos[j]++
+			}
+		}
+	}
+	for j, c := range pos {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("position %d frequency %v, want ~0.25", j, frac)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	g := NewXoshiro256(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated %d: %v", v, xs)
+		}
+		seen[v] = true
+	}
+}
+
+func TestJumpProducesDisjointStream(t *testing.T) {
+	a := NewXoshiro256(31)
+	b := NewXoshiro256(31)
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream collided %d times", same)
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	g := NewXoshiro256(37)
+	streams := g.Split(4)
+	if len(streams) != 4 {
+		t.Fatalf("Split(4) returned %d streams", len(streams))
+	}
+	// Pairwise distinct prefixes.
+	prefixes := make([][8]uint64, 4)
+	for i, s := range streams {
+		for k := 0; k < 8; k++ {
+			prefixes[i][k] = s.Uint64()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if prefixes[i] == prefixes[j] {
+				t.Fatalf("streams %d and %d share a prefix", i, j)
+			}
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := NewXoshiro256(41).Split(3)
+	b := NewXoshiro256(41).Split(3)
+	for i := range a {
+		for k := 0; k < 100; k++ {
+			if a[i].Uint64() != b[i].Uint64() {
+				t.Fatalf("stream %d not reproducible", i)
+			}
+		}
+	}
+}
+
+func TestPCG32Deterministic(t *testing.T) {
+	a := NewPCG32(123, 456)
+	b := NewPCG32(123, 456)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestPCG32StreamsDiffer(t *testing.T) {
+	a := NewPCG32(123, 1)
+	b := NewPCG32(123, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams 1,2 agreed %d/1000 times", same)
+	}
+}
+
+func TestPCG32Uint32nBounds(t *testing.T) {
+	p := NewPCG32(9, 9)
+	for _, n := range []uint32{1, 2, 10, 1000, 1 << 30} {
+		for i := 0; i < 1000; i++ {
+			if v := p.Uint32n(n); v >= n {
+				t.Fatalf("Uint32n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestPCG32IntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPCG32(1, 1).Intn(0)
+}
+
+func TestDoublerRange(t *testing.T) {
+	var s Source = NewPCG32(77, 3)
+	for i := 0; i < 10000; i++ {
+		f := Doubler(s)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Doubler out of range: %v", f)
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0 (quick-checked over random n).
+func TestQuickUint64nInRange(t *testing.T) {
+	g := NewXoshiro256(51)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return g.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mix64 is deterministic and sensitive to every input bit flip in
+// a sample of positions.
+func TestQuickMix64BitSensitivity(t *testing.T) {
+	f := func(x uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		return Mix64(x) != Mix64(x^(1<<b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	g := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiroUint64n(b *testing.B) {
+	g := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Uint64n(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkPCG32Uint32(b *testing.B) {
+	g := NewPCG32(1, 1)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Uint32()
+	}
+	_ = sink
+}

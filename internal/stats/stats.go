@@ -1,0 +1,397 @@
+// Package stats is the numerical toolkit used by the experiment harness to
+// turn raw convergence-round samples into the quantities the paper reports:
+// means with confidence intervals, quantiles of w.h.p. statements, growth-law
+// fits (a·log n + b, a·log m·log log n + b, a·log log n + b), and the
+// explicit Chernoff bounds of the paper's Lemmas 5–7, which several tests use
+// as analytic references for measured tail probabilities.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the basic descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	StdDev   float64
+	StdErr   float64 // standard error of the mean
+	Min      float64
+	Max      float64
+	Median   float64
+	Q25, Q75 float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+		s.StdErr = s.StdDev / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q25 = quantileSorted(sorted, 0.25)
+	s.Q75 = quantileSorted(sorted, 0.75)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: quantile q outside [0,1]")
+	}
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-width binned count of observations.
+type Histogram struct {
+	Lo, Hi   float64 // domain covered by the bins
+	Width    float64
+	Counts   []int64
+	Under    int64 // observations below Lo
+	Over     int64 // observations at or above Hi
+	NSamples int64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{
+		Lo: lo, Hi: hi,
+		Width:  (hi - lo) / float64(bins),
+		Counts: make([]int64, bins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.NSamples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.Width)
+		if i >= len(h.Counts) { // float edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Fraction returns the fraction of recorded samples falling in [a, b),
+// counting whole bins whose centres fall within the interval.
+func (h *Histogram) Fraction(a, b float64) float64 {
+	if h.NSamples == 0 {
+		return 0
+	}
+	var c int64
+	for i, n := range h.Counts {
+		centre := h.Lo + (float64(i)+0.5)*h.Width
+		if centre >= a && centre < b {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.NSamples)
+}
+
+// LinearFit is the result of an ordinary least squares fit y ≈ a·x + b.
+type LinearFit struct {
+	Slope     float64 // a
+	Intercept float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLinear fits y ≈ a·x + b by ordinary least squares. Requires at least
+// two points with non-constant x.
+func FitLinear(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: FitLinear needs >= 2 matched points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: FitLinear with constant x")
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	// R^2.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := a*xs[i] + b
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: a, Intercept: b, R2: r2}
+}
+
+// FitLogN fits rounds ≈ a·ln(n) + b, the paper's O(log n) growth law.
+// ns are the population sizes, ys the measured rounds.
+func FitLogN(ns []float64, ys []float64) LinearFit {
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = math.Log(n)
+	}
+	return FitLinear(xs, ys)
+}
+
+// FitLogLogN fits rounds ≈ a·ln(ln(n)) + b — the Lemma 11 / Theorem 21
+// doubly-logarithmic law.
+func FitLogLogN(ns []float64, ys []float64) LinearFit {
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = math.Log(math.Log(n))
+	}
+	return FitLinear(xs, ys)
+}
+
+// FitLogMLogLogN fits rounds ≈ a·ln(m)·ln(ln(n)) + b at fixed n — the
+// Theorem 20 adversarial growth law in m.
+func FitLogMLogLogN(ms []float64, n float64, ys []float64) LinearFit {
+	xs := make([]float64, len(ms))
+	lln := math.Log(math.Log(n))
+	for i, m := range ms {
+		xs[i] = math.Log(m) * lln
+	}
+	return FitLinear(xs, ys)
+}
+
+// NormalCDF returns Φ(x), the standard normal CDF.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTailBounds returns the sandwich bounds on the upper tail 1 − Φ(x)
+// used in the paper's Lemma 14 (citing Itô–McKean): for x ≥ 0,
+//
+//	e^{−x²/2} / (√(2π)(1+x))  ≤  1 − Φ(x)  ≤  e^{−x²/2} / (√π (1+x)).
+//
+// The returned pair is (lower, upper).
+func NormalTailBounds(x float64) (lo, hi float64) {
+	if x < 0 {
+		panic("stats: NormalTailBounds needs x >= 0")
+	}
+	e := math.Exp(-x * x / 2)
+	lo = e / (math.Sqrt(2*math.Pi) * (1 + x))
+	hi = e / (math.Sqrt(math.Pi) * (1 + x))
+	return lo, hi
+}
+
+// ChernoffUpper returns the paper's Lemma 5 upper-tail bound
+//
+//	Pr[X ≥ (1+δ)µ] ≤ exp(−min(δ², δ)·µ/3)
+//
+// for a sum of independent Bernoulli variables with mean µ and any δ > 0.
+func ChernoffUpper(mu, delta float64) float64 {
+	if delta <= 0 || mu < 0 {
+		panic("stats: ChernoffUpper needs delta > 0, mu >= 0")
+	}
+	m := delta * delta
+	if delta < m {
+		m = delta
+	}
+	return math.Exp(-m * mu / 3)
+}
+
+// ChernoffLower returns the paper's Lemma 5 lower-tail bound
+//
+//	Pr[X ≤ (1−δ)µ] ≤ exp(−δ²µ/2),  0 < δ < 1.
+func ChernoffLower(mu, delta float64) float64 {
+	if delta <= 0 || delta >= 1 || mu < 0 {
+		panic("stats: ChernoffLower needs 0 < delta < 1, mu >= 0")
+	}
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// ChernoffGeometric returns the paper's Lemma 6 bound for a sum of n i.i.d.
+// geometric(δ) variables:
+//
+//	Pr[X ≥ (1+ε)·n/δ] ≤ exp(−ε²n / (2(1+ε))).
+func ChernoffGeometric(n float64, eps float64) float64 {
+	if n <= 0 || eps <= 0 {
+		panic("stats: ChernoffGeometric needs n > 0, eps > 0")
+	}
+	return math.Exp(-eps * eps * n / (2 * (1 + eps)))
+}
+
+// BinomialTail returns Pr[X >= k] for X ~ Binomial(n, p), computed by exact
+// summation in log space. O(n - k) terms; intended for analytic reference
+// values in tests, not hot paths.
+func BinomialTail(n int64, p float64, k int64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	lp := math.Log(p)
+	lq := math.Log1p(-p)
+	total := 0.0
+	for i := k; i <= n; i++ {
+		lt := lchoose(n, i) + float64(i)*lp + float64(n-i)*lq
+		total += math.Exp(lt)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+func lchoose(n, k int64) float64 {
+	return lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Counter accumulates online mean/variance via Welford's algorithm; used
+// where samples are too many to store.
+type Counter struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records an observation.
+func (c *Counter) Add(x float64) {
+	c.n++
+	if c.n == 1 {
+		c.min, c.max = x, x
+	} else {
+		if x < c.min {
+			c.min = x
+		}
+		if x > c.max {
+			c.max = x
+		}
+	}
+	d := x - c.mean
+	c.mean += d / float64(c.n)
+	c.m2 += d * (x - c.mean)
+}
+
+// N returns the number of observations.
+func (c *Counter) N() int64 { return c.n }
+
+// Mean returns the running mean (0 if empty).
+func (c *Counter) Mean() float64 { return c.mean }
+
+// Variance returns the unbiased running variance (0 for n < 2).
+func (c *Counter) Variance() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.m2 / float64(c.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (c *Counter) StdErr() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return math.Sqrt(c.Variance() / float64(c.n))
+}
+
+// Min and Max return the extremes (0 if empty).
+func (c *Counter) Min() float64 { return c.min }
+func (c *Counter) Max() float64 { return c.max }
+
+// Merge combines another counter into c (parallel reduction), using the
+// Chan et al. pairwise update.
+func (c *Counter) Merge(o *Counter) {
+	if o.n == 0 {
+		return
+	}
+	if c.n == 0 {
+		*c = *o
+		return
+	}
+	n1, n2 := float64(c.n), float64(o.n)
+	delta := o.mean - c.mean
+	tot := n1 + n2
+	c.mean += delta * n2 / tot
+	c.m2 += o.m2 + delta*delta*n1*n2/tot
+	c.n += o.n
+	if o.min < c.min {
+		c.min = o.min
+	}
+	if o.max > c.max {
+		c.max = o.max
+	}
+}

@@ -1,0 +1,440 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almost(s.Variance, 2.5, 1e-12) {
+		t.Fatalf("variance %v want 2.5", s.Variance)
+	}
+	if !almost(s.StdErr, math.Sqrt(2.5/5), 1e-12) {
+		t.Fatalf("stderr %v", s.StdErr)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Variance != 0 || s.Median != 7 || s.Q25 != 7 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); !almost(q, 25, 1e-12) {
+		t.Fatalf("median = %v", q)
+	}
+	// Interpolation: q=1/3 over n=4 → h=1 exactly → sorted[1]=20.
+	if q := Quantile(xs, 1.0/3); !almost(q, 20, 1e-12) {
+		t.Fatalf("q1/3 = %v", q)
+	}
+}
+
+func TestQuantileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantile(%v): expected panic", q)
+				}
+			}()
+			Quantile([]float64{1, 2}, q)
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)   // under
+	h.Add(10)   // over (right edge exclusive)
+	h.Add(10.5) // over
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under %d over %d", h.Under, h.Over)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	if f := h.Fraction(0, 5); !almost(f, 5.0/13, 1e-12) {
+		t.Fatalf("Fraction = %v", f)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		bins   int
+	}{{0, 0, 5}, {0, 1, 0}, {1, 0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.bins)
+		}()
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := FitLinear(xs, ys)
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 3, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	g := rng.NewXoshiro256(1)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 0.5*xs[i] + 10 + g.NormFloat64()*0.1
+	}
+	f := FitLinear(xs, ys)
+	if !almost(f.Slope, 0.5, 0.01) || !almost(f.Intercept, 10, 0.5) {
+		t.Fatalf("fit %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatch: expected panic")
+			}
+		}()
+		FitLinear([]float64{1, 2}, []float64{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("constant x: expected panic")
+			}
+		}()
+		FitLinear([]float64{2, 2}, []float64{1, 2})
+	}()
+}
+
+func TestFitLogNRecoversLogLaw(t *testing.T) {
+	// Synthetic rounds = 3 ln n + 2.
+	ns := []float64{1e3, 1e4, 1e5, 1e6}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 3*math.Log(n) + 2
+	}
+	f := FitLogN(ns, ys)
+	if !almost(f.Slope, 3, 1e-9) || !almost(f.Intercept, 2, 1e-9) || f.R2 < 1-1e-12 {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitLogLogN(t *testing.T) {
+	ns := []float64{1e2, 1e4, 1e8, 1e16}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 5*math.Log(math.Log(n)) + 1
+	}
+	f := FitLogLogN(ns, ys)
+	if !almost(f.Slope, 5, 1e-9) || !almost(f.Intercept, 1, 1e-9) {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitLogMLogLogN(t *testing.T) {
+	n := 1e6
+	ms := []float64{2, 8, 64, 1024}
+	ys := make([]float64, len(ms))
+	lln := math.Log(math.Log(n))
+	for i, m := range ms {
+		ys[i] = 2*math.Log(m)*lln + 7
+	}
+	f := FitLogMLogLogN(ms, n, ys)
+	if !almost(f.Slope, 2, 1e-9) || !almost(f.Intercept, 7, 1e-9) {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.998650102},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almost(got, c.want, 1e-6) {
+			t.Errorf("Phi(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailBoundsSandwich(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 2, 3, 5} {
+		lo, hi := NormalTailBounds(x)
+		tail := 1 - NormalCDF(x)
+		if !(lo <= tail+1e-12 && tail <= hi+1e-12) {
+			t.Errorf("x=%v: bounds (%v, %v) do not sandwich %v", x, lo, hi, tail)
+		}
+	}
+}
+
+func TestNormalTailBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NormalTailBounds(-1)
+}
+
+// TestChernoffBoundsValid compares the Lemma 5 bounds against exact binomial
+// tails: the bound must always dominate the true probability.
+func TestChernoffBoundsValid(t *testing.T) {
+	const n = 300
+	const p = 0.3
+	mu := float64(n) * p
+	for _, delta := range []float64{0.1, 0.3, 0.5, 1.0, 2.0} {
+		k := int64(math.Ceil((1 + delta) * mu))
+		exact := BinomialTail(n, p, k)
+		bound := ChernoffUpper(mu, delta)
+		if exact > bound+1e-12 {
+			t.Errorf("upper: delta=%v exact %v > bound %v", delta, exact, bound)
+		}
+	}
+	for _, delta := range []float64{0.1, 0.3, 0.5, 0.9} {
+		k := int64(math.Floor((1 - delta) * mu))
+		// Pr[X <= k] = 1 - Pr[X >= k+1]
+		exact := 1 - BinomialTail(n, p, k+1)
+		bound := ChernoffLower(mu, delta)
+		if exact > bound+1e-12 {
+			t.Errorf("lower: delta=%v exact %v > bound %v", delta, exact, bound)
+		}
+	}
+}
+
+func TestChernoffPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("upper", func() { ChernoffUpper(1, 0) })
+	mustPanic("lower0", func() { ChernoffLower(1, 0) })
+	mustPanic("lower1", func() { ChernoffLower(1, 1) })
+	mustPanic("geom", func() { ChernoffGeometric(0, 1) })
+}
+
+// TestChernoffGeometricValid: empirical tail of a geometric sum must lie
+// below the Lemma 6 bound.
+func TestChernoffGeometricValid(t *testing.T) {
+	// For n geometric(δ) variables, Pr[X >= (1+ε) n/δ] <= bound. Use the
+	// normal approximation for the empirical check at modest n.
+	// Instead run a small Monte Carlo with fixed seed.
+	g := rng.NewXoshiro256(7)
+	const n = 200
+	const delta = 0.5
+	const eps = 0.3
+	const trials = 20000
+	exceed := 0
+	for tr := 0; tr < trials; tr++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			// inline geometric sampling via inversion
+			u := g.Float64()
+			for u == 0 {
+				u = g.Float64()
+			}
+			sum += math.Ceil(math.Log(u) / math.Log(1-delta))
+		}
+		if sum >= (1+eps)*n/delta {
+			exceed++
+		}
+	}
+	emp := float64(exceed) / trials
+	bound := ChernoffGeometric(n, eps)
+	if emp > bound {
+		t.Fatalf("empirical %v exceeds Lemma 6 bound %v", emp, bound)
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if v := BinomialTail(10, 0.5, 0); v != 1 {
+		t.Fatalf("k=0: %v", v)
+	}
+	if v := BinomialTail(10, 0.5, 11); v != 0 {
+		t.Fatalf("k>n: %v", v)
+	}
+	// Pr[X >= 10 | n=10, p=.5] = 2^-10.
+	if v := BinomialTail(10, 0.5, 10); !almost(v, math.Pow(2, -10), 1e-12) {
+		t.Fatalf("all-heads: %v", v)
+	}
+	// Symmetry: Pr[X>=6 | 10, .5] == Pr[X<=4] == 1 - Pr[X>=5].
+	a := BinomialTail(10, 0.5, 6)
+	b := 1 - BinomialTail(10, 0.5, 5)
+	if !almost(a, b, 1e-12) {
+		t.Fatalf("symmetry: %v vs %v", a, b)
+	}
+}
+
+func TestCounterMatchesSummarize(t *testing.T) {
+	g := rng.NewXoshiro256(5)
+	xs := make([]float64, 1000)
+	var c Counter
+	for i := range xs {
+		xs[i] = g.NormFloat64()*3 + 10
+		c.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if !almost(c.Mean(), s.Mean, 1e-9) {
+		t.Fatalf("mean %v vs %v", c.Mean(), s.Mean)
+	}
+	if !almost(c.Variance(), s.Variance, 1e-9) {
+		t.Fatalf("var %v vs %v", c.Variance(), s.Variance)
+	}
+	if c.Min() != s.Min || c.Max() != s.Max {
+		t.Fatal("extremes disagree")
+	}
+	if c.N() != 1000 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	g := rng.NewXoshiro256(6)
+	var whole, a, b Counter
+	for i := 0; i < 500; i++ {
+		x := g.Float64() * 100
+		whole.Add(x)
+		a.Add(x)
+	}
+	for i := 0; i < 300; i++ {
+		x := g.Float64()*50 - 25
+		whole.Add(x)
+		b.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("N %d vs %d", a.N(), whole.N())
+	}
+	if !almost(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("mean %v vs %v", a.Mean(), whole.Mean())
+	}
+	if !almost(a.Variance(), whole.Variance(), 1e-6) {
+		t.Fatalf("var %v vs %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestCounterMergeEmpty(t *testing.T) {
+	var a, b Counter
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge with empty changed counter")
+	}
+	b.Merge(&a) // copy
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	g := rng.NewXoshiro256(8)
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = g.Float64() * 100
+	}
+	f := func(q1Raw, q2Raw uint16) bool {
+		q1 := float64(q1Raw) / 65536.0
+		q2 := float64(q2Raw) / 65536.0
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Counter mean always lies within [min, max].
+func TestQuickCounterMeanBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		var c Counter
+		any := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Clamp magnitudes so Welford's d*(x-mean) term cannot
+			// overflow; the engines only ever feed round counts here.
+			v = math.Mod(v, 1e12)
+			c.Add(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return c.Mean() >= c.Min()-1e-9 && c.Mean() <= c.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

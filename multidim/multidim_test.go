@@ -1,0 +1,325 @@
+package multidim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian3(t *testing.T) {
+	cases := []struct {
+		a, b, c, want int64
+	}{
+		{1, 2, 3, 2}, {3, 2, 1, 2}, {2, 3, 1, 2}, {2, 1, 3, 2},
+		{1, 1, 1, 1}, {1, 1, 2, 1}, {2, 1, 1, 1}, {1, 2, 1, 1},
+		{-5, 0, 5, 0}, {math.MaxInt64, math.MinInt64, 0, 0},
+	}
+	for _, c := range cases {
+		if got := median3(c.a, c.b, c.c); got != c.want {
+			t.Errorf("median3(%d,%d,%d) = %d, want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestMedian3Property(t *testing.T) {
+	// The median is one of its arguments, and at least one argument lies
+	// on each side.
+	f := func(a, b, c int64) bool {
+		m := median3(a, b, c)
+		if m != a && m != b && m != c {
+			return false
+		}
+		le, ge := 0, 0
+		for _, v := range []int64{a, b, c} {
+			if v <= m {
+				le++
+			}
+			if v >= m {
+				ge++
+			}
+		}
+		return le >= 2 && ge >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordMedianMatchesScalar(t *testing.T) {
+	f := func(own, a, b [4]int64) bool {
+		dst := make(Point, 4)
+		CoordMedian(dst, Point(own[:]), Point(a[:]), Point(b[:]))
+		for i := 0; i < 4; i++ {
+			if dst[i] != median3(own[i], a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordMedianAliasesOwn(t *testing.T) {
+	own := Point{5, 5, 5}
+	a := Point{1, 9, 5}
+	b := Point{9, 1, 7}
+	CoordMedian(own, own, a, b)
+	want := Point{5, 5, 5}
+	if !own.Equal(want) {
+		t.Fatalf("in-place CoordMedian = %v, want %v", own, want)
+	}
+}
+
+func TestPointCloneEqual(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+	if p.Equal(Point{1, 2}) {
+		t.Fatal("points of different dimension compare equal")
+	}
+}
+
+func TestDistinctPointsShape(t *testing.T) {
+	const n, d = 7, 3
+	pts := DistinctPoints(n, d)
+	if len(pts) != n {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Every coordinate must be a permutation of 1..n.
+	for j := 0; j < d; j++ {
+		seen := make(map[int64]bool)
+		for _, p := range pts {
+			seen[p[j]] = true
+		}
+		for v := int64(1); v <= n; v++ {
+			if !seen[v] {
+				t.Fatalf("coordinate %d missing value %d", j, v)
+			}
+		}
+	}
+	// All tuples distinct.
+	for i := range pts {
+		for k := i + 1; k < len(pts); k++ {
+			if pts[i].Equal(pts[k]) {
+				t.Fatalf("points %d and %d equal", i, k)
+			}
+		}
+	}
+}
+
+func TestRandomPointsDeterministicAndInRange(t *testing.T) {
+	a := RandomPoints(50, 3, 8, 42)
+	b := RandomPoints(50, 3, 8, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("RandomPoints not deterministic in seed")
+		}
+		for _, v := range a[i] {
+			if v < 1 || v > 8 {
+				t.Fatalf("coordinate %d out of [1,8]", v)
+			}
+		}
+	}
+	c := RandomPoints(50, 3, 8, 43)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical points")
+	}
+}
+
+func TestEngineConvergesScalar(t *testing.T) {
+	// d = 1 recovers the paper's median rule: O(log n) convergence and
+	// tuple validity always.
+	for seed := uint64(1); seed <= 5; seed++ {
+		e := NewEngine(DistinctPoints(500, 1), nil, seed, Options{MaxRounds: 2000})
+		res := e.Run()
+		if !res.Consensus {
+			t.Fatalf("seed %d: no consensus in %d rounds", seed, res.Rounds)
+		}
+		if !res.TupleValid || !res.CoordValid {
+			t.Fatalf("seed %d: scalar run must be valid, got %+v", seed, res)
+		}
+		if res.Rounds > 200 {
+			t.Fatalf("seed %d: %d rounds for n=500 is not logarithmic", seed, res.Rounds)
+		}
+	}
+}
+
+func TestEngineConvergesHighDim(t *testing.T) {
+	for _, d := range []int{2, 4, 8} {
+		e := NewEngine(RandomPoints(400, d, 16, uint64(d)), nil, uint64(100+d), Options{MaxRounds: 4000})
+		res := e.Run()
+		if !res.Consensus {
+			t.Fatalf("d=%d: no consensus in %d rounds", d, res.Rounds)
+		}
+		if !res.CoordValid {
+			t.Fatalf("d=%d: coordinates of winner must be initial coordinate values", d)
+		}
+		if res.Rounds > 400 {
+			t.Fatalf("d=%d: %d rounds for n=400 is not logarithmic-ish", d, res.Rounds)
+		}
+	}
+}
+
+func TestTupleValidityBreaksInHighDim(t *testing.T) {
+	// With spread-out tuples the coordinate-wise median fabricates a
+	// tuple nobody proposed in a noticeable fraction of runs. We count
+	// over seeds; the scalar case must stay valid in every run.
+	fabricated := 0
+	const runs = 20
+	for seed := uint64(0); seed < runs; seed++ {
+		e := NewEngine(DistinctPoints(300, 4), nil, seed, Options{MaxRounds: 4000})
+		res := e.Run()
+		if !res.Consensus {
+			t.Fatalf("seed %d: no consensus", seed)
+		}
+		if !res.CoordValid {
+			t.Fatal("coordinate validity must hold without adversary")
+		}
+		if !res.TupleValid {
+			fabricated++
+		}
+	}
+	if fabricated == 0 {
+		t.Fatal("expected at least one fabricated tuple in 20 runs at d=4; the validity-degradation phenomenon is gone")
+	}
+	t.Logf("fabricated tuples: %d/%d runs", fabricated, runs)
+}
+
+func TestMonotoneCouplingPerCoordinate(t *testing.T) {
+	// Lemma 17 lifted: applying a monotone map f to one coordinate of the
+	// initial state commutes with the dynamics under shared randomness.
+	const n, d, rounds = 120, 3, 25
+	f := func(v int64) int64 { return 3*v + 7 } // strictly monotone
+	base := DistinctPoints(n, d)
+	mapped := make([]Point, n)
+	for i, p := range base {
+		q := p.Clone()
+		q[1] = f(q[1])
+		mapped[i] = q
+	}
+	e1 := NewEngine(base, nil, 99, Options{})
+	e2 := NewEngine(mapped, nil, 99, Options{})
+	for r := 0; r < rounds; r++ {
+		e1.Step()
+		e2.Step()
+		for i := range e1.State() {
+			p, q := e1.State()[i], e2.State()[i]
+			if q[0] != p[0] || q[2] != p[2] {
+				t.Fatalf("round %d: unmapped coordinates diverged", r)
+			}
+			if q[1] != f(p[1]) {
+				t.Fatalf("round %d ball %d: coordinate 1 is %d, want f(%d)=%d",
+					r, i, q[1], p[1], f(p[1]))
+			}
+		}
+	}
+}
+
+func TestNoiseAdversaryBudgetAndRecovery(t *testing.T) {
+	adv := &NoiseAdversary{T: 5}
+	if adv.Budget(1000) != 5 {
+		t.Fatal("budget mismatch")
+	}
+	// Under continuous noise the plurality still captures almost all
+	// processes.
+	e := NewEngine(RandomPoints(2000, 2, 5, 7), adv, 7, Options{MaxRounds: 300})
+	res := e.Run()
+	if res.WinnerCount < 2000-10*adv.T {
+		t.Fatalf("winner holds only %d/2000 under T=%d noise", res.WinnerCount, adv.T)
+	}
+}
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	var rounds []int
+	e := NewEngine(RandomPoints(100, 2, 4, 3), nil, 3, Options{
+		MaxRounds: 500,
+		Observer: func(round int, state []Point) {
+			rounds = append(rounds, round)
+			if len(state) != 100 {
+				t.Fatalf("observer got %d points", len(state))
+			}
+		},
+	})
+	res := e.Run()
+	if len(rounds) != res.Rounds {
+		t.Fatalf("observer called %d times for %d rounds", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("observer round %d at position %d", r, i)
+		}
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	assertPanics(t, "empty", func() { NewEngine(nil, nil, 1, Options{}) })
+	assertPanics(t, "zero-dim", func() { NewEngine([]Point{{}}, nil, 1, Options{}) })
+	assertPanics(t, "ragged", func() {
+		NewEngine([]Point{{1, 2}, {1}}, nil, 1, Options{})
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestEngineStateIsolation(t *testing.T) {
+	// The engine must not alias the caller's points.
+	pts := []Point{{1, 1}, {2, 2}, {3, 3}}
+	e := NewEngine(pts, nil, 1, Options{})
+	pts[0][0] = 99
+	if e.State()[0][0] == 99 {
+		t.Fatal("engine aliases caller storage")
+	}
+}
+
+func TestPluralityAndValidityHelpers(t *testing.T) {
+	state := []Point{{1, 2}, {1, 2}, {3, 4}}
+	w, c := plurality(state)
+	if !w.Equal(Point{1, 2}) || c != 2 {
+		t.Fatalf("plurality = %v x%d", w, c)
+	}
+	if !containsPoint(state, Point{3, 4}) || containsPoint(state, Point{1, 4}) {
+		t.Fatal("containsPoint wrong")
+	}
+	if !coordsValid(state, Point{3, 2}) {
+		t.Fatal("coordsValid should accept mixed tuple")
+	}
+	if coordsValid(state, Point{5, 2}) {
+		t.Fatal("coordsValid should reject unseen coordinate")
+	}
+}
+
+func BenchmarkStepDim(b *testing.B) {
+	for _, d := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			e := NewEngine(RandomPoints(10_000, d, 32, 1), nil, 1, Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}

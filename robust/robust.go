@@ -1,0 +1,234 @@
+// Package robust measures the protocol property the paper's conclusion
+// singles out for further study: "Also, the robustness of the protocol
+// deserves further studies."
+//
+// The paper's model is fully synchronous and loss-free. This package
+// re-runs the median rule under three orthogonal departures from it:
+//
+//   - Asynchrony: instead of n simultaneous updates per round, one
+//     uniformly chosen process activates per step and updates in place
+//     (the sequential-activation scheduler of the population-protocol
+//     literature, e.g. Angluin–Fischer–Jiang [1], where stabilizing
+//     consensus originates). Time is reported as parallel time, steps/n.
+//   - Message loss: each peer sample independently fails with probability
+//     LossProb; the activating process substitutes its own value for a
+//     lost sample (so a double loss makes the step a no-op — the protocol
+//     never blocks on a missing reply).
+//   - Crash faults: a set of processes halts before the run. Frozen
+//     processes never activate. In the default (responsive) mode their
+//     last value remains readable — a crashed replica whose memory is
+//     still served; in Silent mode queries to them are lost and handled
+//     like message loss.
+//
+// Under asynchrony alone the dynamics is the uniform single-site version
+// of the same mean-field process, so parallel time stays Θ(log n) with a
+// small constant inflation. Loss rescales the effective update rate by
+// roughly the per-sample delivery probability. Crashed minority processes
+// act as an immovable Hider-style adversary with zero budget: the live
+// majority still converges and the frozen dissenters bound the final
+// agreement gap — the almost-stable picture with T replaced by the crash
+// count. Experiment E20 measures all three.
+package robust
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Value aliases the shared process-value type.
+type Value = model.Value
+
+// Options configures a run.
+type Options struct {
+	// LossProb is the independent per-sample loss probability in [0, 1].
+	LossProb float64
+	// Crashes is the number of processes frozen before the first step
+	// (chosen uniformly at random without replacement).
+	Crashes int
+	// Silent makes crashed processes unresponsive: sampling one counts
+	// as a lost message. The default leaves their memory readable.
+	Silent bool
+	// MaxSteps caps the run; 0 means 64·n·log₂(n) steps (a generous
+	// multiple of the expected Θ(n log n) sequential convergence time).
+	MaxSteps int
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Steps is the number of activations executed.
+	Steps int
+	// ParallelTime is Steps divided by the population size — the unit
+	// comparable with the synchronous engines' rounds.
+	ParallelTime float64
+	// Consensus reports whether all live (non-crashed) processes hold
+	// one value.
+	Consensus bool
+	// Winner is the plurality value among live processes.
+	Winner Value
+	// WinnerCount counts live processes holding Winner.
+	WinnerCount int
+	// Dissenters counts all processes (crashed included) not holding
+	// Winner — the agreement gap a client reading the whole system sees.
+	Dissenters int
+}
+
+// Engine runs the asynchronous, faulty execution.
+type Engine struct {
+	state   []Value
+	crashed []bool
+	live    []int // indices of live processes (activation pool)
+	opts    Options
+	g       *rng.Xoshiro256
+	steps   int
+}
+
+// NewEngine builds an engine over a copy of values. The crash set is drawn
+// from the engine's own seeded randomness, so runs are deterministic in
+// (values, opts, seed).
+func NewEngine(values []Value, opts Options, seed uint64) *Engine {
+	n := len(values)
+	if n == 0 {
+		panic("robust: empty population")
+	}
+	if opts.LossProb < 0 || opts.LossProb > 1 {
+		panic(fmt.Sprintf("robust: LossProb %v outside [0,1]", opts.LossProb))
+	}
+	if opts.Crashes < 0 || opts.Crashes >= n {
+		panic(fmt.Sprintf("robust: Crashes %d outside [0, n)", opts.Crashes))
+	}
+	e := &Engine{
+		state:   append([]Value(nil), values...),
+		crashed: make([]bool, n),
+		opts:    opts,
+		g:       rng.NewXoshiro256(seed),
+	}
+	// Partial Fisher–Yates over indices picks the crash set uniformly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for k := 0; k < opts.Crashes; k++ {
+		j := k + e.g.Intn(n-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		e.crashed[idx[k]] = true
+	}
+	e.live = idx[opts.Crashes:]
+	return e
+}
+
+// State returns the live state; callers must not modify it.
+func (e *Engine) State() []Value { return e.state }
+
+// Crashed reports whether process i is crashed.
+func (e *Engine) Crashed(i int) bool { return e.crashed[i] }
+
+// Steps returns the number of activations executed so far.
+func (e *Engine) Steps() int { return e.steps }
+
+// Step activates one uniformly random live process: it samples two uniform
+// peers (possibly itself, possibly crashed), applies loss, and adopts the
+// median of its own and the two delivered values in place.
+func (e *Engine) Step() {
+	i := e.live[e.g.Intn(len(e.live))]
+	own := e.state[i]
+	a := e.sample(own)
+	b := e.sample(own)
+	e.state[i] = median3(own, a, b)
+	e.steps++
+}
+
+// sample fetches one peer value, substituting own for losses and for
+// silent crashed peers.
+func (e *Engine) sample(own Value) Value {
+	if e.opts.LossProb > 0 && e.g.Float64() < e.opts.LossProb {
+		return own
+	}
+	j := e.g.Intn(len(e.state))
+	if e.opts.Silent && e.crashed[j] {
+		return own
+	}
+	return e.state[j]
+}
+
+// Run steps until the live processes agree or the step cap is reached.
+func (e *Engine) Run() Result {
+	n := len(e.state)
+	maxSteps := e.opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 64 * n * log2ceil(n)
+	}
+	// Checking full agreement is O(n); amortise by checking every n steps.
+	for e.steps < maxSteps {
+		e.Step()
+		if e.steps%n == 0 && e.liveConsensus() {
+			break
+		}
+	}
+	return e.result()
+}
+
+func (e *Engine) liveConsensus() bool {
+	first := e.state[e.live[0]]
+	for _, i := range e.live[1:] {
+		if e.state[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) result() Result {
+	counts := make(map[Value]int, 8)
+	for _, i := range e.live {
+		counts[e.state[i]]++
+	}
+	var winner Value
+	best := -1
+	for v, c := range counts {
+		if c > best || (c == best && v < winner) {
+			winner, best = v, c
+		}
+	}
+	dissent := 0
+	for _, v := range e.state {
+		if v != winner {
+			dissent++
+		}
+	}
+	n := len(e.state)
+	return Result{
+		Steps:        e.steps,
+		ParallelTime: float64(e.steps) / float64(n),
+		Consensus:    best == len(e.live),
+		Winner:       winner,
+		WinnerCount:  best,
+		Dissenters:   dissent,
+	}
+}
+
+func median3(a, b, c Value) Value {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func log2ceil(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}

@@ -1,0 +1,165 @@
+package robust
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+)
+
+func TestAsyncConvergesLogParallelTime(t *testing.T) {
+	// Asynchrony alone: parallel time must stay logarithmic-ish.
+	for seed := uint64(1); seed <= 3; seed++ {
+		e := NewEngine(assign.AllDistinct(2000), Options{}, seed)
+		res := e.Run()
+		if !res.Consensus {
+			t.Fatalf("seed %d: no consensus after %d steps", seed, res.Steps)
+		}
+		if res.ParallelTime > 200 {
+			t.Fatalf("seed %d: parallel time %.1f is not logarithmic", seed, res.ParallelTime)
+		}
+		if res.Winner < 1 || res.Winner > 2000 {
+			t.Fatalf("seed %d: winner %d is not an initial value", seed, res.Winner)
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	run := func() Result {
+		return NewEngine(assign.EvenBlocks(500, 7), Options{LossProb: 0.2, Crashes: 10}, 99).Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestTotalLossFreezesState(t *testing.T) {
+	// LossProb = 1 turns every update into median(own, own, own) = own.
+	vals := assign.EvenBlocks(200, 4)
+	e := NewEngine(vals, Options{LossProb: 1, MaxSteps: 5000}, 5)
+	res := e.Run()
+	if res.Consensus {
+		t.Fatal("total loss cannot reach consensus from a split state")
+	}
+	for i, v := range e.State() {
+		if v != vals[i] {
+			t.Fatalf("process %d moved from %d to %d under total loss", i, vals[i], v)
+		}
+	}
+	if res.Steps != 5000 {
+		t.Fatalf("run ended after %d steps, want the 5000 cap", res.Steps)
+	}
+}
+
+func TestLossSlowsButConverges(t *testing.T) {
+	mean := func(loss float64) float64 {
+		var total float64
+		const reps = 3
+		for seed := uint64(1); seed <= reps; seed++ {
+			res := NewEngine(assign.EvenBlocks(1000, 8), Options{LossProb: loss}, seed).Run()
+			if !res.Consensus {
+				t.Fatalf("loss %.1f seed %d: no consensus", loss, seed)
+			}
+			total += res.ParallelTime
+		}
+		return total / reps
+	}
+	clean := mean(0)
+	lossy := mean(0.5)
+	if lossy <= clean {
+		t.Fatalf("50%% loss should slow convergence: clean %.1f vs lossy %.1f", clean, lossy)
+	}
+	if lossy > 8*clean {
+		t.Fatalf("50%% loss slowed convergence %.1fx — more than graceful", lossy/clean)
+	}
+}
+
+func TestCrashedProcessesNeverMove(t *testing.T) {
+	vals := assign.EvenBlocks(400, 4)
+	e := NewEngine(vals, Options{Crashes: 40}, 11)
+	initial := append([]Value(nil), e.State()...)
+	res := e.Run()
+	frozen := 0
+	for i := range e.State() {
+		if e.Crashed(i) {
+			frozen++
+			if e.State()[i] != initial[i] {
+				t.Fatalf("crashed process %d changed value", i)
+			}
+		}
+	}
+	if frozen != 40 {
+		t.Fatalf("crash set has %d members, want 40", frozen)
+	}
+	if !res.Consensus {
+		t.Fatalf("live processes did not converge around the crash set (steps %d)", res.Steps)
+	}
+	// The agreement gap is bounded by the crash count.
+	if res.Dissenters > 40 {
+		t.Fatalf("%d dissenters exceed the 40 crashed processes", res.Dissenters)
+	}
+}
+
+func TestSilentCrashesStillConverge(t *testing.T) {
+	res := NewEngine(assign.EvenBlocks(400, 4), Options{Crashes: 40, Silent: true}, 12).Run()
+	if !res.Consensus {
+		t.Fatal("silent crash mode blocked convergence")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	// Two live values 60/40 plus a crashed dissenting block: plurality,
+	// counts and dissenters must be mutually consistent.
+	e := NewEngine(assign.EvenBlocks(100, 2), Options{Crashes: 10, MaxSteps: 1}, 3)
+	res := NewEngineResultProbe(e)
+	live := 0
+	for i := range e.State() {
+		if !e.Crashed(i) {
+			live++
+		}
+	}
+	if res.WinnerCount > live {
+		t.Fatalf("winner count %d exceeds live population %d", res.WinnerCount, live)
+	}
+	if res.Dissenters < live-res.WinnerCount {
+		t.Fatal("dissenters must include live disagreement")
+	}
+}
+
+// NewEngineResultProbe exposes result() for accounting tests.
+func NewEngineResultProbe(e *Engine) Result { return e.result() }
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":     func() { NewEngine(nil, Options{}, 1) },
+		"bad loss":  func() { NewEngine([]Value{1}, Options{LossProb: 2}, 1) },
+		"all crash": func() { NewEngine([]Value{1, 2}, Options{Crashes: 2}, 1) },
+		"neg crash": func() { NewEngine([]Value{1, 2}, Options{Crashes: -1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkAsyncStep(b *testing.B) {
+	e := NewEngine(assign.AllDistinct(10_000), Options{}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
