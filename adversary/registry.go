@@ -1,0 +1,202 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Params carries the numeric parameters of an adversary strategy (target
+// values, delays) in a JSON-friendly form. Constructors reject unknown keys.
+type Params map[string]float64
+
+// BudgetSpec is the serializable form of a BudgetFunc: the three budget
+// families the paper's analysis distinguishes, scaled by a factor.
+//
+//	{"kind":"fixed","factor":5}    → Fixed(5)
+//	{"kind":"sqrt","factor":1}     → Sqrt(1), the canonical ⌊√n⌋ budget
+//	{"kind":"sqrtlog","factor":.5} → SqrtLog(0.5), the stalling regime
+type BudgetSpec struct {
+	Kind   string  `json:"kind"`
+	Factor float64 `json:"factor"`
+}
+
+// Func resolves the spec to a BudgetFunc.
+func (s BudgetSpec) Func() (BudgetFunc, error) {
+	if s.Factor < 0 {
+		return nil, fmt.Errorf("adversary: negative budget factor %v", s.Factor)
+	}
+	switch s.Kind {
+	case "fixed":
+		if s.Factor != float64(int(s.Factor)) {
+			return nil, fmt.Errorf("adversary: fixed budget needs an integer factor, got %v", s.Factor)
+		}
+		return Fixed(int(s.Factor)), nil
+	case "sqrt":
+		return Sqrt(s.Factor), nil
+	case "sqrtlog":
+		return SqrtLog(s.Factor), nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown budget kind %q (known: fixed, sqrt, sqrtlog)", s.Kind)
+	}
+}
+
+// Constructor builds a fresh adversary from a budget and parameters. A fresh
+// value per call matters: strategies carry per-run state (Balancer's resolved
+// targets, Reviver's extinction clock), so instances must never be shared
+// between runs.
+type Constructor func(budget BudgetFunc, p Params) (model.Adversary, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Constructor{}
+)
+
+// Register adds a named strategy constructor, panicking on duplicates.
+func Register(name string, c Constructor) {
+	if name == "" || c == nil {
+		panic("adversary: Register with empty name or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("adversary: duplicate registration of %q", name))
+	}
+	registry[name] = c
+}
+
+// New constructs the named adversary with the given budget spec and
+// parameters (nil for parameterless strategies).
+func New(name string, budget BudgetSpec, p Params) (model.Adversary, error) {
+	regMu.RLock()
+	c, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("adversary: unknown adversary %q (known: %v)", name, Names())
+	}
+	bf, err := budget.Func()
+	if err != nil {
+		return nil, err
+	}
+	return c(bf, p)
+}
+
+// Names returns the registered strategy names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intParam extracts an integral parameter with a default, consuming it from
+// the residue map used for unknown-key detection.
+func intParam(name string, residue map[string]float64, key string, def int64) (int64, error) {
+	v, ok := residue[key]
+	if !ok {
+		return def, nil
+	}
+	delete(residue, key)
+	if v != float64(int64(v)) {
+		return 0, fmt.Errorf("adversary: %s parameter %q must be an integer, got %v", name, key, v)
+	}
+	return int64(v), nil
+}
+
+// residueOf copies p so parameters can be consumed key by key.
+func residueOf(p Params) map[string]float64 {
+	m := make(map[string]float64, len(p))
+	for k, v := range p {
+		m[k] = v
+	}
+	return m
+}
+
+func rejectResidue(name string, residue map[string]float64) error {
+	for k := range residue {
+		return fmt.Errorf("adversary: %s does not know parameter %q", name, k)
+	}
+	return nil
+}
+
+func init() {
+	Register("balancer", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		res := residueOf(p)
+		low, err := intParam("balancer", res, "low", 0)
+		if err != nil {
+			return nil, err
+		}
+		high, err := intParam("balancer", res, "high", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := rejectResidue("balancer", res); err != nil {
+			return nil, err
+		}
+		return NewBalancer(budget, Value(low), Value(high)), nil
+	})
+	Register("reviver", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		// Reviver always runs with budget 1 (it never needs more); the
+		// budget spec is accepted for uniformity and ignored.
+		res := residueOf(p)
+		target, err := intParam("reviver", res, "target", 1)
+		if err != nil {
+			return nil, err
+		}
+		delay, err := intParam("reviver", res, "delay", 0)
+		if err != nil {
+			return nil, err
+		}
+		if delay < 0 {
+			return nil, fmt.Errorf("adversary: reviver delay must be >= 0, got %d", delay)
+		}
+		if err := rejectResidue("reviver", res); err != nil {
+			return nil, err
+		}
+		return NewReviver(Value(target), int(delay)), nil
+	})
+	Register("hider", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		res := residueOf(p)
+		held, err := intParam("hider", res, "held", 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := rejectResidue("hider", res); err != nil {
+			return nil, err
+		}
+		return NewHider(budget, Value(held)), nil
+	})
+	Register("flipper", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		res := residueOf(p)
+		a, err := intParam("flipper", res, "a", 1)
+		if err != nil {
+			return nil, err
+		}
+		b, err := intParam("flipper", res, "b", 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := rejectResidue("flipper", res); err != nil {
+			return nil, err
+		}
+		return NewFlipper(budget, Value(a), Value(b)), nil
+	})
+	Register("random-noise", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		if err := rejectResidue("random-noise", residueOf(p)); err != nil {
+			return nil, err
+		}
+		return NewRandomNoise(budget), nil
+	})
+	Register("median-splitter", func(budget BudgetFunc, p Params) (model.Adversary, error) {
+		if err := rejectResidue("median-splitter", residueOf(p)); err != nil {
+			return nil, err
+		}
+		return NewMedianSplitter(budget), nil
+	})
+}

@@ -1,0 +1,91 @@
+package adversary
+
+import "testing"
+
+func TestBudgetSpec(t *testing.T) {
+	f, err := BudgetSpec{Kind: "fixed", Factor: 5}.Func()
+	if err != nil || f(10000) != 5 {
+		t.Fatalf("fixed budget: %v", err)
+	}
+	f, err = BudgetSpec{Kind: "sqrt", Factor: 1}.Func()
+	if err != nil || f(10000) != 100 {
+		t.Fatalf("sqrt budget: %v", err)
+	}
+	f, err = BudgetSpec{Kind: "sqrtlog", Factor: 1}.Func()
+	if err != nil || f(10000) <= 100 {
+		t.Fatalf("sqrtlog budget must exceed sqrt: %v", err)
+	}
+	for _, bad := range []BudgetSpec{
+		{Kind: "cubic", Factor: 1},
+		{Kind: "sqrt", Factor: -1},
+		{Kind: "fixed", Factor: 1.5},
+	} {
+		if _, err := bad.Func(); err == nil {
+			t.Fatalf("budget %+v must error", bad)
+		}
+	}
+}
+
+func TestRegistryConstructs(t *testing.T) {
+	budget := BudgetSpec{Kind: "sqrt", Factor: 1}
+	for _, name := range Names() {
+		a, err := New(name, budget, nil)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+	a, err := New("balancer", budget, Params{"low": 1, "high": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.(*Balancer)
+	if b.Low != 1 || b.High != 9 {
+		t.Fatalf("balancer targets: %+v", b)
+	}
+	r, err := New("reviver", budget, Params{"target": 7, "delay": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv := r.(*Reviver); rv.Target != 7 || rv.Delay != 3 {
+		t.Fatalf("reviver params: %+v", rv)
+	}
+}
+
+// TestRegistryFreshInstances: adversaries carry per-run state, so the
+// registry must hand out a new instance every call.
+func TestRegistryFreshInstances(t *testing.T) {
+	budget := BudgetSpec{Kind: "sqrt", Factor: 1}
+	a1, err := New("balancer", budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New("balancer", budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.(*Balancer) == a2.(*Balancer) {
+		t.Fatal("registry returned a shared adversary instance")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	budget := BudgetSpec{Kind: "sqrt", Factor: 1}
+	if _, err := New("nope", budget, nil); err == nil {
+		t.Fatal("unknown adversary must error")
+	}
+	if _, err := New("balancer", BudgetSpec{Kind: "bad"}, nil); err == nil {
+		t.Fatal("bad budget must error")
+	}
+	if _, err := New("balancer", budget, Params{"mid": 1}); err == nil {
+		t.Fatal("unknown parameter must error")
+	}
+	if _, err := New("hider", budget, Params{"held": 1.5}); err == nil {
+		t.Fatal("fractional value parameter must error")
+	}
+	if _, err := New("reviver", budget, Params{"delay": -1}); err == nil {
+		t.Fatal("negative delay must error")
+	}
+}

@@ -1,0 +1,318 @@
+// Command consensusctl is the consensusd client: it submits run specs,
+// fetches results, follows live round streams and reads service metrics.
+//
+//	consensusctl submit -n 100000 -rule median -wait
+//	consensusctl submit -spec run.json -stream
+//	consensusctl get r-1
+//	consensusctl watch r-1
+//	consensusctl cancel r-1
+//	consensusctl metrics
+//
+// The server is selected with -server (default http://localhost:8645) on
+// every subcommand. "submit -spec -" reads one or more JSON specs from
+// stdin (a single spec object, a service RunRecord, or NDJSON of either),
+// so sweep -json output pipes straight back into the service.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/adversary"
+	"repro/consensus"
+	"repro/service"
+	"repro/service/client"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = runSubmit(args)
+	case "get":
+		err = runGet(args)
+	case "watch":
+		err = runWatch(args)
+	case "cancel":
+		err = runCancel(args)
+	case "metrics":
+		err = runMetrics(args)
+	case "health":
+		err = runHealth(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consensusctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: consensusctl <command> [flags]
+
+commands:
+  submit    submit a run spec (flags or -spec file)
+  get       print a run's state
+  watch     stream a run's per-round records, then print the result
+  cancel    request cancellation of a run
+  metrics   print service counters
+  health    probe the server`)
+}
+
+// serverFlag registers the shared -server flag on a flag set.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://localhost:8645", "consensusd base URL")
+}
+
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := serverFlag(fs)
+	specPath := fs.String("spec", "", "read the spec from a JSON file ('-' = stdin, NDJSON accepted) instead of flags")
+	n := fs.Int("n", 100000, "population size")
+	m := fs.Int("m", 2, "number of initial values")
+	initKind := fs.String("init", "twovalue", "initial state kind (see consensus.InitKinds)")
+	ruleName := fs.String("rule", "median", "rule registry name")
+	k := fs.Int("k", 0, "k parameter for the kmedian rule (0 = unset)")
+	advName := fs.String("adversary", "", "adversary registry name ('' = none)")
+	budgetKind := fs.String("budget", "sqrt", "adversary budget kind: fixed, sqrt, sqrtlog")
+	budgetFactor := fs.Float64("budget-factor", 1, "adversary budget factor")
+	seed := fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)")
+	maxRounds := fs.Int("rounds", 0, "round cap (0 = engine default)")
+	slack := fs.Int("slack", 0, "almost-stable slack (0 = off)")
+	window := fs.Int("window", 0, "stability window (0 = default)")
+	timing := fs.String("timing", "", "adversary timing: before-round, after-choices")
+	engine := fs.String("engine", "", "engine: auto, ball, count, twobin, gossip")
+	wait := fs.Bool("wait", false, "block until the run finishes and print the result")
+	stream := fs.Bool("stream", false, "stream round records while waiting (implies -wait)")
+	fs.Parse(args)
+
+	c := client.New(*server)
+	ctx := context.Background()
+
+	var specs []service.Spec
+	if *specPath != "" {
+		var err error
+		specs, err = readSpecs(*specPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		spec := service.Spec{
+			Init:        consensus.InitSpec{Kind: *initKind, N: *n},
+			Rule:        service.RuleSpec{Name: *ruleName},
+			Seed:        *seed,
+			MaxRounds:   *maxRounds,
+			AlmostSlack: *slack,
+			Window:      *window,
+			Timing:      *timing,
+			Engine:      *engine,
+		}
+		// Only kinds that use a field get it: an irrelevant m (or seed)
+		// would change the canonical hash and defeat the result cache.
+		switch *initKind {
+		case "uniform":
+			spec.Init.M = *m
+			spec.Init.Seed = *seed
+		case "evenblocks":
+			spec.Init.M = *m
+		}
+		if *k > 0 {
+			spec.Rule.Params = map[string]float64{"k": float64(*k)}
+		}
+		if *advName != "" && *advName != "none" {
+			spec.Adversary = &service.AdversarySpec{
+				Name:   *advName,
+				Budget: adversary.BudgetSpec{Kind: *budgetKind, Factor: *budgetFactor},
+			}
+		}
+		specs = []service.Spec{spec}
+	}
+
+	for _, spec := range specs {
+		view, err := c.Submit(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if !*wait && !*stream {
+			printJSON(view)
+			continue
+		}
+		if *stream {
+			if err := streamRun(ctx, c, view.ID); err != nil {
+				return err
+			}
+		}
+		final, err := c.Wait(ctx, view.ID, 100*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		printJSON(final)
+	}
+	return nil
+}
+
+// readSpecs parses a file of specs: a single Spec object or RunRecord
+// (pretty-printed JSON included), or a stream of them (NDJSON or simply
+// concatenated objects).
+func readSpecs(path string) ([]service.Spec, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var specs []service.Spec
+	dec := json.NewDecoder(r)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("bad spec JSON in %s: %w", path, err)
+		}
+		spec, err := decodeSpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no specs in %s", path)
+	}
+	return specs, nil
+}
+
+// decodeSpec accepts either a bare Spec or a RunRecord wrapper. Both are
+// decoded strictly: a misspelled field must fail here, not be silently
+// dropped, re-marshalled clean and accepted by the server.
+func decodeSpec(raw []byte) (service.Spec, error) {
+	var rec service.RunRecord
+	if err := strictUnmarshal(raw, &rec); err == nil && rec.Spec.Rule.Name != "" && rec.SpecHash != "" {
+		return rec.Spec, nil
+	}
+	var spec service.Spec
+	if err := strictUnmarshal(raw, &spec); err != nil {
+		return service.Spec{}, fmt.Errorf("bad spec: %w", err)
+	}
+	return spec, nil
+}
+
+func strictUnmarshal(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func runGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := oneArg(fs, "get")
+	if err != nil {
+		return err
+	}
+	view, err := client.New(*server).Get(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	printJSON(view)
+	return nil
+}
+
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := oneArg(fs, "watch")
+	if err != nil {
+		return err
+	}
+	c := client.New(*server)
+	ctx := context.Background()
+	if err := streamRun(ctx, c, id); err != nil {
+		return err
+	}
+	final, err := c.Wait(ctx, id, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJSON(final)
+	return nil
+}
+
+func streamRun(ctx context.Context, c *client.Client, id string) error {
+	enc := json.NewEncoder(os.Stdout)
+	return c.Stream(ctx, id, func(rec service.RoundRecord) error {
+		return enc.Encode(rec)
+	})
+}
+
+func runCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := oneArg(fs, "cancel")
+	if err != nil {
+		return err
+	}
+	view, err := client.New(*server).Cancel(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	printJSON(view)
+	return nil
+}
+
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	m, err := client.New(*server).Metrics(context.Background())
+	if err != nil {
+		return err
+	}
+	printJSON(m)
+	return nil
+}
+
+func runHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	if err := client.New(*server).Health(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("ok")
+	return nil
+}
+
+func oneArg(fs *flag.FlagSet, cmd string) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("%s needs exactly one run id", cmd)
+	}
+	return fs.Arg(0), nil
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

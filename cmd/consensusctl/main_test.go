@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadSpecsPrettyPrinted(t *testing.T) {
+	specs, err := readSpecs(writeTemp(t, `{
+  "init": {"kind": "twovalue", "n": 100},
+  "rule": {"name": "median"},
+  "seed": 7
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Rule.Name != "median" || specs[0].Seed != 7 {
+		t.Fatalf("bad parse: %+v", specs)
+	}
+}
+
+func TestReadSpecsNDJSONRunRecords(t *testing.T) {
+	specs, err := readSpecs(writeTemp(t,
+		`{"spec":{"init":{"kind":"twovalue","n":10},"rule":{"name":"median"},"seed":1},"spec_hash":"abc","result":{"rounds":3,"reason":"consensus","winner":1,"winner_count":10,"stable_since":3,"seed":1}}
+{"init":{"kind":"twovalue","n":20},"rule":{"name":"voter"},"seed":2}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs, want 2", len(specs))
+	}
+	if specs[0].Init.N != 10 || specs[0].Rule.Name != "median" {
+		t.Fatalf("RunRecord wrapper not unwrapped: %+v", specs[0])
+	}
+	if specs[1].Init.N != 20 || specs[1].Rule.Name != "voter" {
+		t.Fatalf("bare spec line mis-parsed: %+v", specs[1])
+	}
+}
+
+func TestReadSpecsErrors(t *testing.T) {
+	if _, err := readSpecs(writeTemp(t, "")); err == nil {
+		t.Fatal("empty file must error")
+	}
+	if _, err := readSpecs(writeTemp(t, "{not json")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestReadSpecsRejectsUnknownFields(t *testing.T) {
+	// A typo'd field must fail loudly, not be dropped and submitted clean.
+	_, err := readSpecs(writeTemp(t,
+		`{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"maxrounds":500}`))
+	if err == nil {
+		t.Fatal("misspelled field must be rejected")
+	}
+}
+
+func TestBuildFlagSpecOmitsIrrelevantFields(t *testing.T) {
+	// Mirrors the hash-stability requirement: kinds that ignore m/seed
+	// must not embed them (see runSubmit). Tested via the sweep-side
+	// equivalent initSpec builder in cmd/sweep; here we just pin the
+	// decodeSpec fallback ordering.
+	spec, err := decodeSpec([]byte(`{"init":{"kind":"twovalue","n":5},"rule":{"name":"median"}}`))
+	if err != nil || spec.Init.N != 5 {
+		t.Fatalf("decodeSpec: %+v %v", spec, err)
+	}
+}

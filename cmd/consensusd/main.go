@@ -1,0 +1,68 @@
+// Command consensusd is the simulation daemon: it serves the service
+// package's HTTP JSON API so runs can be submitted, cached, streamed and
+// monitored over the network.
+//
+//	consensusd -addr :8645 -service-workers 8
+//
+// Endpoints (see package service for details):
+//
+//	POST   /v1/runs             submit a run spec
+//	GET    /v1/runs             list runs
+//	GET    /v1/runs/{id}        run status + result
+//	DELETE /v1/runs/{id}        cancel a run
+//	GET    /v1/runs/{id}/stream per-round NDJSON records
+//	GET    /v1/healthz          liveness
+//	GET    /v1/metrics          job/cache/worker counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8645", "listen address")
+	workers := flag.Int("service-workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 256, "max queued jobs before submissions are rejected")
+	cacheSize := flag.Int("cache", 1024, "result cache size in entries")
+	maxRecords := flag.Int("max-records", 1<<16, "max stored round records per job")
+	maxJobs := flag.Int("max-jobs", 4096, "max in-memory job history before terminal jobs are evicted")
+	maxN := flag.Int64("max-n", 1<<27, "max population a submitted spec may materialize")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		MaxRecords: *maxRecords,
+		MaxJobs:    *maxJobs,
+		MaxN:       *maxN,
+	})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "consensusd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "consensusd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "consensusd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = server.Shutdown(shutdownCtx)
+	svc.Close()
+}

@@ -2,14 +2,27 @@
 // prints an aligned table (or CSV) plus the growth-law fit — the generic
 // workhorse behind the Figure 1 reproductions.
 //
+// Every grid cell is executed through a service.Spec, the same serializable
+// run description the consensusd daemon accepts, so -json emits exactly the
+// machine-readable records the service API returns (one NDJSON RunRecord
+// per repetition) and any sweep row can be re-submitted over HTTP verbatim.
+//
+// Routing through the service fixes engine auto-selection to the
+// observer-present variant (two-value cells use the count or ball engine,
+// never twobin), so identical flags+seed produce identical results whether
+// a cell runs here or on a daemon. Round counts therefore differ from
+// pre-service releases of this command, whose seeds fed the twobin engine.
+//
 // Examples:
 //
 //	sweep -ns 1e3,1e4,1e5,1e6 -reps 25
 //	sweep -ns 1e3,1e4,1e5 -rule median -adversary balancer -fit logn
 //	sweep -ns 1e4 -m 16 -init uniform -csv
+//	sweep -ns 1e4 -reps 5 -json | consensusctl submit -spec -
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +33,7 @@ import (
 	"repro/consensus"
 	"repro/internal/experiment"
 	"repro/rules"
+	"repro/service"
 )
 
 func main() {
@@ -34,14 +48,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	workers := flag.Int("workers", 2, "sweep worker pool size")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit NDJSON service run records instead of a table (overrides -csv, suppresses -fit)")
 	flag.Parse()
 
 	ns, err := parseNs(*nsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	rule, err := parseRule(*ruleName)
-	if err != nil {
+	// Validate the rule and adversary names up front, before the sweep.
+	if _, err := parseRule(*ruleName); err != nil {
+		fatal(err)
+	}
+	if _, err := parseAdversary(*advName); err != nil {
 		fatal(err)
 	}
 
@@ -50,31 +68,35 @@ func main() {
 		Keys: []string{"n"},
 		Grid: experiment.Grid1(ns...),
 		Reps: *reps,
-		Run: func(p []float64, s uint64) float64 {
+		RunDetail: func(p []float64, s uint64) (float64, any) {
 			n := int(p[0])
-			adv, err := parseAdversary(*advName)
+			spec, err := buildSpec(n, *m, *initKind, *ruleName, *advName, *maxRounds, s)
 			if err != nil {
 				fatal(err)
 			}
-			slack := 0
-			if adv != nil {
-				slack = 3 * adv.Budget(n)
-			}
-			values, err := parseInit(*initKind, n, *m, s)
+			res, err := service.Execute(spec, nil, nil)
 			if err != nil {
 				fatal(err)
 			}
-			return float64(consensus.Run(consensus.Config{
-				Values:      values,
-				Rule:        rule,
-				Adversary:   adv,
-				Seed:        s,
-				MaxRounds:   *maxRounds,
-				AlmostSlack: slack,
-			}).Rounds)
+			hash, err := spec.Hash()
+			if err != nil {
+				fatal(err)
+			}
+			return float64(res.Rounds), service.RunRecord{Spec: spec.Normalize(), SpecHash: hash, Result: res}
 		},
 	}
 	cells := experiment.Sweep(task, *seed, *workers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, c := range cells {
+			for _, d := range c.Details {
+				if err := enc.Encode(d); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		return
+	}
 	tab := experiment.CellsTable(
 		fmt.Sprintf("rounds to consensus: rule=%s init=%s adversary=%s", *ruleName, *initKind, *advName),
 		task.Keys, cells)
@@ -100,6 +122,48 @@ func main() {
 	}
 }
 
+// buildSpec assembles the service spec for one repetition. The CLI keeps its
+// historical short names; they resolve to registry names here.
+func buildSpec(n, m int, initKind, ruleName, advName string, maxRounds int, seed uint64) (service.Spec, error) {
+	init, err := initSpec(initKind, n, m, seed)
+	if err != nil {
+		return service.Spec{}, err
+	}
+	spec := service.Spec{
+		Init:      init,
+		Rule:      service.RuleSpec{Name: ruleName},
+		Seed:      seed,
+		MaxRounds: maxRounds,
+	}
+	if advName != "none" {
+		adv, err := adversarySpec(advName)
+		if err != nil {
+			return service.Spec{}, err
+		}
+		spec.Adversary = adv
+		bf, err := adv.Budget.Func()
+		if err != nil {
+			return service.Spec{}, err
+		}
+		spec.AlmostSlack = 3 * bf(n)
+	}
+	return spec, nil
+}
+
+// adversarySpec is the single source for the CLI's adversary description:
+// both the up-front validation (parseAdversary) and the executed spec
+// (buildSpec) derive from it, so they cannot drift apart.
+func adversarySpec(name string) (*service.AdversarySpec, error) {
+	regName, ok := advRegistryNames[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+	return &service.AdversarySpec{
+		Name:   regName,
+		Budget: adversary.BudgetSpec{Kind: "sqrt", Factor: 1},
+	}, nil
+}
+
 func parseNs(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
@@ -115,55 +179,65 @@ func parseNs(s string) ([]float64, error) {
 	return out, nil
 }
 
+// sweepRules is the subset of registered rules the CLI exposes.
+var sweepRules = map[string]bool{
+	"median": true, "majority": true, "minimum": true,
+	"maximum": true, "mean": true, "voter": true,
+}
+
 func parseRule(name string) (consensus.Rule, error) {
-	switch name {
-	case "median":
-		return rules.Median{}, nil
-	case "majority":
-		return rules.Majority{}, nil
-	case "minimum":
-		return rules.Minimum{}, nil
-	case "maximum":
-		return rules.Maximum{}, nil
-	case "mean":
-		return rules.Mean{}, nil
-	case "voter":
-		return rules.Voter{}, nil
+	if !sweepRules[name] {
+		return nil, fmt.Errorf("unknown rule %q", name)
 	}
-	return nil, fmt.Errorf("unknown rule %q", name)
+	return rules.New(name, nil)
+}
+
+// advRegistryNames maps the CLI's short adversary names to registry names.
+var advRegistryNames = map[string]string{
+	"balancer": "balancer",
+	"noise":    "random-noise",
+	"splitter": "median-splitter",
+	"hider":    "hider",
 }
 
 func parseAdversary(name string) (consensus.Adversary, error) {
-	switch name {
-	case "none":
+	if name == "none" {
 		return nil, nil
-	case "balancer":
-		return adversary.NewBalancer(adversary.Sqrt(1), 0, 0), nil
-	case "noise":
-		return adversary.NewRandomNoise(adversary.Sqrt(1)), nil
-	case "splitter":
-		return adversary.NewMedianSplitter(adversary.Sqrt(1)), nil
-	case "hider":
-		return adversary.NewHider(adversary.Sqrt(1), 1), nil
 	}
-	return nil, fmt.Errorf("unknown adversary %q", name)
+	spec, err := adversarySpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.New(spec.Name, spec.Budget, spec.Params)
 }
 
-func parseInit(kind string, n, m int, seed uint64) ([]consensus.Value, error) {
+// initSpec maps the CLI's init names onto registry init specs ("blocks"
+// historically means even blocks).
+func initSpec(kind string, n, m int, seed uint64) (consensus.InitSpec, error) {
 	if m <= 0 || m > n {
 		m = n
 	}
 	switch kind {
 	case "distinct":
-		return consensus.AllDistinct(n), nil
+		return consensus.InitSpec{Kind: "distinct", N: n}, nil
 	case "uniform":
-		return consensus.UniformRandom(n, m, seed), nil
+		return consensus.InitSpec{Kind: "uniform", N: n, M: m, Seed: seed}, nil
 	case "twovalue":
-		return consensus.TwoValue(n, n/2, 1, 2), nil
+		return consensus.InitSpec{Kind: "twovalue", N: n}, nil
 	case "blocks":
-		return consensus.EvenBlocks(n, m), nil
+		return consensus.InitSpec{Kind: "evenblocks", N: n, M: m}, nil
 	}
-	return nil, fmt.Errorf("unknown init %q", kind)
+	return consensus.InitSpec{}, fmt.Errorf("unknown init %q", kind)
+}
+
+// parseInit materializes a CLI init description — kept as the testable
+// seam for the CLI→registry mapping.
+func parseInit(kind string, n, m int, seed uint64) ([]consensus.Value, error) {
+	s, err := initSpec(kind, n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return consensus.BuildInit(s)
 }
 
 func fatal(err error) {

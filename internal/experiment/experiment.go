@@ -35,6 +35,12 @@ type Task struct {
 	Reps int
 	// Run executes one measurement for the given tuple and seed.
 	Run func(params []float64, seed uint64) float64
+	// RunDetail, when non-nil, is used instead of Run. Besides the measured
+	// quantity it returns an arbitrary per-repetition payload (e.g. a
+	// serializable run record) stored in Cell.Details. This is how sweeps
+	// double as submittable service specs: the payload carries the spec and
+	// full result while the float feeds the summary statistics.
+	RunDetail func(params []float64, seed uint64) (float64, any)
 }
 
 // Cell is the aggregated result of one parameter tuple.
@@ -45,6 +51,9 @@ type Cell struct {
 	Summary stats.Summary
 	// Raw holds the individual measurements in repetition order.
 	Raw []float64
+	// Details holds the per-repetition payloads returned by Task.RunDetail,
+	// in repetition order (nil when the task only defines Run).
+	Details []any
 }
 
 // Sweep evaluates the task over its grid using the given worker count
@@ -55,8 +64,8 @@ func Sweep(t Task, baseSeed uint64, workers int) []Cell {
 	if t.Reps < 1 {
 		panic("experiment: Reps must be >= 1")
 	}
-	if t.Run == nil {
-		panic("experiment: nil Run")
+	if t.Run == nil && t.RunDetail == nil {
+		panic("experiment: nil Run and RunDetail")
 	}
 	if workers < 1 {
 		workers = 1
@@ -64,8 +73,15 @@ func Sweep(t Task, baseSeed uint64, workers int) []Cell {
 	type job struct{ cell, rep int }
 	jobs := make(chan job, len(t.Grid)*t.Reps)
 	raw := make([][]float64, len(t.Grid))
+	var details [][]any
+	if t.RunDetail != nil {
+		details = make([][]any, len(t.Grid))
+	}
 	for i := range raw {
 		raw[i] = make([]float64, t.Reps)
+		if details != nil {
+			details[i] = make([]any, t.Reps)
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -74,7 +90,11 @@ func Sweep(t Task, baseSeed uint64, workers int) []Cell {
 			defer wg.Done()
 			for j := range jobs {
 				seed := rng.Mix64(baseSeed + uint64(j.cell)*uint64(t.Reps) + uint64(j.rep))
-				raw[j.cell][j.rep] = t.Run(t.Grid[j.cell], seed)
+				if t.RunDetail != nil {
+					raw[j.cell][j.rep], details[j.cell][j.rep] = t.RunDetail(t.Grid[j.cell], seed)
+				} else {
+					raw[j.cell][j.rep] = t.Run(t.Grid[j.cell], seed)
+				}
 			}
 		}()
 	}
@@ -91,6 +111,9 @@ func Sweep(t Task, baseSeed uint64, workers int) []Cell {
 			Params:  t.Grid[i],
 			Summary: stats.Summarize(raw[i]),
 			Raw:     raw[i],
+		}
+		if details != nil {
+			cells[i].Details = details[i]
 		}
 	}
 	return cells

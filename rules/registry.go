@@ -1,0 +1,101 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params carries the numeric parameters of parameterised rules (KMedian's K,
+// for instance) in a JSON-friendly form. Unknown keys are rejected by the
+// constructors so a typo in a serialized spec fails loudly instead of
+// silently running the default rule.
+type Params map[string]float64
+
+// Constructor builds a rule instance from its parameters. Constructors must
+// return a fresh value on every call (rules are stateless today, but the
+// contract keeps stateful rules possible).
+type Constructor func(p Params) (Rule, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Constructor{}
+)
+
+// Register adds a named rule constructor to the registry. It panics on
+// duplicate names, which would make serialized specs ambiguous.
+func Register(name string, c Constructor) {
+	if name == "" || c == nil {
+		panic("rules: Register with empty name or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("rules: duplicate registration of %q", name))
+	}
+	registry[name] = c
+}
+
+// New constructs the named rule with the given parameters (nil for
+// parameterless rules).
+func New(name string, p Params) (Rule, error) {
+	regMu.RLock()
+	c, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rules: unknown rule %q (known: %v)", name, Names())
+	}
+	return c(p)
+}
+
+// Names returns the registered rule names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// noParams errors when p carries any key — used by parameterless rules.
+func noParams(name string, p Params) error {
+	for k := range p {
+		return fmt.Errorf("rules: %s takes no parameters, got %q", name, k)
+	}
+	return nil
+}
+
+// simple wraps a parameterless rule value as a Constructor.
+func simple(name string, r Rule) Constructor {
+	return func(p Params) (Rule, error) {
+		if err := noParams(name, p); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func init() {
+	Register("median", simple("median", Median{}))
+	Register("majority", simple("majority", Majority{}))
+	Register("minimum", simple("minimum", Minimum{}))
+	Register("maximum", simple("maximum", Maximum{}))
+	Register("mean", simple("mean", Mean{}))
+	Register("voter", simple("voter", Voter{}))
+	Register("kmedian", func(p Params) (Rule, error) {
+		k := 1
+		for key, v := range p {
+			if key != "k" {
+				return nil, fmt.Errorf("rules: kmedian knows only parameter \"k\", got %q", key)
+			}
+			if v != float64(int(v)) || int(v) < 1 {
+				return nil, fmt.Errorf("rules: kmedian parameter k must be a positive integer, got %v", v)
+			}
+			k = int(v)
+		}
+		return KMedian{K: k}, nil
+	})
+}

@@ -1,0 +1,56 @@
+package rules
+
+import "testing"
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"kmedian", "majority", "maximum", "mean", "median", "minimum", "voter"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryConstructs(t *testing.T) {
+	for _, name := range Names() {
+		var p Params
+		if name == "kmedian" {
+			p = Params{"k": 3}
+		}
+		r, err := New(name, p)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if r.Samples() < 1 {
+			t.Fatalf("New(%q): Samples() = %d", name, r.Samples())
+		}
+	}
+	if r, err := New("kmedian", Params{"k": 3}); err != nil || r.(KMedian).K != 3 {
+		t.Fatalf("kmedian k=3: %v %v", r, err)
+	}
+	if r, err := New("kmedian", nil); err != nil || r.(KMedian).K != 1 {
+		t.Fatalf("kmedian default k: %v %v", r, err)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := New("nope", nil); err == nil {
+		t.Fatal("unknown rule must error")
+	}
+	if _, err := New("median", Params{"k": 1}); err == nil {
+		t.Fatal("median with parameters must error")
+	}
+	if _, err := New("kmedian", Params{"k": 0}); err == nil {
+		t.Fatal("kmedian k=0 must error")
+	}
+	if _, err := New("kmedian", Params{"k": 1.5}); err == nil {
+		t.Fatal("kmedian fractional k must error")
+	}
+	if _, err := New("kmedian", Params{"q": 1}); err == nil {
+		t.Fatal("kmedian unknown parameter must error")
+	}
+}

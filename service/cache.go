@@ -1,0 +1,67 @@
+package service
+
+import "sync"
+
+// cacheEntry is an immutable finished run: once stored, neither the result
+// nor the records slice is ever mutated, so entries can be shared between
+// the cache and any number of cache-hit jobs without copying.
+type cacheEntry struct {
+	result    RunResult
+	records   []RoundRecord
+	truncated int
+}
+
+// cacheRecordBudget bounds the total round records retained across all
+// cache entries (~48 bytes each, so the default is ~50 MB): entry count
+// alone is a poor memory bound when single long runs carry up to
+// MaxRecords records.
+const cacheRecordBudget = 1 << 20
+
+// resultCache is a bounded FIFO cache keyed by canonical spec hash.
+// Simulation runs are deterministic in their spec (the effective seed is
+// part of the canonical encoding or derived from its hash), so a cached
+// result is exactly the result a re-run would produce — eviction is purely
+// a memory bound, not a freshness concern.
+type resultCache struct {
+	mu           sync.Mutex
+	max          int
+	totalRecords int
+	entries      map[string]*cacheEntry
+	order        []string
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+func (c *resultCache) get(hash string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	return e, ok
+}
+
+func (c *resultCache) put(hash string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[hash]; dup {
+		// Determinism makes the existing entry identical; keep it.
+		return
+	}
+	c.entries[hash] = e
+	c.order = append(c.order, hash)
+	c.totalRecords += len(e.records)
+	for len(c.order) > 1 &&
+		((c.max > 0 && len(c.order) > c.max) || c.totalRecords > cacheRecordBudget) {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		c.totalRecords -= len(c.entries[oldest].records)
+		delete(c.entries, oldest)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP JSON API:
+//
+//	POST   /v1/runs             submit a Spec, returns the JobView
+//	GET    /v1/runs             list jobs
+//	GET    /v1/runs/{id}        job state incl. result when done
+//	DELETE /v1/runs/{id}        request cancellation
+//	GET    /v1/runs/{id}/stream round-by-round records as NDJSON; follows
+//	                            a live run until it finishes
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/metrics          MetricsSnapshot counters
+//
+// Errors are returned as {"error": "..."} with conventional status codes
+// (400 invalid spec, 404 unknown job, 409 cancelling a finished job,
+// 503 full queue or closed service).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid spec JSON: %w", err))
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.List()})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Hold the job itself, not its id: a follower must see the full
+	// stream even if the job is evicted from the history mid-stream.
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		recs, terminal, notify := j.recordsFrom(next)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+		next += len(recs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,145 @@
+package service_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/consensus"
+	"repro/service"
+	"repro/service/client"
+)
+
+// TestEndToEndHTTP drives the full acceptance flow over httptest: submit a
+// two-value median run with n=1e5 via the typed client, poll to completion,
+// stream the NDJSON records, verify the cache-hit counter on resubmission.
+func TestEndToEndHTTP(t *testing.T) {
+	s := service.New(service.Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	spec := service.Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 100000},
+		Rule: service.RuleSpec{Name: "median"},
+		Seed: 1,
+	}
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, view.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone || final.Result == nil {
+		t.Fatalf("run did not complete: %+v", final)
+	}
+	if final.Result.Reason != "consensus" || final.Result.WinnerCount != 100000 {
+		t.Fatalf("run did not converge: %+v", final.Result)
+	}
+	if final.Result.Winner != 1 && final.Result.Winner != 2 {
+		t.Fatalf("winner %d not an initial value", final.Result.Winner)
+	}
+
+	var streamed []service.RoundRecord
+	if err := c.Stream(ctx, view.ID, func(r service.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != final.Result.Rounds+1 {
+		t.Fatalf("streamed %d records, want initial state + one per round (%d)", len(streamed), final.Result.Rounds+1)
+	}
+	for i, r := range streamed {
+		if r.Round != i || r.N != 100000 {
+			t.Fatalf("bad stream record %d: %+v", i, r)
+		}
+	}
+
+	// Identical resubmission: answered from the cache, visible in metrics.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Status != service.StatusDone {
+		t.Fatalf("resubmission must be a cache hit: %+v", again)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 {
+		t.Fatalf("cache_hits = %d, want 1", m.CacheHits)
+	}
+	if m.Workers != 2 || m.JobsSubmitted != 2 {
+		t.Fatalf("unexpected metrics: %+v", m)
+	}
+
+	runs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("listed %d runs, want 2", len(runs))
+	}
+
+	// Unknown ids are 404s.
+	if _, err := c.Get(ctx, "r-999"); err == nil {
+		t.Fatal("get of unknown id must fail")
+	}
+}
+
+// TestStreamFollowsLiveRun starts streaming before the run finishes and
+// must still see every record exactly once.
+func TestStreamFollowsLiveRun(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// voter on a ball engine converges in Θ(n) rounds — slow enough that
+	// the stream attaches while the run is live.
+	spec := service.Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 500},
+		Rule:      service.RuleSpec{Name: "voter"},
+		Seed:      3,
+		MaxRounds: 1 << 20,
+	}
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []service.RoundRecord
+	if err := c.Stream(ctx, view.ID, func(r service.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, view.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone || final.Result == nil {
+		t.Fatalf("run failed: %+v", final)
+	}
+	if len(streamed) != final.Result.Rounds+1 {
+		t.Fatalf("streamed %d records, want %d", len(streamed), final.Result.Rounds+1)
+	}
+	for i, r := range streamed {
+		if r.Round != i {
+			t.Fatalf("stream out of order at %d: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package service
+
+import "sync/atomic"
+
+// Metrics holds the service's monotonic counters and gauges. All fields are
+// updated atomically; Snapshot returns a consistent-enough JSON view (the
+// counters are independent, so exact cross-counter consistency is not
+// needed for monitoring).
+type Metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsCoalesced atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	workersBusy   atomic.Int64
+	workers       int
+	queueDepth    func() int
+}
+
+// MetricsSnapshot is the JSON body of GET /v1/metrics.
+type MetricsSnapshot struct {
+	// JobsSubmitted counts every accepted POST /v1/runs.
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	// JobsCompleted counts jobs that reached "done" (cache hits included).
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	// JobsCoalesced counts submissions answered by an identical job
+	// already queued or running (no new job was created).
+	JobsCoalesced int64 `json:"jobs_coalesced"`
+	// CacheHits / CacheMisses count result-cache lookups at submit time.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Workers is the pool size; WorkersBusy the number currently running a
+	// job; QueueDepth the number of jobs waiting for a worker.
+	Workers     int   `json:"workers"`
+	WorkersBusy int64 `json:"workers_busy"`
+	QueueDepth  int   `json:"queue_depth"`
+	// WorkerUtilization is WorkersBusy/Workers in [0,1].
+	WorkerUtilization float64 `json:"worker_utilization"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		JobsSubmitted: m.jobsSubmitted.Load(),
+		JobsCompleted: m.jobsCompleted.Load(),
+		JobsFailed:    m.jobsFailed.Load(),
+		JobsCancelled: m.jobsCancelled.Load(),
+		JobsCoalesced: m.jobsCoalesced.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		Workers:       m.workers,
+		WorkersBusy:   m.workersBusy.Load(),
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	if s.Workers > 0 {
+		s.WorkerUtilization = float64(s.WorkersBusy) / float64(s.Workers)
+	}
+	return s
+}

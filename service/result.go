@@ -1,0 +1,122 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/consensus"
+)
+
+// RunResult is the serializable form of a consensus.Result plus the
+// effective seed the run used, so any cached result can be reproduced.
+type RunResult struct {
+	Rounds      int           `json:"rounds"`
+	Reason      string        `json:"reason"`
+	Winner      int64         `json:"winner"`
+	WinnerCount int64         `json:"winner_count"`
+	StableSince int           `json:"stable_since"`
+	Seed        uint64        `json:"seed"`
+	Messages    *MessageStats `json:"messages,omitempty"`
+}
+
+// MessageStats mirrors consensus.MessageStats for gossip-engine runs.
+type MessageStats struct {
+	RequestsSent    int64 `json:"requests_sent"`
+	RequestsDropped int64 `json:"requests_dropped"`
+	MaxInDegree     int   `json:"max_in_degree"`
+}
+
+// RoundRecord is one line of a run's round-by-round NDJSON stream: the
+// distribution summary the engines report through the Observer hook. The
+// engines observe the state once before the first round and once after
+// every executed round, so a run of R rounds yields R+1 records and record
+// 0 is the initial state.
+type RoundRecord struct {
+	// Round is the number of rounds executed before this snapshot.
+	Round int `json:"round"`
+	// N is the population size.
+	N int64 `json:"n"`
+	// Support is the number of distinct values still alive.
+	Support int `json:"support"`
+	// Leader is the current plurality value; LeaderCount its population.
+	Leader      int64 `json:"leader"`
+	LeaderCount int64 `json:"leader_count"`
+}
+
+// RunRecord pairs a spec with its result — the machine-readable record the
+// API returns and cmd/sweep -json emits.
+type RunRecord struct {
+	Spec     Spec      `json:"spec"`
+	SpecHash string    `json:"spec_hash"`
+	Result   RunResult `json:"result"`
+}
+
+// ErrCancelled is returned by Execute when the cancelled callback fired.
+var ErrCancelled = errors.New("service: run cancelled")
+
+// cancelSignal is the panic sentinel the observer uses to unwind a running
+// engine; Execute recovers it. The engines have no cancellation hook of
+// their own, but the ball/count/two-bin engines call the observer every
+// round, which is exactly the granularity a cancel needs. Gossip-engine
+// runs ignore observers and therefore only cancel while still queued.
+type cancelSignal struct{}
+
+// Execute runs a spec synchronously. observe, when non-nil, receives one
+// RoundRecord per executed round (ball/count/two-bin engines). cancelled,
+// when non-nil, is polled once per round; returning true aborts the run
+// with ErrCancelled. Any engine panic (e.g. an invalid engine/state
+// combination that Validate cannot see) is converted into an error so a
+// bad spec can never take down the serving process.
+func Execute(spec Spec, observe func(RoundRecord), cancelled func() bool) (res RunResult, err error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return RunResult{}, err
+	}
+	n := int64(len(cfg.Values))
+	// The observer is installed unconditionally: engine auto-selection
+	// depends on whether an observer is present, so a run must not change
+	// engine (and hence trajectory) based on whether anyone is watching.
+	// Every Execute caller — service workers, sweep cells, tests — gets
+	// the same engine and the same result for the same spec.
+	cfg.Observer = func(round int, vals []consensus.Value, counts []int64) {
+		if cancelled != nil && cancelled() {
+			panic(cancelSignal{})
+		}
+		if observe == nil {
+			return
+		}
+		rec := RoundRecord{Round: round, N: n, Support: len(vals)}
+		for i, c := range counts {
+			if c > rec.LeaderCount {
+				rec.Leader, rec.LeaderCount = vals[i], c
+			}
+		}
+		observe(rec)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(cancelSignal); ok {
+				err = ErrCancelled
+				return
+			}
+			err = fmt.Errorf("service: run panicked: %v", r)
+		}
+	}()
+	out := consensus.Run(cfg)
+	res = RunResult{
+		Rounds:      out.Rounds,
+		Reason:      out.Reason.String(),
+		Winner:      out.Winner,
+		WinnerCount: out.WinnerCount,
+		StableSince: out.StableSince,
+		Seed:        cfg.Seed,
+	}
+	if out.Messages != (consensus.MessageStats{}) {
+		res.Messages = &MessageStats{
+			RequestsSent:    out.Messages.RequestsSent,
+			RequestsDropped: out.Messages.RequestsDropped,
+			MaxInDegree:     out.Messages.MaxInDegree,
+		}
+	}
+	return res, nil
+}

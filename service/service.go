@@ -1,0 +1,491 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/consensus"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued → running → done | failed | cancelled. Cache hits
+// are born done.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the worker-pool size (<=0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; Submit
+	// returns ErrQueueFull beyond it (<=0 = 256).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (<=0 = 1024).
+	CacheSize int
+	// MaxRecords bounds the per-job stored round records; further rounds
+	// still run (and still poll cancellation) but are not recorded
+	// (<=0 = 65536).
+	MaxRecords int
+	// MaxJobs bounds the in-memory job history: once exceeded, the
+	// oldest terminal jobs are evicted (queued/running jobs are never
+	// evicted; their results stay reachable through the cache)
+	// (<=0 = 4096).
+	MaxJobs int
+	// MaxN bounds the population a submitted spec may materialize — the
+	// per-ball state costs 8 bytes per process, so without a cap one
+	// tiny POST with a huge n OOMs the daemon (<=0 = 2^27, ~1 GB of
+	// state; raise it deliberately on big machines).
+	MaxN int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxRecords <= 0 {
+		o.MaxRecords = 1 << 16
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 1 << 27
+	}
+	return o
+}
+
+// Errors the API layer maps to HTTP statuses.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrClosed    = errors.New("service: service is closed")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrTerminal  = errors.New("service: job already finished")
+)
+
+// Job is one submitted run. All mutable state is guarded by mu; notify is
+// closed and replaced on every update so stream followers can wait without
+// polling.
+type Job struct {
+	id       string
+	spec     Spec
+	hash     string
+	cacheHit bool
+
+	cancel atomic.Bool
+
+	mu        sync.Mutex
+	status    Status
+	result    *RunResult
+	errMsg    string
+	records   []RoundRecord
+	truncated int
+	notify    chan struct{}
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobView is the immutable JSON snapshot of a job.
+type JobView struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash"`
+	Status   Status `json:"status"`
+	// CacheHit marks jobs answered from the result cache without running.
+	CacheHit bool       `json:"cache_hit"`
+	Result   *RunResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Records is the number of stored round records (the stream length);
+	// Truncated counts rounds beyond the MaxRecords bound.
+	Records   int        `json:"records"`
+	Truncated int        `json:"truncated,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Spec      Spec       `json:"spec"`
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		SpecHash:  j.hash,
+		Status:    j.status,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		Records:   len(j.records),
+		Truncated: j.truncated,
+		Created:   j.created,
+		Spec:      j.spec,
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// wake closes and replaces the notify channel; callers hold j.mu.
+func (j *Job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendRecord stores one round record up to the configured bound.
+func (j *Job) appendRecord(max int, rec RoundRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.records) >= max {
+		j.truncated++
+		return
+	}
+	j.records = append(j.records, rec)
+	j.wake()
+}
+
+// recordsFrom returns the records at index >= i, whether the job is
+// terminal, and the channel that will be closed on the next update.
+func (j *Job) recordsFrom(i int) ([]RoundRecord, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []RoundRecord
+	if i < len(j.records) {
+		out = j.records[i:]
+	}
+	return out, j.status.terminal(), j.notify
+}
+
+// Service is the embeddable simulation service: an in-memory job store, a
+// bounded worker pool executing specs on the library engines, and a result
+// cache. Create with New, embed in an HTTP server via Handler, stop with
+// Close.
+type Service struct {
+	opts    Options
+	metrics *Metrics
+	cache   *resultCache
+	queue   chan *Job
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	pending map[string]*Job // spec hash → not-yet-terminal job, for coalescing
+	nextID  int
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a Service with opts.Workers workers.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:    opts,
+		metrics: &Metrics{workers: opts.Workers},
+		cache:   newResultCache(opts.CacheSize),
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+		pending: make(map[string]*Job),
+	}
+	s.metrics.queueDepth = func() int { return len(s.queue) }
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels everything still queued and waits
+// for running jobs to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	// Flag still-queued jobs so the drain below cancels instead of runs
+	// them (a job racing into "running" right now simply finishes).
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.status == StatusQueued {
+			j.cancel.Store(true)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// Submit validates the spec, answers from the result cache when possible,
+// and otherwise enqueues a job for the worker pool. The returned view is
+// the job's state at submit time (status done for cache hits). Submission
+// is idempotent while a run is in flight: an identical spec submitted
+// before the first finishes coalesces onto the existing job and returns
+// its view instead of executing the deterministic simulation twice.
+func (s *Service) Submit(spec Spec) (JobView, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return JobView{}, err
+	}
+	// Admission control: reject populations the daemon cannot afford to
+	// materialize (size 0 = unknown kind without a Size hook; those are
+	// admitted and bounded only by the engines themselves).
+	if n := consensus.InitSize(spec.Init); n > s.opts.MaxN {
+		return JobView{}, fmt.Errorf("service: population %d exceeds the server limit %d", n, s.opts.MaxN)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return JobView{}, err
+	}
+	now := time.Now()
+	j := &Job{
+		spec:    spec,
+		hash:    hash,
+		status:  StatusQueued,
+		notify:  make(chan struct{}),
+		created: now,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	// Order matters: an in-flight job for this hash wins over the cache
+	// (it cannot be cached yet), and a finished one has moved from the
+	// pending map into the cache before being removed (see finish), so
+	// checking pending first then cache cannot miss both. A job whose
+	// cancellation was requested (or that raced to a terminal state) is
+	// not a coalescing target — the new submission must actually run.
+	if existing, inFlight := s.pending[hash]; inFlight && !existing.cancel.Load() {
+		existing.mu.Lock()
+		terminal := existing.status.terminal()
+		existing.mu.Unlock()
+		if !terminal {
+			s.metrics.jobsCoalesced.Add(1)
+			s.mu.Unlock()
+			return existing.view(), nil
+		}
+	}
+	if entry, hit := s.cache.get(hash); hit {
+		j.cacheHit = true
+		j.status = StatusDone
+		r := entry.result
+		j.result = &r
+		j.records = entry.records
+		j.truncated = entry.truncated
+		j.started, j.finished = now, now
+		s.metrics.cacheHits.Add(1)
+		s.metrics.jobsCompleted.Add(1)
+	} else {
+		// Reject before touching counters or IDs so a shed request
+		// leaves no trace in the metrics.
+		select {
+		case s.queue <- j:
+		default:
+			s.mu.Unlock()
+			return JobView{}, ErrQueueFull
+		}
+		s.pending[hash] = j
+		s.metrics.cacheMisses.Add(1)
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("r-%d", s.nextID)
+	s.metrics.jobsSubmitted.Add(1)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+	return j.view(), nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the MaxJobs bound so
+// the daemon's job history cannot grow without limit. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	if len(s.order) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.opts.MaxJobs
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		evictable := j.status.terminal()
+		j.mu.Unlock()
+		if excess > 0 && evictable {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get returns a job's current state.
+func (s *Service) Get(id string) (JobView, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return j.view(), nil
+}
+
+// List returns all jobs in submission order.
+func (s *Service) List() []JobView {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Cancel requests cancellation. Queued jobs are dropped when a worker
+// dequeues them; running jobs abort at their next observer round (engines
+// without observer support — gossip — run to completion). Terminal jobs
+// return ErrTerminal.
+func (s *Service) Cancel(id string) (JobView, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		return j.view(), ErrTerminal
+	}
+	j.mu.Unlock()
+	j.cancel.Store(true)
+	// A cancel-flagged job must stop absorbing identical submissions.
+	s.mu.Lock()
+	if s.pending[j.hash] == j {
+		delete(s.pending, j.hash)
+	}
+	s.mu.Unlock()
+	return j.view(), nil
+}
+
+// Records returns the stored round records from index i on, whether the
+// job is terminal, and a channel closed at the next update — the follow
+// primitive for embedding users (the HTTP stream endpoint holds the job
+// directly so it survives history eviction).
+func (s *Service) Records(id string, i int) ([]RoundRecord, bool, <-chan struct{}, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	recs, terminal, notify := j.recordsFrom(i)
+	return recs, terminal, notify, nil
+}
+
+func (s *Service) job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if j.cancel.Load() {
+			s.finish(j, StatusCancelled, nil, "cancelled before start")
+			continue
+		}
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.started = time.Now()
+		j.wake()
+		j.mu.Unlock()
+
+		s.metrics.workersBusy.Add(1)
+		max := s.opts.MaxRecords
+		res, err := Execute(j.spec,
+			func(rec RoundRecord) { j.appendRecord(max, rec) },
+			j.cancel.Load)
+		s.metrics.workersBusy.Add(-1)
+
+		switch {
+		case err == nil:
+			s.finish(j, StatusDone, &res, "")
+		case errors.Is(err, ErrCancelled):
+			s.finish(j, StatusCancelled, nil, "cancelled while running")
+		default:
+			s.finish(j, StatusFailed, nil, err.Error())
+		}
+	}
+}
+
+// finish moves a job to a terminal state and, for successful runs, stores
+// the result in the cache.
+func (s *Service) finish(j *Job, st Status, res *RunResult, errMsg string) {
+	j.mu.Lock()
+	j.status = st
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	records, truncated := j.records, j.truncated
+	j.wake()
+	j.mu.Unlock()
+	switch st {
+	case StatusDone:
+		// Cache before clearing the pending entry: a concurrent Submit
+		// that misses the pending map must then hit the cache.
+		s.cache.put(j.hash, &cacheEntry{result: *res, records: records, truncated: truncated})
+		s.metrics.jobsCompleted.Add(1)
+	case StatusFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StatusCancelled:
+		s.metrics.jobsCancelled.Add(1)
+	}
+	s.mu.Lock()
+	if s.pending[j.hash] == j {
+		delete(s.pending, j.hash)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/consensus"
+)
+
+func waitDone(t *testing.T, s *Service, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status.terminal() {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return JobView{}
+}
+
+// TestCacheHitDeterminism: a second identical submission is answered from
+// the cache with the identical result and records, without re-running.
+func TestCacheHitDeterminism(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	spec := Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 2000},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 9,
+	}
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first submission cannot be a cache hit")
+	}
+	final := waitDone(t, s, first.ID)
+	if final.Status != StatusDone || final.Result == nil {
+		t.Fatalf("first run failed: %+v", final)
+	}
+
+	second, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.Status != StatusDone || second.Result == nil {
+		t.Fatalf("second submission must be a completed cache hit: %+v", second)
+	}
+	if *second.Result != *final.Result {
+		t.Fatalf("cache returned a different result: %+v vs %+v", second.Result, final.Result)
+	}
+	recs1, _, _, err := s.Records(first.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs2, _, _, err := s.Records(second.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs1) == 0 || len(recs1) != len(recs2) {
+		t.Fatalf("cache hit must replay the records: %d vs %d", len(recs1), len(recs2))
+	}
+	for i := range recs1 {
+		if recs1[i] != recs2[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, recs1[i], recs2[i])
+		}
+	}
+	m := s.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("metrics: hits=%d misses=%d, want 1/1", m.CacheHits, m.CacheMisses)
+	}
+	if m.JobsSubmitted != 2 || m.JobsCompleted != 2 {
+		t.Fatalf("metrics: submitted=%d completed=%d, want 2/2", m.JobsSubmitted, m.JobsCompleted)
+	}
+}
+
+// TestCancelRunning cancels a long run mid-flight via the observer hook.
+func TestCancelRunning(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	// A voter run large enough to take a while under MaxRounds pressure.
+	spec := Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
+		Rule:      RuleSpec{Name: "voter"},
+		Seed:      2,
+		MaxRounds: 1 << 20,
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one record proves the run started, then cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		recs, terminal, _, err := s.Records(view.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal {
+			t.Fatalf("run finished before it could be cancelled")
+		}
+		if len(recs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never produced a record")
+		}
+	}
+	if _, err := s.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, view.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("status = %s, want cancelled", final.Status)
+	}
+	if s.Metrics().JobsCancelled != 1 {
+		t.Fatalf("jobs_cancelled = %d, want 1", s.Metrics().JobsCancelled)
+	}
+	// Cancelling again reports the terminal conflict.
+	if _, err := s.Cancel(view.ID); err != ErrTerminal {
+		t.Fatalf("second cancel: %v, want ErrTerminal", err)
+	}
+}
+
+// TestCancelQueued cancels a job before a worker picks it up.
+func TestCancelQueued(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	blocker := Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
+		Rule:      RuleSpec{Name: "voter"},
+		Seed:      4,
+		MaxRounds: 1 << 20,
+	}
+	b, err := s.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{queued.ID, b.ID} {
+		if v := waitDone(t, s, id); v.Status != StatusCancelled {
+			t.Fatalf("job %s: status %s, want cancelled", id, v.Status)
+		}
+	}
+}
+
+// TestCloseCancelsQueued: Close must not run the backlog to completion.
+func TestCloseCancelsQueued(t *testing.T) {
+	s := New(Options{Workers: 1})
+	blocker := Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
+		Rule:      RuleSpec{Name: "voter"},
+		Seed:      6,
+		MaxRounds: 1 << 20,
+	}
+	b, err := s.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
+		Rule:      RuleSpec{Name: "voter"},
+		Seed:      7,
+		MaxRounds: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close should cancel the queued job; the running blocker is allowed
+	// to finish (here: run to its natural end or get drained quickly).
+	if _, err := s.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	v, err := s.Get(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusCancelled {
+		t.Fatalf("queued job after Close: status %s, want cancelled", v.Status)
+	}
+}
+
+// TestJobEviction: the job history is bounded; oldest terminal jobs are
+// evicted while their cached results stay servable.
+func TestJobEviction(t *testing.T) {
+	s := New(Options{Workers: 2, MaxJobs: 3})
+	defer s.Close()
+	var ids []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		v, err := s.Submit(Spec{
+			Init: consensus.InitSpec{Kind: "twovalue", N: 200},
+			Rule: RuleSpec{Name: "median"},
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		waitDone(t, s, v.ID)
+	}
+	if got := len(s.List()); got != 3 {
+		t.Fatalf("job history holds %d jobs, want 3", got)
+	}
+	if _, err := s.Get(ids[0]); err != ErrNotFound {
+		t.Fatalf("oldest job must be evicted, got %v", err)
+	}
+	if _, err := s.Get(ids[5]); err != nil {
+		t.Fatalf("newest job must survive: %v", err)
+	}
+	// The evicted run's result is still answered from the cache.
+	v, err := s.Submit(Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 200},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.CacheHit {
+		t.Fatal("evicted job's spec must still hit the result cache")
+	}
+}
+
+// TestCoalesceInFlight: an identical spec submitted while the first run is
+// still queued/running returns the existing job instead of re-executing.
+func TestCoalesceInFlight(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	spec := Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
+		Rule:      RuleSpec{Name: "voter"},
+		Seed:      8,
+		MaxRounds: 1 << 20,
+	}
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("in-flight duplicate got a new job: %s vs %s", second.ID, first.ID)
+	}
+	m := s.Metrics()
+	if m.JobsCoalesced != 1 || m.JobsSubmitted != 1 {
+		t.Fatalf("metrics: coalesced=%d submitted=%d, want 1/1", m.JobsCoalesced, m.JobsSubmitted)
+	}
+	if _, err := s.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	// After cancellation the job is no longer a coalescing target: the
+	// same spec submitted again must get a fresh job, not the cancelled
+	// one.
+	third, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ID == first.ID {
+		t.Fatal("resubmission coalesced onto a cancel-flagged job")
+	}
+	if _, err := s.Cancel(third.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, first.ID)
+	waitDone(t, s, third.ID)
+}
+
+// TestSubmitPopulationLimit rejects specs beyond the MaxN admission bound.
+func TestSubmitPopulationLimit(t *testing.T) {
+	s := New(Options{Workers: 1, MaxN: 1000})
+	defer s.Close()
+	if _, err := s.Submit(Spec{
+		Init: consensus.InitSpec{Kind: "distinct", N: 1001},
+		Rule: RuleSpec{Name: "median"},
+	}); err == nil {
+		t.Fatal("population above MaxN must be rejected")
+	}
+	if _, err := s.Submit(Spec{
+		Init: consensus.InitSpec{Kind: "blocks", Counts: []int64{600, 600}},
+		Rule: RuleSpec{Name: "median"},
+	}); err == nil {
+		t.Fatal("blocks population above MaxN must be rejected")
+	}
+	if _, err := s.Submit(Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 1000},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 1,
+	}); err != nil {
+		t.Fatalf("population at MaxN must be accepted: %v", err)
+	}
+}
+
+// TestSubmitInvalidSpec surfaces validation errors at submit time.
+func TestSubmitInvalidSpec(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(Spec{Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "nope"}}); err == nil {
+		t.Fatal("invalid spec must be rejected")
+	}
+	if m := s.Metrics(); m.JobsSubmitted != 0 {
+		t.Fatalf("rejected submissions must not count, got %d", m.JobsSubmitted)
+	}
+}

@@ -1,0 +1,215 @@
+// Package service turns the consensus library into an embeddable
+// simulation-as-a-service subsystem: serializable run specs, a job store
+// with a bounded worker pool, a result cache keyed by the canonical spec
+// hash, and an HTTP JSON API (see Handler). The cmd/consensusd daemon and
+// cmd/consensusctl client are thin wrappers around this package.
+//
+// A Spec is the JSON form of a consensus.Config. Rules, adversaries,
+// engines, timings and initial states are referenced by registry name
+// (rules.New, adversary.New, consensus.EngineByName, consensus.BuildInit),
+// so every strategy the library grows becomes submittable over the wire
+// without touching this package.
+//
+// Canonical hashing: Normalize fills defaulted fields, json.Marshal orders
+// struct fields deterministically and map keys lexicographically, and Hash
+// is the SHA-256 of that canonical encoding. Two specs describing the same
+// run therefore share a hash, which is the cache key and the seed-derivation
+// input for seedless specs.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/adversary"
+	"repro/consensus"
+	"repro/internal/rng"
+	"repro/rules"
+)
+
+// Spec is the serializable description of one simulation run.
+type Spec struct {
+	// Init describes the initial state (see consensus.InitKinds).
+	Init consensus.InitSpec `json:"init"`
+	// Rule references a registered update rule (see rules.Names).
+	Rule RuleSpec `json:"rule"`
+	// Adversary optionally references a registered strategy (nil = none).
+	Adversary *AdversarySpec `json:"adversary,omitempty"`
+	// Seed makes the run reproducible. 0 means "derive from the spec
+	// hash" (see DeriveSeed), so seedless specs are still deterministic.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxRounds caps the run (0 = engine default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// AlmostSlack enables almost-stable detection (see consensus.Config).
+	AlmostSlack int `json:"almost_slack,omitempty"`
+	// Window is the stability window (0 = default).
+	Window int `json:"window,omitempty"`
+	// Timing is the adversary hook point: "before-round" (default) or
+	// "after-choices".
+	Timing string `json:"timing,omitempty"`
+	// Engine selects the simulator by name (see consensus.EngineNames);
+	// "" and "auto" both mean automatic selection.
+	Engine string `json:"engine,omitempty"`
+	// Workers parallelises the ball engine (0/1 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// Gossip configures the gossip engine (ignored otherwise).
+	Gossip *GossipSpec `json:"gossip,omitempty"`
+}
+
+// RuleSpec references a registered rule plus its parameters.
+type RuleSpec struct {
+	Name   string       `json:"name"`
+	Params rules.Params `json:"params,omitempty"`
+}
+
+// AdversarySpec references a registered adversary strategy, its budget
+// family and its parameters.
+type AdversarySpec struct {
+	Name   string               `json:"name"`
+	Budget adversary.BudgetSpec `json:"budget"`
+	Params adversary.Params     `json:"params,omitempty"`
+}
+
+// GossipSpec carries the serializable gossip-engine knobs. The adversarial
+// drop Selector of consensus.GossipConfig is a function value and therefore
+// not spec-addressable; submit such runs through the library API.
+type GossipSpec struct {
+	CapFactor float64 `json:"cap_factor,omitempty"`
+}
+
+// Normalize returns a copy with defaulted fields made explicit and empty
+// parameter maps dropped, so equivalent specs share one canonical encoding.
+func (s Spec) Normalize() Spec {
+	s.Init = consensus.NormalizeInit(s.Init)
+	if s.Engine == "" {
+		s.Engine = "auto"
+	}
+	if s.Timing == "" {
+		s.Timing = "before-round"
+	}
+	if len(s.Rule.Params) == 0 {
+		s.Rule.Params = nil
+	}
+	if s.Adversary != nil {
+		a := *s.Adversary
+		if len(a.Params) == 0 {
+			a.Params = nil
+		}
+		s.Adversary = &a
+	}
+	if s.Gossip != nil && *s.Gossip == (GossipSpec{}) {
+		s.Gossip = nil
+	}
+	if s.Workers == 1 {
+		s.Workers = 0
+	}
+	return s
+}
+
+// Validate checks that every registry reference resolves and the init spec
+// is well-formed, without materializing the O(n) initial state — it is safe
+// to call on every API request.
+func (s Spec) Validate() error {
+	if err := consensus.CheckInit(s.Init); err != nil {
+		return err
+	}
+	_, err := s.components()
+	return err
+}
+
+// Canonical returns the canonical JSON encoding of the normalized spec —
+// the byte string the hash, cache and seed derivation are defined over.
+func (s Spec) Canonical() ([]byte, error) {
+	return json.Marshal(s.Normalize())
+}
+
+// Hash returns the canonical spec hash as a hex string.
+func (s Spec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return fmt.Sprintf("%x", sum[:]), nil
+}
+
+// DeriveSeed maps a canonical spec hash to a run seed via the splitmix64
+// finalizer, so seedless specs get a deterministic, well-mixed seed.
+func DeriveSeed(hash string) uint64 {
+	sum := sha256.Sum256([]byte(hash))
+	return rng.Mix64(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// EffectiveSeed returns the seed a run of this spec will actually use.
+func (s Spec) EffectiveSeed() (uint64, error) {
+	if s.Seed != 0 {
+		return s.Seed, nil
+	}
+	h, err := s.Hash()
+	if err != nil {
+		return 0, err
+	}
+	return DeriveSeed(h), nil
+}
+
+// Config materializes the spec into a runnable consensus.Config with a
+// fresh rule and adversary instance (adversaries carry per-run state) and
+// the effective seed filled in.
+func (s Spec) Config() (consensus.Config, error) {
+	cfg, err := s.components()
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	cfg.Values, err = consensus.BuildInit(s.Init)
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	cfg.Seed, err = s.EffectiveSeed()
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	return cfg, nil
+}
+
+// components resolves every registry reference except the initial state
+// (Config fills Values; Validate deliberately leaves them empty).
+func (s Spec) components() (consensus.Config, error) {
+	rule, err := rules.New(s.Rule.Name, s.Rule.Params)
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	var adv consensus.Adversary
+	if s.Adversary != nil {
+		adv, err = adversary.New(s.Adversary.Name, s.Adversary.Budget, s.Adversary.Params)
+		if err != nil {
+			return consensus.Config{}, err
+		}
+	}
+	engine, err := consensus.EngineByName(s.Engine)
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	timing, err := consensus.TimingByName(s.Timing)
+	if err != nil {
+		return consensus.Config{}, err
+	}
+	if s.MaxRounds < 0 || s.AlmostSlack < 0 || s.Window < 0 || s.Workers < 0 {
+		return consensus.Config{}, fmt.Errorf("service: negative max_rounds, almost_slack, window or workers")
+	}
+	cfg := consensus.Config{
+		Rule:        rule,
+		Adversary:   adv,
+		MaxRounds:   s.MaxRounds,
+		AlmostSlack: s.AlmostSlack,
+		Window:      s.Window,
+		Timing:      timing,
+		Engine:      engine,
+		Workers:     s.Workers,
+	}
+	if s.Gossip != nil {
+		cfg.Gossip = consensus.GossipConfig{CapFactor: s.Gossip.CapFactor}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/adversary"
+	"repro/consensus"
+	"repro/rules"
+)
+
+// ruleParamsFor supplies the parameters a registered rule needs to build.
+func ruleParamsFor(name string) rules.Params {
+	if name == "kmedian" {
+		return rules.Params{"k": 2}
+	}
+	return nil
+}
+
+// advParamsFor supplies the parameters a registered adversary needs.
+func advParamsFor(name string) adversary.Params {
+	switch name {
+	case "balancer":
+		return adversary.Params{"low": 1, "high": 2}
+	case "reviver":
+		return adversary.Params{"target": 1, "delay": 2}
+	case "flipper":
+		return adversary.Params{"a": 1, "b": 2}
+	case "hider":
+		return adversary.Params{"held": 1}
+	default:
+		return nil
+	}
+}
+
+// TestSpecRoundTripRules JSON round-trips a spec for every registered rule
+// and checks the canonical hash survives the trip.
+func TestSpecRoundTripRules(t *testing.T) {
+	for _, name := range rules.Names() {
+		spec := Spec{
+			Init: consensus.InitSpec{Kind: "uniform", N: 100, M: 4, Seed: 7},
+			Rule: RuleSpec{Name: name, Params: ruleParamsFor(name)},
+			Seed: 3,
+		}
+		roundTrip(t, "rule "+name, spec)
+	}
+}
+
+// TestSpecRoundTripAdversaries does the same for every registered adversary.
+func TestSpecRoundTripAdversaries(t *testing.T) {
+	for _, name := range adversary.Names() {
+		spec := Spec{
+			Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+			Rule: RuleSpec{Name: "median"},
+			Adversary: &AdversarySpec{
+				Name:   name,
+				Budget: adversary.BudgetSpec{Kind: "sqrt", Factor: 1},
+				Params: advParamsFor(name),
+			},
+			Seed: 3,
+		}
+		roundTrip(t, "adversary "+name, spec)
+	}
+}
+
+// TestSpecRoundTripEngines does the same for every registered engine name.
+func TestSpecRoundTripEngines(t *testing.T) {
+	for _, name := range consensus.EngineNames() {
+		spec := Spec{
+			Init:   consensus.InitSpec{Kind: "twovalue", N: 64},
+			Rule:   RuleSpec{Name: "median"},
+			Engine: name,
+			Seed:   3,
+		}
+		roundTrip(t, "engine "+name, spec)
+	}
+}
+
+func roundTrip(t *testing.T, label string, spec Spec) {
+	t.Helper()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("%s: validate: %v", label, err)
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	var back Spec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("%s: unmarshal: %v", label, err)
+	}
+	if !reflect.DeepEqual(spec.Normalize(), back.Normalize()) {
+		t.Fatalf("%s: round trip changed the spec:\n  in:  %+v\n  out: %+v", label, spec, back)
+	}
+	h1, err := spec.Hash()
+	if err != nil {
+		t.Fatalf("%s: hash: %v", label, err)
+	}
+	h2, err := back.Hash()
+	if err != nil {
+		t.Fatalf("%s: hash after round trip: %v", label, err)
+	}
+	if h1 != h2 {
+		t.Fatalf("%s: hash changed across JSON round trip: %s != %s", label, h1, h2)
+	}
+	if _, err := back.Config(); err != nil {
+		t.Fatalf("%s: config after round trip: %v", label, err)
+	}
+}
+
+// TestCanonicalHash pins the normalization rules: defaulted fields do not
+// change the hash, while semantically different specs do.
+func TestCanonicalHash(t *testing.T) {
+	base := Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 5,
+	}
+	explicit := base
+	explicit.Engine = "auto"
+	explicit.Timing = "before-round"
+	explicit.Rule.Params = rules.Params{}
+	explicit.Workers = 1 // one worker == sequential == the default
+
+	h1 := mustHash(t, base)
+	h2 := mustHash(t, explicit)
+	if h1 != h2 {
+		t.Fatalf("defaulted and explicit specs must hash equal: %s != %s", h1, h2)
+	}
+
+	other := base
+	other.Seed = 6
+	if mustHash(t, other) == h1 {
+		t.Fatal("different seeds must hash differently")
+	}
+	otherRule := base
+	otherRule.Rule = RuleSpec{Name: "voter"}
+	if mustHash(t, otherRule) == h1 {
+		t.Fatal("different rules must hash differently")
+	}
+
+	// Init defaults canonicalize too: spelling out twovalue's implied
+	// n_low/low/high (or uniform's clamped m) must not change the hash.
+	explicitInit := base
+	explicitInit.Init = consensus.InitSpec{Kind: "twovalue", N: 100, NLow: 50, Low: 1, High: 2}
+	if mustHash(t, explicitInit) != h1 {
+		t.Fatal("implied and explicit twovalue defaults must hash equal")
+	}
+	u1 := Spec{Init: consensus.InitSpec{Kind: "uniform", N: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}}
+	u2 := Spec{Init: consensus.InitSpec{Kind: "uniform", N: 50, M: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}}
+	if mustHash(t, u1) != mustHash(t, u2) {
+		t.Fatal("uniform m=0 and m=n must hash equal")
+	}
+}
+
+func mustHash(t *testing.T, s Spec) string {
+	t.Helper()
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestSeedDerivation: seedless specs still run deterministically, with a
+// seed derived from the canonical hash.
+func TestSeedDerivation(t *testing.T) {
+	spec := Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "median"},
+	}
+	s1, err := spec.EffectiveSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := spec.EffectiveSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == 0 || s1 != s2 {
+		t.Fatalf("derived seed must be stable and non-zero, got %d and %d", s1, s2)
+	}
+	seeded := spec
+	seeded.Seed = 42
+	s3, err := seeded.EffectiveSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != 42 {
+		t.Fatalf("explicit seed must win, got %d", s3)
+	}
+}
+
+// TestSpecValidateErrors rejects unknown registry references and bad
+// parameters.
+func TestSpecValidateErrors(t *testing.T) {
+	bad := []Spec{
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "nope"}},
+		{Init: consensus.InitSpec{Kind: "nope", N: 100}, Rule: RuleSpec{Name: "median"}},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 0}, Rule: RuleSpec{Name: "median"}},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median", Params: rules.Params{"z": 1}}},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Engine: "warp"},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Timing: "never"},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, MaxRounds: -1},
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"},
+			Adversary: &AdversarySpec{Name: "balancer", Budget: adversary.BudgetSpec{Kind: "cubic", Factor: 1}}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+// TestExecuteConverges runs a small median-rule spec end to end.
+func TestExecuteConverges(t *testing.T) {
+	spec := Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 1000},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 1,
+	}
+	var rounds []RoundRecord
+	res, err := Execute(spec, func(r RoundRecord) { rounds = append(rounds, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != "consensus" {
+		t.Fatalf("expected consensus, got %+v", res)
+	}
+	if res.Winner != 1 && res.Winner != 2 {
+		t.Fatalf("winner %d not an initial value", res.Winner)
+	}
+	if res.WinnerCount != 1000 {
+		t.Fatalf("winner count %d != n", res.WinnerCount)
+	}
+	// R rounds yield R+1 records: the initial state plus one per round.
+	if len(rounds) != res.Rounds+1 {
+		t.Fatalf("got %d round records, want %d", len(rounds), res.Rounds+1)
+	}
+	for i, r := range rounds {
+		if r.Round != i || r.N != 1000 || r.Support < 1 || r.Support > 2 || r.LeaderCount < 500 {
+			t.Fatalf("bad round record %d: %+v", i, r)
+		}
+	}
+	// Determinism: same spec, same trajectory.
+	res2, err := Execute(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Fatalf("identical specs diverged: %+v vs %+v", res, res2)
+	}
+}
+
+// TestExecuteBadEngineCombination: an invalid engine/state pairing must
+// surface as an error, not a panic.
+func TestExecuteBadEngineCombination(t *testing.T) {
+	spec := Spec{
+		Init:   consensus.InitSpec{Kind: "distinct", N: 100}, // 100 distinct values
+		Rule:   RuleSpec{Name: "median"},
+		Engine: "twobin", // needs <= 2 values
+		Seed:   1,
+	}
+	if _, err := Execute(spec, nil, nil); err == nil {
+		t.Fatal("expected an error for twobin on 100 distinct values")
+	}
+}
