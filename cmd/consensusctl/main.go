@@ -1,8 +1,13 @@
-// Command consensusctl is the consensusd client: it submits run specs,
-// fetches results, follows live round streams and reads service metrics.
+// Command consensusctl is the consensusd client: it submits run specs of
+// any kind, runs batch sweeps, fetches results, follows live round streams
+// and reads service metrics.
 //
 //	consensusctl submit -n 100000 -rule median -wait
+//	consensusctl submit -kind multidim -init random -n 2000 -d 3 -wait
+//	consensusctl submit -kind robust -n 5000 -loss 0.1 -crashes 50 -wait
 //	consensusctl submit -spec run.json -stream
+//	consensusctl batch -axis n=1e3,1e4 -axis seed=1,2,3
+//	consensusctl batch -spec batch.json
 //	consensusctl get r-1
 //	consensusctl watch r-1
 //	consensusctl cancel r-1
@@ -11,7 +16,8 @@
 // The server is selected with -server (default http://localhost:8645) on
 // every subcommand. "submit -spec -" reads one or more JSON specs from
 // stdin (a single spec object, a service RunRecord, or NDJSON of either),
-// so sweep -json output pipes straight back into the service.
+// so sweep -json output pipes straight back into the service. "batch"
+// streams one BatchCellRecord per expanded cell as NDJSON.
 package main
 
 import (
@@ -22,10 +28,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/adversary"
 	"repro/consensus"
+	"repro/multidim"
 	"repro/service"
 	"repro/service/client"
 )
@@ -40,6 +49,8 @@ func main() {
 	switch cmd {
 	case "submit":
 		err = runSubmit(args)
+	case "batch":
+		err = runBatch(args)
 	case "get":
 		err = runGet(args)
 	case "watch":
@@ -65,6 +76,7 @@ func usage() {
 
 commands:
   submit    submit a run spec (flags or -spec file)
+  batch     submit a batch grid and stream per-cell records
   get       print a run's state
   watch     stream a run's per-round records, then print the result
   cancel    request cancellation of a run
@@ -77,24 +89,205 @@ func serverFlag(fs *flag.FlagSet) *string {
 	return fs.String("server", "http://localhost:8645", "consensusd base URL")
 }
 
+// specFlags is the shared flag surface that builds one Spec of any kind —
+// the submit command's template and the batch command's grid template.
+type specFlags struct {
+	fs       *flag.FlagSet
+	kind     *string
+	n        *int
+	m        *int
+	d        *int
+	initKind *string
+	ruleName *string
+	k        *int
+	advName  *string
+	budgetK  *string
+	budgetF  *float64
+	noiseT   *int
+	loss     *float64
+	crashes  *int
+	mode     *string
+	seed     *uint64
+	rounds   *int
+	slack    *int
+	window   *int
+	timing   *string
+	engine   *string
+}
+
+func addSpecFlags(fs *flag.FlagSet) *specFlags {
+	return &specFlags{
+		fs:       fs,
+		kind:     fs.String("kind", "median", "spec kind: median, multidim, robust"),
+		n:        fs.Int("n", 100000, "population size"),
+		m:        fs.Int("m", 2, "number of initial values (multidim: coordinate range)"),
+		d:        fs.Int("d", 1, "point dimension (kind multidim)"),
+		initKind: fs.String("init", "", "initial state kind (median/robust: consensus.InitKinds, default twovalue; multidim: multidim.InitKinds, default random)"),
+		ruleName: fs.String("rule", "median", "rule registry name (kind median)"),
+		k:        fs.Int("k", 0, "k parameter for the kmedian rule (0 = unset)"),
+		advName:  fs.String("adversary", "", "adversary registry name ('' = none; multidim: see multidim.AdversaryNames)"),
+		budgetK:  fs.String("budget", "sqrt", "adversary budget kind: fixed, sqrt, sqrtlog (kind median)"),
+		budgetF:  fs.Float64("budget-factor", 1, "adversary budget factor (kind median)"),
+		noiseT:   fs.Int("t", 0, "multidim adversary per-round budget (0 = default)"),
+		loss:     fs.Float64("loss", 0, "per-sample loss probability (kind robust)"),
+		crashes:  fs.Int("crashes", 0, "crashed processes (kind robust)"),
+		mode:     fs.String("mode", "", "crash fault mode: responsive, silent (kind robust)"),
+		seed:     fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)"),
+		rounds:   fs.Int("rounds", 0, "round cap (0 = engine default)"),
+		slack:    fs.Int("slack", 0, "almost-stable slack (0 = off; kind median)"),
+		window:   fs.Int("window", 0, "stability window (0 = default; kind median)"),
+		timing:   fs.String("timing", "", "adversary timing: before-round, after-choices (kind median)"),
+		engine:   fs.String("engine", "", "engine: auto, ball, count, twobin, gossip (kind median)"),
+	}
+}
+
+// kindOwnedFlags lists the spec flags each kind interprets beyond the
+// shared kind/n/m/init/seed/rounds set. A flag explicitly set for a
+// foreign kind is an error — mirroring the server-side Validate
+// strictness — instead of silently running without it.
+var kindOwnedFlags = map[string]map[string]bool{
+	service.KindMedian: {"rule": true, "k": true, "adversary": true, "budget": true,
+		"budget-factor": true, "slack": true, "window": true, "timing": true, "engine": true},
+	service.KindMultidim: {"d": true, "adversary": true, "t": true},
+	service.KindRobust:   {"loss": true, "crashes": true, "mode": true},
+}
+
+// checkKindFlags rejects explicitly-set flags another kind owns.
+func (f *specFlags) checkKindFlags(kind string) error {
+	allowed := kindOwnedFlags[kind]
+	var bad []string
+	f.fs.Visit(func(fl *flag.Flag) {
+		if allowed[fl.Name] {
+			return
+		}
+		for _, owned := range kindOwnedFlags {
+			if owned[fl.Name] {
+				bad = append(bad, "-"+fl.Name)
+				return
+			}
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("flags %s do not apply to kind %s", strings.Join(bad, ", "), kind)
+	}
+	return nil
+}
+
+// spec assembles the Spec the flags describe. Kinds that ignore a field
+// never embed it — an irrelevant m (or seed) would change the canonical
+// hash and defeat the result cache.
+func (f *specFlags) spec() (service.Spec, error) {
+	kind := *f.kind
+	if kind == "" {
+		kind = service.KindMedian
+	}
+	switch kind {
+	case service.KindMedian, service.KindMultidim, service.KindRobust:
+	default:
+		return service.Spec{}, fmt.Errorf("unknown spec kind %q (known: %v)", *f.kind, service.Kinds())
+	}
+	if err := f.checkKindFlags(kind); err != nil {
+		return service.Spec{}, err
+	}
+	switch kind {
+	case service.KindMultidim:
+		return f.multidimSpec()
+	case service.KindRobust:
+		return f.robustSpec()
+	default:
+		return f.medianSpec()
+	}
+}
+
+// scalarInit builds the shared scalar init spec of the median and robust
+// kinds.
+func (f *specFlags) scalarInit() consensus.InitSpec {
+	kind := *f.initKind
+	if kind == "" {
+		kind = "twovalue"
+	}
+	init := consensus.InitSpec{Kind: kind, N: *f.n}
+	switch kind {
+	case "uniform":
+		init.M = *f.m
+		init.Seed = *f.seed
+	case "evenblocks":
+		init.M = *f.m
+	}
+	return init
+}
+
+func (f *specFlags) medianSpec() (service.Spec, error) {
+	spec := service.Spec{
+		Init:        f.scalarInit(),
+		Rule:        service.RuleSpec{Name: *f.ruleName},
+		Seed:        *f.seed,
+		MaxRounds:   *f.rounds,
+		AlmostSlack: *f.slack,
+		Window:      *f.window,
+		Timing:      *f.timing,
+		Engine:      *f.engine,
+	}
+	if *f.k > 0 {
+		spec.Rule.Params = map[string]float64{"k": float64(*f.k)}
+	}
+	if *f.advName != "" && *f.advName != "none" {
+		spec.Adversary = &service.AdversarySpec{
+			Name:   *f.advName,
+			Budget: adversary.BudgetSpec{Kind: *f.budgetK, Factor: *f.budgetF},
+		}
+	}
+	return spec, nil
+}
+
+func (f *specFlags) multidimSpec() (service.Spec, error) {
+	kind := *f.initKind
+	if kind == "" {
+		kind = "random"
+	}
+	init := multidim.InitSpec{Kind: kind, N: *f.n, D: *f.d}
+	if kind == "random" {
+		init.M = *f.m
+		init.Seed = *f.seed
+	}
+	spec := service.Spec{
+		Kind:      service.KindMultidim,
+		Seed:      *f.seed,
+		MaxRounds: *f.rounds,
+		Multidim:  &service.MultidimSpec{Init: init},
+	}
+	if *f.advName != "" && *f.advName != "none" {
+		adv := &service.MultidimAdversarySpec{Name: *f.advName}
+		if *f.noiseT > 0 {
+			adv.Params = multidim.Params{"t": float64(*f.noiseT)}
+		}
+		spec.Multidim.Adversary = adv
+	}
+	return spec, nil
+}
+
+func (f *specFlags) robustSpec() (service.Spec, error) {
+	spec := service.Spec{
+		Kind:      service.KindRobust,
+		Init:      f.scalarInit(),
+		Seed:      *f.seed,
+		MaxRounds: *f.rounds,
+	}
+	if *f.loss != 0 || *f.crashes != 0 || *f.mode != "" {
+		spec.Robust = &service.RobustSpec{
+			LossProb: *f.loss,
+			Crashes:  *f.crashes,
+			Mode:     *f.mode,
+		}
+	}
+	return spec, nil
+}
+
 func runSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	server := serverFlag(fs)
 	specPath := fs.String("spec", "", "read the spec from a JSON file ('-' = stdin, NDJSON accepted) instead of flags")
-	n := fs.Int("n", 100000, "population size")
-	m := fs.Int("m", 2, "number of initial values")
-	initKind := fs.String("init", "twovalue", "initial state kind (see consensus.InitKinds)")
-	ruleName := fs.String("rule", "median", "rule registry name")
-	k := fs.Int("k", 0, "k parameter for the kmedian rule (0 = unset)")
-	advName := fs.String("adversary", "", "adversary registry name ('' = none)")
-	budgetKind := fs.String("budget", "sqrt", "adversary budget kind: fixed, sqrt, sqrtlog")
-	budgetFactor := fs.Float64("budget-factor", 1, "adversary budget factor")
-	seed := fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)")
-	maxRounds := fs.Int("rounds", 0, "round cap (0 = engine default)")
-	slack := fs.Int("slack", 0, "almost-stable slack (0 = off)")
-	window := fs.Int("window", 0, "stability window (0 = default)")
-	timing := fs.String("timing", "", "adversary timing: before-round, after-choices")
-	engine := fs.String("engine", "", "engine: auto, ball, count, twobin, gossip")
+	sf := addSpecFlags(fs)
 	wait := fs.Bool("wait", false, "block until the run finishes and print the result")
 	stream := fs.Bool("stream", false, "stream round records while waiting (implies -wait)")
 	fs.Parse(args)
@@ -110,33 +303,9 @@ func runSubmit(args []string) error {
 			return err
 		}
 	} else {
-		spec := service.Spec{
-			Init:        consensus.InitSpec{Kind: *initKind, N: *n},
-			Rule:        service.RuleSpec{Name: *ruleName},
-			Seed:        *seed,
-			MaxRounds:   *maxRounds,
-			AlmostSlack: *slack,
-			Window:      *window,
-			Timing:      *timing,
-			Engine:      *engine,
-		}
-		// Only kinds that use a field get it: an irrelevant m (or seed)
-		// would change the canonical hash and defeat the result cache.
-		switch *initKind {
-		case "uniform":
-			spec.Init.M = *m
-			spec.Init.Seed = *seed
-		case "evenblocks":
-			spec.Init.M = *m
-		}
-		if *k > 0 {
-			spec.Rule.Params = map[string]float64{"k": float64(*k)}
-		}
-		if *advName != "" && *advName != "none" {
-			spec.Adversary = &service.AdversarySpec{
-				Name:   *advName,
-				Budget: adversary.BudgetSpec{Kind: *budgetKind, Factor: *budgetFactor},
-			}
+		spec, err := sf.spec()
+		if err != nil {
+			return err
 		}
 		specs = []service.Spec{spec}
 	}
@@ -160,6 +329,86 @@ func runSubmit(args []string) error {
 			return err
 		}
 		printJSON(final)
+	}
+	return nil
+}
+
+// axisFlags accumulates repeated -axis param=v1,v2,... flags.
+type axisFlags []service.Axis
+
+func (a *axisFlags) String() string {
+	parts := make([]string, len(*a))
+	for i, ax := range *a {
+		parts[i] = ax.Param
+	}
+	return strings.Join(parts, ",")
+}
+
+func (a *axisFlags) Set(s string) error {
+	param, list, ok := strings.Cut(s, "=")
+	if !ok || param == "" || list == "" {
+		return fmt.Errorf("axis must look like param=v1,v2,..., got %q", s)
+	}
+	var values []float64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad axis value %q in %q", part, s)
+		}
+		values = append(values, v)
+	}
+	*a = append(*a, service.Axis{Param: param, Values: values})
+	return nil
+}
+
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	server := serverFlag(fs)
+	specPath := fs.String("spec", "", "read a BatchRequest from a JSON file ('-' = stdin) instead of flags")
+	reps := fs.Int("reps", 1, "repetitions per grid cell")
+	var axes axisFlags
+	fs.Var(&axes, "axis", "sweep axis param=v1,v2,... (repeatable; cartesian product)")
+	sf := addSpecFlags(fs)
+	fs.Parse(args)
+
+	var req service.BatchRequest
+	if *specPath != "" {
+		if err := readJSONFile(*specPath, &req); err != nil {
+			return err
+		}
+	} else {
+		if len(axes) == 0 {
+			return fmt.Errorf("batch needs at least one -axis (or -spec)")
+		}
+		tmpl, err := sf.spec()
+		if err != nil {
+			return err
+		}
+		req = service.BatchRequest{Template: tmpl, Axes: axes, Reps: *reps}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return client.New(*server).Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
+		return enc.Encode(rec)
+	})
+}
+
+// readJSONFile strictly decodes one JSON document from a file or stdin.
+func readJSONFile(path string, v any) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON in %s: %w", path, err)
 	}
 	return nil
 }
@@ -205,7 +454,8 @@ func readSpecs(path string) ([]service.Spec, error) {
 // dropped, re-marshalled clean and accepted by the server.
 func decodeSpec(raw []byte) (service.Spec, error) {
 	var rec service.RunRecord
-	if err := strictUnmarshal(raw, &rec); err == nil && rec.Spec.Rule.Name != "" && rec.SpecHash != "" {
+	if err := strictUnmarshal(raw, &rec); err == nil && rec.SpecHash != "" &&
+		(rec.Spec.Rule.Name != "" || rec.Spec.Kind != "") {
 		return rec.Spec, nil
 	}
 	var spec service.Spec

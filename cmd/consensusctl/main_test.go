@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
@@ -63,6 +64,107 @@ func TestReadSpecsRejectsUnknownFields(t *testing.T) {
 		`{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"maxrounds":500}`))
 	if err == nil {
 		t.Fatal("misspelled field must be rejected")
+	}
+}
+
+func TestReadSpecsKindedRecords(t *testing.T) {
+	// multidim and robust specs have no rule name; the RunRecord wrapper
+	// must still be recognized by its kind, and bare kinded specs parse.
+	specs, err := readSpecs(writeTemp(t,
+		`{"spec":{"kind":"multidim","seed":1,"multidim":{"init":{"kind":"distinct","n":10,"d":2}}},"spec_hash":"abc","result":{"rounds":3,"reason":"consensus","winner":0,"winner_count":10,"stable_since":0,"seed":1}}
+{"kind":"robust","init":{"kind":"twovalue","n":20},"robust":{"loss_prob":0.1,"crashes":2}}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs, want 2", len(specs))
+	}
+	if specs[0].Kind != "multidim" || specs[0].Multidim == nil || specs[0].Multidim.Init.N != 10 {
+		t.Fatalf("kinded RunRecord wrapper not unwrapped: %+v", specs[0])
+	}
+	if specs[1].Kind != "robust" || specs[1].Robust == nil || specs[1].Robust.Crashes != 2 {
+		t.Fatalf("bare robust spec mis-parsed: %+v", specs[1])
+	}
+}
+
+func TestAxisFlags(t *testing.T) {
+	var axes axisFlags
+	if err := axes.Set("n=1e3,2e3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := axes.Set("seed=1,2,3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(axes) != 2 || axes[0].Param != "n" || len(axes[0].Values) != 2 ||
+		axes[0].Values[1] != 2000 || axes[1].Param != "seed" || len(axes[1].Values) != 3 {
+		t.Fatalf("bad axes: %+v", axes)
+	}
+	for _, bad := range []string{"", "n", "n=", "=1,2", "n=x"} {
+		var a axisFlags
+		if err := a.Set(bad); err == nil {
+			t.Errorf("Set(%q) must error", bad)
+		}
+	}
+}
+
+func TestSpecFlagKinds(t *testing.T) {
+	// Each kind builds a valid spec from defaults, with the family
+	// payload populated and foreign fields left out.
+	for _, kind := range []string{"median", "multidim", "robust"} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		sf := addSpecFlags(fs)
+		if err := fs.Parse([]string{"-kind", kind, "-n", "100"}); err != nil {
+			t.Fatal(err)
+		}
+		spec, err := sf.spec()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: built spec invalid: %v", kind, err)
+		}
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := addSpecFlags(fs)
+	if err := fs.Parse([]string{"-kind", "warp"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.spec(); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestSpecFlagsRejectForeignKindFlags(t *testing.T) {
+	// A flag another kind owns must error, not silently drop — e.g.
+	// -loss on a median submit would otherwise run a fault-free
+	// simulation while the user believes faults were injected.
+	cases := [][]string{
+		{"-loss", "0.1"},                         // robust flag, median kind
+		{"-crashes", "5"},                        // robust flag, median kind
+		{"-kind", "multidim", "-rule", "voter"},  // median flag, multidim kind
+		{"-kind", "robust", "-d", "3"},           // multidim flag, robust kind
+		{"-kind", "robust", "-engine", "gossip"}, // median flag, robust kind
+		{"-kind", "multidim", "-mode", "silent"}, // robust flag, multidim kind
+	}
+	for _, args := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		sf := addSpecFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sf.spec(); err == nil {
+			t.Errorf("args %v must be rejected", args)
+		}
+	}
+	// Flags the kind owns (and shared flags) still pass.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := addSpecFlags(fs)
+	if err := fs.Parse([]string{"-kind", "multidim", "-adversary", "noise", "-t", "2", "-n", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.spec(); err != nil {
+		t.Fatalf("multidim-owned flags rejected: %v", err)
 	}
 }
 

@@ -6,13 +6,15 @@
 //
 // Endpoints (see package service for details):
 //
-//	POST   /v1/runs             submit a run spec
+//	POST   /v1/runs             submit a run spec (median, multidim, robust)
 //	GET    /v1/runs             list runs
 //	GET    /v1/runs/{id}        run status + result
-//	DELETE /v1/runs/{id}        cancel a run
+//	DELETE /v1/runs/{id}        cancel a run (mid-simulation, any engine)
 //	GET    /v1/runs/{id}/stream per-round NDJSON records
+//	POST   /v1/batches          expand + run a grid, NDJSON per cell
 //	GET    /v1/healthz          liveness
-//	GET    /v1/metrics          job/cache/worker counters
+//	GET    /v1/metrics          job/cache/worker/batch counters (JSON, or
+//	                            Prometheus text via Accept negotiation)
 package main
 
 import (
@@ -36,15 +38,23 @@ func main() {
 	maxRecords := flag.Int("max-records", 1<<16, "max stored round records per job")
 	maxJobs := flag.Int("max-jobs", 4096, "max in-memory job history before terminal jobs are evicted")
 	maxN := flag.Int64("max-n", 1<<27, "max population a submitted spec may materialize")
+	maxBatchCells := flag.Int("max-batch-cells", 4096, "max cells one batch request may expand to")
+	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body in bytes (413 beyond)")
+	submitRate := flag.Float64("submit-rate", 0, "submit requests per second admitted (0 = unlimited; 429 beyond)")
+	submitBurst := flag.Int("submit-burst", 0, "submit rate limiter burst (0 = default)")
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		MaxRecords: *maxRecords,
-		MaxJobs:    *maxJobs,
-		MaxN:       *maxN,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		MaxRecords:    *maxRecords,
+		MaxJobs:       *maxJobs,
+		MaxN:          *maxN,
+		MaxBatchCells: *maxBatchCells,
+		MaxBodyBytes:  *maxBody,
+		SubmitRate:    *submitRate,
+		SubmitBurst:   *submitBurst,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

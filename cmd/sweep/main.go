@@ -2,26 +2,28 @@
 // prints an aligned table (or CSV) plus the growth-law fit — the generic
 // workhorse behind the Figure 1 reproductions.
 //
-// Every grid cell is executed through a service.Spec, the same serializable
-// run description the consensusd daemon accepts, so -json emits exactly the
-// machine-readable records the service API returns (one NDJSON RunRecord
-// per repetition) and any sweep row can be re-submitted over HTTP verbatim.
-//
-// Routing through the service fixes engine auto-selection to the
-// observer-present variant (two-value cells use the count or ball engine,
-// never twobin), so identical flags+seed produce identical results whether
-// a cell runs here or on a daemon. Round counts therefore differ from
-// pre-service releases of this command, whose seeds fed the twobin engine.
+// Sweeps are batches: the flags build a service.BatchRequest — a template
+// spec plus an "n" axis (or, for adversarial sweeps whose almost-stable
+// slack depends on n, an explicit per-cell spec list) — and the same
+// expansion that backs POST /v1/batches turns it into canonical per-cell
+// specs. By default the cells run through an in-process service — the
+// daemon's worker pool and cache dedupe, minus the HTTP hop; with -server
+// they stream from a consensusd daemon instead. Either way -json emits
+// exactly the machine-readable records
+// the service API returns (one NDJSON RunRecord per repetition), so any
+// sweep row can be re-submitted over HTTP verbatim.
 //
 // Examples:
 //
 //	sweep -ns 1e3,1e4,1e5,1e6 -reps 25
 //	sweep -ns 1e3,1e4,1e5 -rule median -adversary balancer -fit logn
 //	sweep -ns 1e4 -m 16 -init uniform -csv
+//	sweep -ns 1e4,1e5 -reps 10 -server http://localhost:8645
 //	sweep -ns 1e4 -reps 5 -json | consensusctl submit -spec -
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,8 +34,10 @@ import (
 	"repro/adversary"
 	"repro/consensus"
 	"repro/internal/experiment"
+	"repro/internal/stats"
 	"repro/rules"
 	"repro/service"
+	"repro/service/client"
 )
 
 func main() {
@@ -46,7 +50,8 @@ func main() {
 	maxRounds := flag.Int("rounds", 100000, "round cap")
 	fit := flag.String("fit", "logn", "growth-law fit: logn, loglogn, linear, none")
 	seed := flag.Uint64("seed", 1, "base seed")
-	workers := flag.Int("workers", 2, "sweep worker pool size")
+	workers := flag.Int("workers", 2, "local execution worker pool size")
+	server := flag.String("server", "", "run cells on a consensusd daemon instead of locally (base URL)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit NDJSON service run records instead of a table (overrides -csv, suppresses -fit)")
 	flag.Parse()
@@ -63,43 +68,33 @@ func main() {
 		fatal(err)
 	}
 
-	task := experiment.Task{
-		Name: "sweep",
-		Keys: []string{"n"},
-		Grid: experiment.Grid1(ns...),
-		Reps: *reps,
-		RunDetail: func(p []float64, s uint64) (float64, any) {
-			n := int(p[0])
-			spec, err := buildSpec(n, *m, *initKind, *ruleName, *advName, *maxRounds, s)
-			if err != nil {
-				fatal(err)
-			}
-			res, err := service.Execute(spec, nil, nil)
-			if err != nil {
-				fatal(err)
-			}
-			hash, err := spec.Hash()
-			if err != nil {
-				fatal(err)
-			}
-			return float64(res.Rounds), service.RunRecord{Spec: spec.Normalize(), SpecHash: hash, Result: res}
-		},
+	req, err := batchRequest(ns, *m, *initKind, *ruleName, *advName, *maxRounds, *seed, *reps)
+	if err != nil {
+		fatal(err)
 	}
-	cells := experiment.Sweep(task, *seed, *workers)
+	var records []service.RunRecord
+	if *server != "" {
+		records, err = runRemote(*server, req)
+	} else {
+		records, err = runLocal(req, *workers)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
-		for _, c := range cells {
-			for _, d := range c.Details {
-				if err := enc.Encode(d); err != nil {
-					fatal(err)
-				}
+		for _, rec := range records {
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
 			}
 		}
 		return
 	}
+	cells := summarize(ns, *reps, records)
 	tab := experiment.CellsTable(
 		fmt.Sprintf("rounds to consensus: rule=%s init=%s adversary=%s", *ruleName, *initKind, *advName),
-		task.Keys, cells)
+		[]string{"n"}, cells)
 	if *csv {
 		tab.CSV(os.Stdout)
 	} else {
@@ -122,8 +117,100 @@ func main() {
 	}
 }
 
-// buildSpec assembles the service spec for one repetition. The CLI keeps its
-// historical short names; they resolve to registry names here.
+// batchRequest assembles the sweep as a batch. Plain sweeps are a template
+// plus an "n" axis — the form POST /v1/batches expands server-side.
+// Adversarial sweeps pin the almost-stable slack to 3·budget(n), a derived
+// per-cell field no axis can express, so they enumerate explicit specs.
+func batchRequest(ns []float64, m int, initKind, ruleName, advName string, maxRounds int, seed uint64, reps int) (service.BatchRequest, error) {
+	if advName == "none" {
+		tmpl, err := buildSpec(0, m, initKind, ruleName, advName, maxRounds, seed)
+		if err != nil {
+			return service.BatchRequest{}, err
+		}
+		return service.BatchRequest{
+			Template: tmpl,
+			Axes:     []service.Axis{{Param: "n", Values: ns}},
+			Reps:     reps,
+		}, nil
+	}
+	specs := make([]service.Spec, len(ns))
+	for i, n := range ns {
+		spec, err := buildSpec(int(n), m, initKind, ruleName, advName, maxRounds, seed)
+		if err != nil {
+			return service.BatchRequest{}, err
+		}
+		specs[i] = spec
+	}
+	return service.BatchRequest{Specs: specs, Reps: reps}, nil
+}
+
+// runLocal expands the batch with the shared expansion rules and runs the
+// cells through an in-process service — the same pool, cache dedupe and
+// in-order emission the daemon path uses, minus the HTTP hop.
+func runLocal(req service.BatchRequest, workers int) ([]service.RunRecord, error) {
+	cells, err := service.ExpandBatch(req, service.BatchLimits{})
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	svc := service.New(service.Options{
+		Workers: workers,
+		// Sweeps only need results, not round streams, and the CLI has no
+		// server to protect: keep per-job record storage minimal and do
+		// not impose the daemon's population cap.
+		MaxRecords: 1,
+		MaxN:       1 << 62,
+	})
+	defer svc.Close()
+	records := make([]service.RunRecord, 0, len(cells))
+	err = svc.RunBatch(context.Background(), cells, func(rec service.BatchCellRecord) error {
+		if rec.Status != service.StatusDone || rec.Result == nil {
+			return fmt.Errorf("cell %d (%s): status %s: %s", rec.Index, rec.SpecHash, rec.Status, rec.Error)
+		}
+		records = append(records, service.RunRecord{Spec: rec.Spec, SpecHash: rec.SpecHash, Result: *rec.Result})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// runRemote streams the batch from a consensusd daemon.
+func runRemote(server string, req service.BatchRequest) ([]service.RunRecord, error) {
+	var records []service.RunRecord
+	err := client.New(server).Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
+		if rec.Status != service.StatusDone || rec.Result == nil {
+			return fmt.Errorf("cell %d (%s): status %s: %s", rec.Index, rec.SpecHash, rec.Status, rec.Error)
+		}
+		records = append(records, service.RunRecord{Spec: rec.Spec, SpecHash: rec.SpecHash, Result: *rec.Result})
+		return nil
+	})
+	return records, err
+}
+
+// summarize groups the flat record list (reps consecutive records per grid
+// point, in expansion order) back into experiment cells.
+func summarize(ns []float64, reps int, records []service.RunRecord) []experiment.Cell {
+	if reps < 1 {
+		reps = 1
+	}
+	cells := make([]experiment.Cell, len(ns))
+	for i, n := range ns {
+		raw := make([]float64, 0, reps)
+		for r := 0; r < reps && i*reps+r < len(records); r++ {
+			raw = append(raw, float64(records[i*reps+r].Result.Rounds))
+		}
+		cells[i] = experiment.Cell{Params: []float64{n}, Summary: stats.Summarize(raw), Raw: raw}
+	}
+	return cells
+}
+
+// buildSpec assembles the service spec for one grid point (n == 0 builds
+// the axis template, whose n the batch expansion patches in). The CLI
+// keeps its historical short names; they resolve to registry names here.
 func buildSpec(n, m int, initKind, ruleName, advName string, maxRounds int, seed uint64) (service.Spec, error) {
 	init, err := initSpec(initKind, n, m, seed)
 	if err != nil {
@@ -212,9 +299,11 @@ func parseAdversary(name string) (consensus.Adversary, error) {
 }
 
 // initSpec maps the CLI's init names onto registry init specs ("blocks"
-// historically means even blocks).
+// historically means even blocks). n == 0 leaves the population for the
+// batch "n" axis to patch, so m is passed through unclamped (cell
+// normalization clamps it against the real n).
 func initSpec(kind string, n, m int, seed uint64) (consensus.InitSpec, error) {
-	if m <= 0 || m > n {
+	if n > 0 && (m <= 0 || m > n) {
 		m = n
 	}
 	switch kind {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	"repro/service"
 )
 
 func TestParseNs(t *testing.T) {
@@ -63,5 +65,50 @@ func TestParseInitClampsM(t *testing.T) {
 	}
 	if _, err := parseInit("nonsense", 5, 2, 1); err == nil {
 		t.Fatal("unknown init must error")
+	}
+}
+
+func TestBatchRequestShapes(t *testing.T) {
+	// Plain sweeps are a template + "n" axis (server-expandable).
+	req, err := batchRequest([]float64{1000, 2000}, 2, "twovalue", "median", "none", 100, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Specs) != 0 || len(req.Axes) != 1 || req.Axes[0].Param != "n" || req.Reps != 3 {
+		t.Fatalf("plain sweep must be axis-mode: %+v", req)
+	}
+	// Adversarial sweeps carry the n-derived slack, so they enumerate
+	// explicit per-cell specs.
+	req, err = batchRequest([]float64{10000}, 2, "twovalue", "median", "balancer", 100, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Axes) != 0 || len(req.Specs) != 1 {
+		t.Fatalf("adversarial sweep must be specs-mode: %+v", req)
+	}
+	if req.Specs[0].AlmostSlack != 300 {
+		t.Fatalf("slack %d, want 3*sqrt(10000) = 300", req.Specs[0].AlmostSlack)
+	}
+	// Both shapes expand through the shared batch expansion.
+	cells, err := service.ExpandBatch(req, service.BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+}
+
+func TestSummarizeGroupsReps(t *testing.T) {
+	records := make([]service.RunRecord, 4)
+	for i, rounds := range []int{10, 12, 20, 22} {
+		records[i].Result.Rounds = rounds
+	}
+	cells := summarize([]float64{100, 200}, 2, records)
+	if len(cells) != 2 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	if cells[0].Summary.Mean != 11 || cells[1].Summary.Mean != 21 {
+		t.Fatalf("means %v/%v, want 11/21", cells[0].Summary.Mean, cells[1].Summary.Mean)
 	}
 }

@@ -128,8 +128,8 @@ type Config struct {
 	Engine Engine
 	// Workers parallelises the ball engine (0/1 = sequential).
 	Workers int
-	// Observer, when non-nil, receives the per-round distribution
-	// (ball/count/two-bin engines only). Slices are reused across calls.
+	// Observer, when non-nil, receives the per-round distribution (every
+	// engine, gossip included). Slices are reused across calls.
 	Observer func(round int, vals []Value, counts []int64)
 	// Gossip configures EngineGossip (ignored otherwise).
 	Gossip GossipConfig
@@ -217,6 +217,7 @@ func Run(cfg Config) Result {
 			MaxRounds:   cfg.MaxRounds,
 			AlmostSlack: cfg.AlmostSlack,
 			Window:      cfg.Window,
+			Observer:    cfg.Observer,
 		})
 		res := nw.Run()
 		return Result{

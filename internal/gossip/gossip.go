@@ -26,6 +26,7 @@ package gossip
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/assign"
 	"repro/internal/model"
@@ -108,6 +109,14 @@ type Options struct {
 	// AlmostSlack and Window mirror core.Options: almost-stable detection.
 	AlmostSlack int
 	Window      int
+	// Observer, when non-nil, receives the sorted value distribution once
+	// before the first round and after every executed round — the same
+	// per-round hook the balls-and-bins engines expose. It is the service
+	// layer's cancellation point: a panic raised inside the observer
+	// unwinds Run mid-simulation. Slices are reused; observers must copy
+	// what they keep. Observation never touches the RNG, so a run's
+	// trajectory is independent of whether anyone is watching.
+	Observer func(round int, vals []Value, counts []int64)
 }
 
 // DefaultCapFactor is the capacity multiplier when Options.CapFactor is 0.
@@ -321,8 +330,32 @@ func (nw *Network) Run() Result {
 
 	var curWin Value
 	run := 0
+	// With an observer attached, the per-round distribution is already
+	// computed (sorted, so the first maximal count is the smallest tied
+	// value — the same tie-break plurality uses); reuse it rather than
+	// aggregating the values a second time.
+	var obsVals []Value
+	var obsCounts []int64
+	observe := func() {
+		if nw.opts.Observer == nil {
+			return
+		}
+		obsVals, obsCounts = distInto(nw.values, obsVals[:0], obsCounts[:0])
+		nw.opts.Observer(nw.round, obsVals, obsCounts)
+	}
 	check := func() (Result, bool) {
-		w, c := plurality(nw.values)
+		var w Value
+		var c int64
+		if nw.opts.Observer != nil {
+			c = -1
+			for i, cnt := range obsCounts {
+				if cnt > c {
+					w, c = obsVals[i], cnt
+				}
+			}
+		} else {
+			w, c = plurality(nw.values)
+		}
 		if fixedPoint && c == n {
 			return Result{Rounds: nw.round, Reason: model.StopConsensus, Winner: w, WinnerCount: c, Stats: nw.stats}, true
 		}
@@ -343,17 +376,36 @@ func (nw *Network) Run() Result {
 		}
 		return Result{}, false
 	}
+	observe()
 	if res, stop := check(); stop {
 		return res
 	}
 	for nw.round < maxRounds {
 		nw.Step()
+		observe()
 		if res, stop := check(); stop {
 			return res
 		}
 	}
 	w, c := plurality(nw.values)
 	return Result{Rounds: nw.round, Reason: model.StopMaxRounds, Winner: w, WinnerCount: c, Stats: nw.stats}
+}
+
+// distInto appends the distribution of values (sorted by value, so
+// observation is deterministic) onto the given scratch slices.
+func distInto(values []Value, vals []Value, counts []int64) ([]Value, []int64) {
+	m := make(map[Value]int64, 16)
+	for _, v := range values {
+		m[v]++
+	}
+	for v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		counts = append(counts, m[v])
+	}
+	return vals, counts
 }
 
 func plurality(values []Value) (Value, int64) {

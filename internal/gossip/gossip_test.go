@@ -237,3 +237,72 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Round() must count steps")
 	}
 }
+
+// TestObserverSeesEveryRound: the observer receives the initial state plus
+// one sorted distribution per executed round, and watching a run does not
+// change its trajectory — the property the service layer's cancellation
+// and streaming hooks rest on.
+func TestObserverSeesEveryRound(t *testing.T) {
+	cfg := assign.AllDistinct(256)
+	var rounds []int
+	var lastVals []Value
+	var lastCounts []int64
+	observed := New(cfg, rules.Median{}, nil, 9, Options{
+		Observer: func(round int, vals []Value, counts []int64) {
+			rounds = append(rounds, round)
+			lastVals = append(lastVals[:0], vals...)
+			lastCounts = append(lastCounts[:0], counts...)
+			var n int64
+			for i := 1; i < len(vals); i++ {
+				if vals[i-1] >= vals[i] {
+					t.Fatalf("round %d: observed values not sorted: %v", round, vals)
+				}
+			}
+			for _, c := range counts {
+				n += c
+			}
+			if n != 256 {
+				t.Fatalf("round %d: observed counts sum to %d", round, n)
+			}
+		},
+	}).Run()
+	blind := New(cfg, rules.Median{}, nil, 9, Options{}).Run()
+	if observed.Rounds != blind.Rounds || observed.Winner != blind.Winner {
+		t.Fatalf("observer changed the trajectory: %+v vs %+v", observed, blind)
+	}
+	if len(rounds) != observed.Rounds+1 {
+		t.Fatalf("observer fired %d times, want rounds+1 = %d", len(rounds), observed.Rounds+1)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("observation %d reported round %d", i, r)
+		}
+	}
+	if len(lastVals) != 1 || lastVals[0] != observed.Winner || lastCounts[0] != 256 {
+		t.Fatalf("final observation %v/%v does not match the consensus", lastVals, lastCounts)
+	}
+}
+
+// TestObserverPanicUnwindsRun: a panic raised inside the observer escapes
+// Run mid-simulation — the mechanism service cancellation uses.
+func TestObserverPanicUnwindsRun(t *testing.T) {
+	type sentinel struct{}
+	nw := New(assign.AllDistinct(128), rules.Median{}, nil, 3, Options{
+		Observer: func(round int, _ []Value, _ []int64) {
+			if round == 2 {
+				panic(sentinel{})
+			}
+		},
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("observer panic must unwind Run")
+		} else if _, ok := r.(sentinel); !ok {
+			t.Fatalf("unexpected panic %v", r)
+		}
+		if nw.Round() != 2 {
+			t.Fatalf("run unwound at round %d, want 2", nw.Round())
+		}
+	}()
+	nw.Run()
+}

@@ -29,6 +29,7 @@
 package multidim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/rng"
@@ -237,20 +238,48 @@ func (e *Engine) result() Result {
 
 // plurality returns the most frequent point and its count.
 func plurality(state []Point) (Point, int) {
-	counts := make(map[string]int, len(state))
-	reps := make(map[string]Point, len(state))
-	var bestKey string
+	w, c, _ := Plurality(state)
+	return w, c
+}
+
+// Plurality returns the most frequent point, its count and the number of
+// distinct points in state. Ties resolve to the point whose holder appears
+// first, so the result is deterministic in state order — the property the
+// service layer's cache-determinism guarantee rests on. The returned
+// winner aliases a point in state; callers that outlive the round must
+// Clone it. Points are keyed by their raw coordinate bytes (one lookup per
+// process, one small allocation per distinct point), cheap enough to call
+// once per observed round.
+func Plurality(state []Point) (winner Point, count, support int) {
+	if len(state) == 0 {
+		return nil, 0, 0
+	}
+	type entry struct {
+		rep   Point
+		count int
+	}
+	entries := make(map[string]*entry, len(state))
+	buf := make([]byte, 0, 8*len(state[0]))
 	best := -1
 	for _, p := range state {
-		k := p.String()
-		counts[k]++
-		reps[k] = p
-		if counts[k] > best {
-			best = counts[k]
-			bestKey = k
+		buf = buf[:0]
+		for _, v := range p {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+		// The string(buf) lookup does not allocate; only a first-seen
+		// point materializes a durable key.
+		e := entries[string(buf)]
+		if e == nil {
+			e = &entry{rep: p}
+			entries[string(buf)] = e
+		}
+		e.count++
+		if e.count > best {
+			best = e.count
+			winner = e.rep
 		}
 	}
-	return reps[bestKey], best
+	return winner, best, len(entries)
 }
 
 func containsPoint(set []Point, p Point) bool {

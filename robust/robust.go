@@ -53,6 +53,11 @@ type Options struct {
 	// MaxSteps caps the run; 0 means 64·n·log₂(n) steps (a generous
 	// multiple of the expected Θ(n log n) sequential convergence time).
 	MaxSteps int
+	// Observer, when non-nil, receives the state once before the first
+	// step (parallel round 0) and after every n further activations — the
+	// per-round hook the synchronous engines share, in parallel-time
+	// units. The slice is live; observers must copy what they keep.
+	Observer func(round int, state []Value)
 }
 
 // Result reports a run's outcome.
@@ -159,10 +164,20 @@ func (e *Engine) Run() Result {
 	if maxSteps <= 0 {
 		maxSteps = 64 * n * log2ceil(n)
 	}
-	// Checking full agreement is O(n); amortise by checking every n steps.
+	if e.opts.Observer != nil && e.steps == 0 {
+		e.opts.Observer(0, e.state)
+	}
+	// Checking full agreement is O(n); amortise by checking every n steps
+	// (one parallel round), which is also the observer granularity.
 	for e.steps < maxSteps {
 		e.Step()
-		if e.steps%n == 0 && e.liveConsensus() {
+		if e.steps%n != 0 {
+			continue
+		}
+		if e.opts.Observer != nil {
+			e.opts.Observer(e.steps/n, e.state)
+		}
+		if e.liveConsensus() {
 			break
 		}
 	}

@@ -163,3 +163,74 @@ func BenchmarkAsyncStep(b *testing.B) {
 		e.Step()
 	}
 }
+
+// TestObserverParallelRounds: the observer fires once before the first
+// step and once per parallel round (n activations), without changing the
+// trajectory.
+func TestObserverParallelRounds(t *testing.T) {
+	vals := assign.EvenBlocks(500, 2)
+	var rounds []int
+	observed := NewEngine(vals, Options{
+		Observer: func(round int, state []Value) {
+			rounds = append(rounds, round)
+			if len(state) != 500 {
+				t.Fatalf("round %d: state has %d entries", round, len(state))
+			}
+		},
+	}, 77).Run()
+	blind := NewEngine(vals, Options{}, 77).Run()
+	if observed.Steps != blind.Steps || observed.Winner != blind.Winner {
+		t.Fatalf("observer changed the trajectory: %+v vs %+v", observed, blind)
+	}
+	want := observed.Steps/500 + 1
+	if len(rounds) != want {
+		t.Fatalf("observer fired %d times, want %d", len(rounds), want)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("observation %d reported round %d", i, r)
+		}
+	}
+}
+
+// TestModeRegistry pins the serializable fault-mode names.
+func TestModeRegistry(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		silent bool
+	}{{"", false}, {ModeResponsive, false}, {ModeSilent, true}} {
+		silent, err := ModeByName(c.name)
+		if err != nil || silent != c.silent {
+			t.Fatalf("ModeByName(%q) = %v, %v", c.name, silent, err)
+		}
+	}
+	if _, err := ModeByName("quantum"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if ModeName(false) != ModeResponsive || ModeName(true) != ModeSilent {
+		t.Fatal("ModeName must invert ModeByName")
+	}
+}
+
+// TestCheck validates options without building an engine.
+func TestCheck(t *testing.T) {
+	if err := Check(100, Options{LossProb: 0.5, Crashes: 10}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := []struct {
+		n    int
+		opts Options
+	}{
+		{0, Options{}},
+		{100, Options{LossProb: -0.1}},
+		{100, Options{LossProb: 1.1}},
+		{100, Options{Crashes: -1}},
+		{100, Options{Crashes: 100}},
+		{100, Options{MaxSteps: -1}},
+	}
+	for i, c := range bad {
+		if err := Check(c.n, c.opts); err == nil {
+			t.Errorf("bad options %d validated", i)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// BatchRequest is the wire form of a parameter sweep: either a template
+// spec plus grid axes (expanded server-side, internal/experiment style) or
+// an explicit list of pre-built cell specs. Exactly one of Axes and Specs
+// may be non-empty; Reps applies to both.
+type BatchRequest struct {
+	// Template is the spec every grid cell starts from (axes-mode only).
+	Template Spec `json:"template,omitzero"`
+	// Axes are expanded as a cartesian product, last axis fastest; each
+	// value patches the template field named by Param.
+	Axes []Axis `json:"axes,omitempty"`
+	// Specs lists explicit cell specs instead of a grid.
+	Specs []Spec `json:"specs,omitempty"`
+	// Reps repeats every cell with derived per-repetition seeds
+	// (0 = 1). See ExpandBatch for the derivation.
+	Reps int `json:"reps,omitempty"`
+}
+
+// Axis is one sweep dimension: a parameter name and its values.
+type Axis struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// batchParams names the template fields an Axis may patch.
+var batchParams = map[string]bool{
+	"n": true, "m": true, "d": true, "n_low": true, "k": true,
+	"seed": true, "max_rounds": true, "almost_slack": true,
+	"budget_factor": true, "loss_prob": true, "crashes": true,
+}
+
+// BatchCell is one expanded cell of a batch: its grid coordinates and the
+// canonical spec it will run.
+type BatchCell struct {
+	// Index is the cell's position in expansion order.
+	Index int `json:"index"`
+	// Rep is the repetition number within the grid point.
+	Rep int `json:"rep"`
+	// Params echoes the axis values that produced the cell (axes-mode).
+	Params []float64 `json:"params,omitempty"`
+	// Spec is the normalized cell spec; SpecHash its canonical hash.
+	Spec     Spec   `json:"spec"`
+	SpecHash string `json:"spec_hash"`
+}
+
+// BatchCellRecord is one line of the batch NDJSON stream: a cell plus the
+// outcome of its run.
+type BatchCellRecord struct {
+	BatchCell
+	// JobID is the job that ran (or had already run) the cell.
+	JobID  string `json:"job_id,omitempty"`
+	Status Status `json:"status"`
+	// CacheHit marks cells answered from the result cache; Coalesced
+	// marks cells absorbed by an identical cell earlier in the batch.
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Result    *RunResult `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// BatchLimits bounds batch expansion. Zero values mean unlimited.
+type BatchLimits struct {
+	// MaxCells caps the number of expanded cells (reps included).
+	MaxCells int
+	// MaxN caps the population any single cell may materialize.
+	MaxN int64
+}
+
+// ExpandBatch expands a batch request into canonical, validated cells:
+// the cartesian product of the axes applied to the template (or the
+// explicit spec list), times Reps repetitions.
+//
+// Repetition seeding is deterministic so batches are cache-stable: with
+// Reps == 1 the cell seeds are left exactly as the template/axes produced
+// them, and with Reps > 1 repetition r of cell i runs with seed
+// Mix64(Mix64(base) + i·Reps + r), where base is the cell's post-axis
+// seed, or a seed derived from the template hash when zero. Pre-mixing
+// the base keeps a seed axis from colliding across grid points (raw bases
+// differing by exactly (j−i)·Reps would otherwise derive identical rep
+// seeds). Init kinds that consume their own seed (uniform, random) follow
+// the run seed, mirroring cmd/sweep's historical behavior.
+func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
+	// maxCells is the absolute expansion ceiling, applied before any
+	// multiplication so attacker-sized axes/reps can neither overflow the
+	// cell count nor drive a huge allocation; BatchLimits.MaxCells can
+	// only tighten it.
+	const maxCells = 1 << 20
+	reps := req.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	if reps > maxCells {
+		return nil, fmt.Errorf("service: batch reps %d exceeds the limit %d", reps, maxCells)
+	}
+	if len(req.Axes) > 0 && len(req.Specs) > 0 {
+		return nil, fmt.Errorf("service: batch request sets both axes and specs")
+	}
+	points := 1
+	for _, ax := range req.Axes {
+		if ax.Param == "" || !batchParams[ax.Param] {
+			return nil, fmt.Errorf("service: unknown batch axis param %q", ax.Param)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("service: batch axis %q has no values", ax.Param)
+		}
+		if points > maxCells/len(ax.Values) {
+			return nil, fmt.Errorf("service: batch grid too large")
+		}
+		points *= len(ax.Values)
+	}
+	if len(req.Specs) > 0 {
+		points = len(req.Specs)
+	}
+	// points, reps <= 2^20 each, so the product cannot overflow.
+	total := points * reps
+	if total > maxCells {
+		return nil, fmt.Errorf("service: batch expands to %d cells, the limit is %d", total, maxCells)
+	}
+	if limits.MaxCells > 0 && total > limits.MaxCells {
+		return nil, fmt.Errorf("service: batch expands to %d cells, server limit is %d", total, limits.MaxCells)
+	}
+
+	// base seeds the rep derivation for cells whose own seed is zero.
+	base := req.Template.Seed
+	if base == 0 {
+		h, err := req.Template.Hash()
+		if err != nil {
+			return nil, err
+		}
+		base = DeriveSeed(h)
+	}
+
+	cells := make([]BatchCell, 0, total)
+	for point := 0; point < points; point++ {
+		var spec Spec
+		var params []float64
+		if len(req.Specs) > 0 {
+			spec = req.Specs[point]
+		} else {
+			spec = req.Template
+			var err error
+			if spec, params, err = applyAxes(spec, req.Axes, point); err != nil {
+				return nil, err
+			}
+		}
+		for rep := 0; rep < reps; rep++ {
+			cell := spec
+			if reps > 1 {
+				s := cell.Seed
+				if s == 0 {
+					s = base
+				}
+				cell = withSeed(cell, rng.Mix64(rng.Mix64(s)+uint64(point)*uint64(reps)+uint64(rep)))
+			}
+			cell = cell.Normalize()
+			if err := cell.Validate(); err != nil {
+				return nil, fmt.Errorf("service: batch cell %d: %w", len(cells), err)
+			}
+			if n := cell.Population(); limits.MaxN > 0 && n > limits.MaxN {
+				return nil, fmt.Errorf("service: batch cell %d: population %d exceeds the server limit %d", len(cells), n, limits.MaxN)
+			}
+			hash, err := cell.Hash()
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, BatchCell{
+				Index:    len(cells),
+				Rep:      rep,
+				Params:   params,
+				Spec:     cell,
+				SpecHash: hash,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// applyAxes patches the template with point's coordinates in the cartesian
+// product of the axes (last axis fastest) and returns the patched spec plus
+// the coordinate tuple.
+func applyAxes(spec Spec, axes []Axis, point int) (Spec, []float64, error) {
+	spec = spec.clone()
+	params := make([]float64, len(axes))
+	stride := 1
+	for i := len(axes) - 1; i >= 0; i-- {
+		v := axes[i].Values[(point/stride)%len(axes[i].Values)]
+		params[i] = v
+		stride *= len(axes[i].Values)
+		if err := applyParam(&spec, axes[i].Param, v); err != nil {
+			return Spec{}, nil, err
+		}
+	}
+	return spec, params, nil
+}
+
+// intValue rejects non-integral axis values for integer parameters.
+func intValue(param string, v float64) (int, error) {
+	if v != float64(int64(v)) {
+		return 0, fmt.Errorf("service: batch axis %q needs integer values, got %v", param, v)
+	}
+	return int(v), nil
+}
+
+// applyParam patches one named field of the spec, dispatching on the
+// spec's kind where the same name lives in different places.
+func applyParam(spec *Spec, param string, v float64) error {
+	kind := spec.kind()
+	multi := kind == KindMultidim
+	if multi && spec.Multidim == nil {
+		spec.Multidim = &MultidimSpec{}
+	}
+	switch param {
+	case "n":
+		n, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		if multi {
+			spec.Multidim.Init.N = n
+		} else {
+			spec.Init.N = n
+		}
+	case "m":
+		m, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		if multi {
+			spec.Multidim.Init.M = m
+		} else {
+			spec.Init.M = m
+		}
+	case "d":
+		if !multi {
+			return fmt.Errorf("service: batch axis \"d\" applies only to multidim specs")
+		}
+		d, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		spec.Multidim.Init.D = d
+	case "n_low":
+		nl, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		spec.Init.NLow = nl
+	case "k":
+		k, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		if spec.Rule.Params == nil {
+			spec.Rule.Params = map[string]float64{}
+		}
+		spec.Rule.Params["k"] = float64(k)
+	case "seed":
+		s, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		*spec = withSeed(*spec, uint64(s))
+	case "max_rounds":
+		mr, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		spec.MaxRounds = mr
+	case "almost_slack":
+		as, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		spec.AlmostSlack = as
+	case "budget_factor":
+		if spec.Adversary == nil {
+			return fmt.Errorf("service: batch axis \"budget_factor\" needs a template adversary")
+		}
+		spec.Adversary.Budget.Factor = v
+	case "loss_prob":
+		if spec.Robust == nil {
+			spec.Robust = &RobustSpec{}
+		}
+		spec.Robust.LossProb = v
+	case "crashes":
+		c, err := intValue(param, v)
+		if err != nil {
+			return err
+		}
+		if spec.Robust == nil {
+			spec.Robust = &RobustSpec{}
+		}
+		spec.Robust.Crashes = c
+	default:
+		return fmt.Errorf("service: unknown batch axis param %q", param)
+	}
+	return nil
+}
+
+// withSeed sets the run seed and keeps seed-consuming init kinds in step
+// with it, so repetitions draw distinct initial states the way cmd/sweep
+// always has.
+func withSeed(spec Spec, seed uint64) Spec {
+	spec = spec.clone()
+	spec.Seed = seed
+	switch spec.kind() {
+	case KindMultidim:
+		if spec.Multidim != nil && spec.Multidim.Init.Kind == "random" {
+			spec.Multidim.Init.Seed = seed
+		}
+	default:
+		if spec.Init.Kind == "uniform" {
+			spec.Init.Seed = seed
+		}
+	}
+	return spec
+}
+
+// clone deep-copies the spec's pointer and map fields so patching one cell
+// can never leak into the template or a sibling cell.
+func (s Spec) clone() Spec {
+	if s.Adversary != nil {
+		a := *s.Adversary
+		a.Params = cloneMap(a.Params)
+		s.Adversary = &a
+	}
+	if s.Gossip != nil {
+		g := *s.Gossip
+		s.Gossip = &g
+	}
+	if s.Multidim != nil {
+		m := *s.Multidim
+		if m.Adversary != nil {
+			ma := *m.Adversary
+			ma.Params = cloneMap(ma.Params)
+			m.Adversary = &ma
+		}
+		s.Multidim = &m
+	}
+	if s.Robust != nil {
+		r := *s.Robust
+		s.Robust = &r
+	}
+	s.Rule.Params = cloneMap(s.Rule.Params)
+	s.Init.Counts = append([]int64(nil), s.Init.Counts...)
+	return s
+}
+
+func cloneMap[M ~map[string]float64](m M) M {
+	if m == nil {
+		return nil
+	}
+	out := make(M, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ExpandBatch expands a request under the service's admission limits.
+func (s *Service) ExpandBatch(req BatchRequest) ([]BatchCell, error) {
+	return ExpandBatch(req, BatchLimits{MaxCells: s.opts.MaxBatchCells, MaxN: s.opts.MaxN})
+}
+
+// RunBatch runs expanded cells through the worker pool and emits one
+// BatchCellRecord per cell, in cell order, as each finishes. Identical
+// cells dedupe automatically: against the result cache (CacheHit) and
+// against in-flight runs (Coalesced for duplicates within the batch).
+// Submission applies backpressure — a full queue delays the batch instead
+// of failing it. RunBatch returns early only on context cancellation, a
+// closed service, or an emit error.
+func (s *Service) RunBatch(ctx context.Context, cells []BatchCell, emit func(BatchCellRecord) error) error {
+	s.metrics.batchesRun.Add(1)
+	s.metrics.batchCellsExpanded.Add(int64(len(cells)))
+	type outcome struct {
+		cell BatchCell
+		job  *Job
+		view JobView
+		err  error
+	}
+	// The submitter races ahead of the in-order emitter so the worker pool
+	// stays saturated. The buffer is bounded — a million-cell sweep must
+	// not pre-allocate a million outcome slots; the emitter always drains,
+	// so a blocked send just pauses submission.
+	buffer := len(cells)
+	if buffer > 256 {
+		buffer = 256
+	}
+	ch := make(chan outcome, buffer)
+	go func() {
+		defer close(ch)
+		for _, c := range cells {
+			// Stop submitting the moment the caller is gone — a
+			// disconnected batch must not keep feeding the worker pool.
+			if ctx.Err() != nil {
+				return
+			}
+			j, view, err := s.submitWithRetry(ctx, c.Spec)
+			ch <- outcome{cell: c, job: j, view: view, err: err}
+			if err != nil && (errors.Is(err, ErrClosed) || ctx.Err() != nil) {
+				return
+			}
+		}
+	}()
+	seen := make(map[string]bool, len(cells))
+	emitted := 0
+	for o := range ch {
+		rec := BatchCellRecord{BatchCell: o.cell}
+		if o.err != nil {
+			if errors.Is(o.err, ErrClosed) || ctx.Err() != nil {
+				return o.err
+			}
+			rec.Status = StatusFailed
+			rec.Error = o.err.Error()
+		} else {
+			rec.JobID = o.view.ID
+			rec.CacheHit = o.view.CacheHit
+			if o.view.CacheHit {
+				s.metrics.batchCellsCached.Add(1)
+			}
+			if seen[o.view.ID] {
+				rec.Coalesced = true
+				s.metrics.batchCellsCoalesced.Add(1)
+			}
+			seen[o.view.ID] = true
+			final, err := waitTerminal(ctx, o.job)
+			if err != nil {
+				return err
+			}
+			rec.Status = final.Status
+			rec.Result = final.Result
+			rec.Error = final.Error
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+		emitted++
+	}
+	if emitted < len(cells) {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// submitWithRetry submits a cell, waiting out a full queue instead of
+// shedding it — batches are deliberate bulk work, not interactive load.
+func (s *Service) submitWithRetry(ctx context.Context, spec Spec) (*Job, JobView, error) {
+	for {
+		j, view, err := s.submit(spec)
+		if !errors.Is(err, ErrQueueFull) {
+			return j, view, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, JobView{}, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// waitTerminal blocks until the job reaches a terminal state. It holds the
+// *Job directly so history eviction mid-batch cannot orphan the wait.
+func waitTerminal(ctx context.Context, j *Job) (JobView, error) {
+	for {
+		j.mu.Lock()
+		terminal := j.status.terminal()
+		notify := j.notify
+		j.mu.Unlock()
+		if terminal {
+			return j.view(), nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobView{}, ctx.Err()
+		case <-notify:
+		}
+	}
+}

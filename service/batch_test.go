@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/consensus"
+	"repro/multidim"
+)
+
+func medianTemplate() Spec {
+	return Spec{
+		Init: consensus.InitSpec{Kind: "twovalue"},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 1,
+	}
+}
+
+// TestExpandBatchGrid: a 2-axis grid expands as a cartesian product, last
+// axis fastest, each cell canonical and hashed.
+func TestExpandBatchGrid(t *testing.T) {
+	req := BatchRequest{
+		Template: medianTemplate(),
+		Axes: []Axis{
+			{Param: "n", Values: []float64{100, 200}},
+			{Param: "seed", Values: []float64{1, 2, 3}},
+		},
+	}
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	wantParams := [][]float64{{100, 1}, {100, 2}, {100, 3}, {200, 1}, {200, 2}, {200, 3}}
+	seen := map[string]bool{}
+	for i, c := range cells {
+		if c.Index != i || c.Rep != 0 {
+			t.Fatalf("cell %d has index %d rep %d", i, c.Index, c.Rep)
+		}
+		if !reflect.DeepEqual(c.Params, wantParams[i]) {
+			t.Fatalf("cell %d params %v, want %v", i, c.Params, wantParams[i])
+		}
+		if c.Spec.Init.N != int(wantParams[i][0]) || c.Spec.Seed != uint64(wantParams[i][1]) {
+			t.Fatalf("cell %d spec not patched: %+v", i, c.Spec)
+		}
+		if c.SpecHash == "" || seen[c.SpecHash] {
+			t.Fatalf("cell %d hash missing or duplicated", i)
+		}
+		seen[c.SpecHash] = true
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestExpandBatchReps: repetitions get deterministic derived seeds — the
+// same request expands to byte-identical cells every time — and distinct
+// reps get distinct seeds.
+func TestExpandBatchReps(t *testing.T) {
+	req := BatchRequest{
+		Template: medianTemplate(),
+		Axes:     []Axis{{Param: "n", Values: []float64{100, 200}}},
+		Reps:     3,
+	}
+	a, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+	if len(a) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(a))
+	}
+	seeds := map[uint64]bool{}
+	for _, c := range a {
+		if c.Spec.Seed == 0 || seeds[c.Spec.Seed] {
+			t.Fatalf("rep seeds must be distinct and non-zero: %+v", c.Spec)
+		}
+		seeds[c.Spec.Seed] = true
+	}
+}
+
+// TestExpandBatchSeedAxisNoCollision: grid points of a seed axis whose raw
+// values differ by exactly (j−i)·reps must still derive distinct rep seeds
+// (the base is pre-mixed), so no grid point silently collapses into
+// another's cached cells.
+func TestExpandBatchSeedAxisNoCollision(t *testing.T) {
+	req := BatchRequest{
+		Template: medianTemplate(),
+		Axes:     []Axis{{Param: "seed", Values: []float64{5, 3}}},
+		Reps:     2,
+	}
+	req.Template.Init.N = 100
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	hashes := map[string]bool{}
+	for _, c := range cells {
+		if hashes[c.SpecHash] {
+			t.Fatalf("seed axis collided: duplicate cell %+v", c)
+		}
+		hashes[c.SpecHash] = true
+	}
+}
+
+// TestExpandBatchSeedFollowsInit: seed-consuming init kinds follow the
+// derived rep seed, so repetitions draw distinct initial states.
+func TestExpandBatchSeedFollowsInit(t *testing.T) {
+	req := BatchRequest{
+		Template: Spec{
+			Init: consensus.InitSpec{Kind: "uniform", M: 4},
+			Rule: RuleSpec{Name: "median"},
+			Seed: 9,
+		},
+		Axes: []Axis{{Param: "n", Values: []float64{100}}},
+		Reps: 2,
+	}
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Spec.Init.Seed != c.Spec.Seed {
+			t.Fatalf("uniform init seed %d must follow run seed %d", c.Spec.Init.Seed, c.Spec.Seed)
+		}
+	}
+	if cells[0].Spec.Init.Seed == cells[1].Spec.Init.Seed {
+		t.Fatal("reps must draw distinct initial states")
+	}
+}
+
+// TestExpandBatchMultidim patches the multidim payload's n and d.
+func TestExpandBatchMultidim(t *testing.T) {
+	req := BatchRequest{
+		Template: Spec{
+			Kind:     KindMultidim,
+			Seed:     1,
+			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct"}},
+		},
+		Axes: []Axis{
+			{Param: "n", Values: []float64{50, 60}},
+			{Param: "d", Values: []float64{1, 4}},
+		},
+	}
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	if cells[3].Spec.Multidim.Init.N != 60 || cells[3].Spec.Multidim.Init.D != 4 {
+		t.Fatalf("multidim payload not patched: %+v", cells[3].Spec.Multidim)
+	}
+	// The template must not have been mutated by the expansion.
+	if req.Template.Multidim.Init.N != 0 || req.Template.Multidim.Init.D != 0 {
+		t.Fatalf("expansion leaked into the template: %+v", req.Template.Multidim)
+	}
+}
+
+// TestExpandBatchSpecsMode: explicit spec lists expand with reps too.
+func TestExpandBatchSpecsMode(t *testing.T) {
+	s1 := medianTemplate()
+	s1.Init.N = 100
+	s2 := medianTemplate()
+	s2.Init.N = 200
+	cells, err := ExpandBatch(BatchRequest{Specs: []Spec{s1, s2}, Reps: 2}, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	if cells[0].Spec.Init.N != 100 || cells[2].Spec.Init.N != 200 {
+		t.Fatalf("specs-mode order wrong: %+v", cells)
+	}
+}
+
+// TestExpandBatchErrors covers the rejection paths.
+func TestExpandBatchErrors(t *testing.T) {
+	tmpl := medianTemplate()
+	cases := []struct {
+		name   string
+		req    BatchRequest
+		limits BatchLimits
+	}{
+		{"unknown param", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "warp", Values: []float64{1}}}}, BatchLimits{}},
+		{"empty axis", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n"}}}, BatchLimits{}},
+		{"non-integer n", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100.5}}}}, BatchLimits{}},
+		{"cell cap", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 3}, BatchLimits{MaxCells: 4}},
+		// A huge reps must be rejected up front — not overflow the cell
+		// count past the caps into a giant allocation.
+		{"reps overflow", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 1 << 30}, BatchLimits{MaxCells: 4096}},
+		{"reps overflow unlimited", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 1 << 30}, BatchLimits{}},
+		{"hard cap without limits", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "seed", Values: make([]float64, 2048)}}, Reps: 1024}, BatchLimits{}},
+		{"population cap", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100000}}}}, BatchLimits{MaxN: 1000}},
+		{"invalid cell", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{0}}}}, BatchLimits{}},
+		{"axes and specs", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{10}}}, Specs: []Spec{tmpl}}, BatchLimits{}},
+		{"d on median", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "d", Values: []float64{2}}}}, BatchLimits{}},
+		{"budget_factor without adversary", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "budget_factor", Values: []float64{2}}}}, BatchLimits{}},
+	}
+	for _, c := range cases {
+		if _, err := ExpandBatch(c.req, c.limits); err == nil {
+			t.Errorf("%s: expansion must fail", c.name)
+		}
+	}
+}
+
+// TestRunBatchDedupes: identical cells coalesce in flight and the second
+// identical batch is served entirely from the cache.
+func TestRunBatchDedupes(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	req := BatchRequest{
+		Template: medianTemplate(),
+		Axes: []Axis{
+			{Param: "n", Values: []float64{300, 400}},
+			{Param: "seed", Values: []float64{1, 2}},
+		},
+	}
+	cells, err := s.ExpandBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []BatchCellRecord
+	if err := s.RunBatch(context.Background(), cells, func(r BatchCellRecord) error {
+		first = append(first, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 4 {
+		t.Fatalf("emitted %d records, want 4", len(first))
+	}
+	for i, r := range first {
+		if r.Index != i || r.Status != StatusDone || r.Result == nil {
+			t.Fatalf("bad record %d: %+v", i, r)
+		}
+	}
+	var second []BatchCellRecord
+	if err := s.RunBatch(context.Background(), cells, func(r BatchCellRecord) error {
+		second = append(second, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.CacheHit {
+			t.Fatalf("second batch cell %d must be a cache hit: %+v", i, r)
+		}
+		if !reflect.DeepEqual(r.Result, first[i].Result) {
+			t.Fatalf("cached cell %d result differs", i)
+		}
+	}
+	m := s.Metrics()
+	if m.BatchesRun != 2 || m.BatchCellsExpanded != 8 || m.BatchCellsCached != 4 {
+		t.Fatalf("batch metrics: %+v", m)
+	}
+}

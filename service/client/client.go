@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -160,6 +161,55 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.RoundRec
 		}
 	}
 	return sc.Err()
+}
+
+// Batch submits a BatchRequest and invokes fn for every cell record the
+// server streams back, in cell order, until the batch finishes or fn
+// returns an error.
+func (c *Client) Batch(ctx context.Context, breq service.BatchRequest, fn func(service.BatchCellRecord) error) error {
+	buf, err := json.Marshal(breq)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/batches", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	got := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec service.BatchCellRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("bad batch stream line: %w", err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// A server-side abort mid-batch still ends the chunked body cleanly;
+	// the announced cell count is the only truncation signal left.
+	if want, err := strconv.Atoi(resp.Header.Get("X-Batch-Cells")); err == nil && got != want {
+		return fmt.Errorf("batch stream truncated: got %d of %d cells", got, want)
+	}
+	return nil
 }
 
 // Wait polls a job until it reaches a terminal status, then returns its

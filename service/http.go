@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 )
 
 // Handler returns the service's HTTP JSON API:
@@ -15,12 +18,18 @@ import (
 //	DELETE /v1/runs/{id}        request cancellation
 //	GET    /v1/runs/{id}/stream round-by-round records as NDJSON; follows
 //	                            a live run until it finishes
+//	POST   /v1/batches          submit a BatchRequest grid; streams one
+//	                            BatchCellRecord per cell as NDJSON
 //	GET    /v1/healthz          liveness probe
-//	GET    /v1/metrics          MetricsSnapshot counters
+//	GET    /v1/metrics          MetricsSnapshot counters (JSON by default;
+//	                            Prometheus text format when the Accept
+//	                            header asks for text/plain or OpenMetrics)
 //
 // Errors are returned as {"error": "..."} with conventional status codes
 // (400 invalid spec, 404 unknown job, 409 cancelling a finished job,
-// 503 full queue or closed service).
+// 413 oversized body, 429 rate-limited submit, 503 full queue or closed
+// service). Submit endpoints enforce Options.MaxBodyBytes and, when
+// configured, the Options.SubmitRate token bucket.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
@@ -28,21 +37,52 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics())
-	})
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 
+// admitSubmit applies the submit-endpoint protections: the token-bucket
+// rate limit (429) and the request body cap (decode errors become 413).
+// It reports whether the request may proceed.
+func (s *Service) admitSubmit(w http.ResponseWriter, r *http.Request) bool {
+	if !s.limiter.allow() {
+		s.metrics.rateLimited.Add(1)
+		// Hint the time one token takes to refill, so compliant clients
+		// retrying on schedule can actually succeed at low rates.
+		retry := 1
+		if s.opts.SubmitRate > 0 && s.opts.SubmitRate < 1 {
+			retry = int(math.Ceil(1 / s.opts.SubmitRate))
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, errors.New("submit rate limit exceeded, retry later"))
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	return true
+}
+
+// decodeStatus maps a request-decoding error to its HTTP status.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admitSubmit(w, r) {
+		return
+	}
 	var spec Spec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid spec JSON: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("invalid spec JSON: %w", err))
 		return
 	}
 	view, err := s.Submit(spec)
@@ -51,6 +91,63 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admitSubmit(w, r) {
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("invalid batch JSON: %w", err))
+		return
+	}
+	cells, err := s.ExpandBatch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Batch-Cells", strconv.Itoa(len(cells)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Errors mid-stream cannot change the status code any more; dropping
+	// the connection (returning) is the only honest signal left.
+	_ = s.RunBatch(r.Context(), cells, func(rec BatchCellRecord) error {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Metrics()
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// wantsPrometheus negotiates the metrics representation: JSON stays the
+// default (and explicit application/json always wins), while Prometheus
+// scrapers — which advertise text/plain or OpenMetrics — get the text
+// exposition format.
+func wantsPrometheus(accept string) bool {
+	if accept == "" || strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func submitStatus(err error) int {

@@ -1,8 +1,12 @@
 package service_test
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -95,6 +99,197 @@ func TestEndToEndHTTP(t *testing.T) {
 	// Unknown ids are 404s.
 	if _, err := c.Get(ctx, "r-999"); err == nil {
 		t.Fatal("get of unknown id must fail")
+	}
+}
+
+// TestBatchEndToEndHTTP drives the batch acceptance flow over httptest: a
+// 2-axis grid is expanded server-side, streamed cell by cell, and a second
+// identical submission is served entirely from the cache.
+func TestBatchEndToEndHTTP(t *testing.T) {
+	s := service.New(service.Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	req := service.BatchRequest{
+		Template: service.Spec{
+			Init: consensus.InitSpec{Kind: "twovalue"},
+			Rule: service.RuleSpec{Name: "median"},
+			Seed: 1,
+		},
+		Axes: []service.Axis{
+			{Param: "n", Values: []float64{500, 1000}},
+			{Param: "seed", Values: []float64{1, 2}},
+		},
+	}
+	var first []service.BatchCellRecord
+	if err := c.Batch(ctx, req, func(r service.BatchCellRecord) error {
+		first = append(first, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 4 {
+		t.Fatalf("streamed %d cells, want 4", len(first))
+	}
+	for i, r := range first {
+		if r.Index != i || r.Status != service.StatusDone || r.Result == nil {
+			t.Fatalf("bad cell record %d: %+v", i, r)
+		}
+		if r.Result.Reason != "consensus" {
+			t.Fatalf("cell %d did not converge: %+v", i, r.Result)
+		}
+	}
+
+	var second []service.BatchCellRecord
+	if err := c.Batch(ctx, req, func(r service.BatchCellRecord) error {
+		second = append(second, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.CacheHit || r.Status != service.StatusDone {
+			t.Fatalf("second batch cell %d must be a cache hit: %+v", i, r)
+		}
+		if r.SpecHash != first[i].SpecHash {
+			t.Fatalf("cell %d hash changed between identical batches", i)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BatchesRun != 2 || m.BatchCellsExpanded != 8 || m.BatchCellsCached != 4 {
+		t.Fatalf("batch metrics: %+v", m)
+	}
+
+	// Invalid grids are rejected before any cell runs.
+	bad := service.BatchRequest{Template: req.Template, Axes: []service.Axis{{Param: "warp", Values: []float64{1}}}}
+	if err := c.Batch(ctx, bad, func(service.BatchCellRecord) error { return nil }); err == nil {
+		t.Fatal("invalid batch must be rejected")
+	}
+}
+
+// TestBodySizeCap: submissions beyond MaxBodyBytes get 413 on both submit
+// endpoints.
+func TestBodySizeCap(t *testing.T) {
+	s := service.New(service.Options{Workers: 1, MaxBodyBytes: 256})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := `{"init":{"kind":"blocks","counts":[` + strings.Repeat("1,", 400) + `1]},"rule":{"name":"median"}}`
+	for _, path := range []string{"/v1/runs", "/v1/batches"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(big)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with oversized body: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A small spec still fits.
+	small := `{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"seed":1}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader([]byte(small)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("small spec: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestSubmitRateLimit: the token bucket sheds excess submit requests with
+// 429 and a Retry-After hint, and counts them in the metrics.
+func TestSubmitRateLimit(t *testing.T) {
+	s := service.New(service.Options{Workers: 1, SubmitRate: 0.001, SubmitBurst: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := `{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"seed":1}`
+	codes := make([]int, 0, 3)
+	var lastResp *http.Response
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+		lastResp = resp
+	}
+	if codes[0] != http.StatusAccepted || codes[1] != http.StatusAccepted {
+		t.Fatalf("burst submissions must be admitted, got %v", codes)
+	}
+	if codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("third submission must be rate-limited, got %v", codes)
+	}
+	if lastResp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After hint")
+	}
+	if m := s.Metrics(); m.RateLimited != 1 {
+		t.Fatalf("rate_limited = %d, want 1", m.RateLimited)
+	}
+	// GET endpoints are not rate-limited.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list while rate-limited: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsContentNegotiation: JSON by default, Prometheus text format
+// for scrapers that ask for text/plain or OpenMetrics.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(accept string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("")
+	if !strings.Contains(ct, "application/json") || !strings.Contains(body, `"jobs_submitted"`) {
+		t.Fatalf("default metrics must stay JSON: %s %q", ct, body)
+	}
+	ct, body = get("application/json")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("explicit JSON accept must win: %s", ct)
+	}
+	ct, body = get("text/plain")
+	if !strings.Contains(ct, "text/plain") ||
+		!strings.Contains(body, "# TYPE consensusd_jobs_submitted_total counter") ||
+		!strings.Contains(body, "consensusd_batch_cells_expanded_total") {
+		t.Fatalf("text/plain accept must yield Prometheus exposition: %s %q", ct, body)
+	}
+	ct, _ = get("application/openmetrics-text; version=1.0.0, text/plain;q=0.5")
+	if !strings.Contains(ct, "text/plain") {
+		t.Fatalf("openmetrics accept must yield Prometheus exposition: %s", ct)
 	}
 }
 

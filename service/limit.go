@@ -1,0 +1,48 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a minimal token-bucket rate limiter for the HTTP submit
+// endpoints: rate tokens per second, bucket capped at burst. A nil bucket
+// (rate 0) admits everything.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns nil when rate <= 0 (rate limiting disabled).
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

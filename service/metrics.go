@@ -1,22 +1,31 @@
 package service
 
-import "sync/atomic"
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
 
 // Metrics holds the service's monotonic counters and gauges. All fields are
 // updated atomically; Snapshot returns a consistent-enough JSON view (the
 // counters are independent, so exact cross-counter consistency is not
 // needed for monitoring).
 type Metrics struct {
-	jobsSubmitted atomic.Int64
-	jobsCompleted atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
-	jobsCoalesced atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	workersBusy   atomic.Int64
-	workers       int
-	queueDepth    func() int
+	jobsSubmitted       atomic.Int64
+	jobsCompleted       atomic.Int64
+	jobsFailed          atomic.Int64
+	jobsCancelled       atomic.Int64
+	jobsCoalesced       atomic.Int64
+	cacheHits           atomic.Int64
+	cacheMisses         atomic.Int64
+	rateLimited         atomic.Int64
+	batchesRun          atomic.Int64
+	batchCellsExpanded  atomic.Int64
+	batchCellsCached    atomic.Int64
+	batchCellsCoalesced atomic.Int64
+	workersBusy         atomic.Int64
+	workers             int
+	queueDepth          func() int
 }
 
 // MetricsSnapshot is the JSON body of GET /v1/metrics.
@@ -33,6 +42,16 @@ type MetricsSnapshot struct {
 	// CacheHits / CacheMisses count result-cache lookups at submit time.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// RateLimited counts submit requests shed with 429.
+	RateLimited int64 `json:"rate_limited"`
+	// BatchesRun counts POST /v1/batches requests that started running;
+	// BatchCellsExpanded the cells they expanded to; BatchCellsCached the
+	// cells answered from the result cache; BatchCellsCoalesced the cells
+	// absorbed by an identical cell earlier in the same batch.
+	BatchesRun          int64 `json:"batches_run"`
+	BatchCellsExpanded  int64 `json:"batch_cells_expanded"`
+	BatchCellsCached    int64 `json:"batch_cells_cached"`
+	BatchCellsCoalesced int64 `json:"batch_cells_coalesced"`
 	// Workers is the pool size; WorkersBusy the number currently running a
 	// job; QueueDepth the number of jobs waiting for a worker.
 	Workers     int   `json:"workers"`
@@ -45,15 +64,20 @@ type MetricsSnapshot struct {
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		JobsSubmitted: m.jobsSubmitted.Load(),
-		JobsCompleted: m.jobsCompleted.Load(),
-		JobsFailed:    m.jobsFailed.Load(),
-		JobsCancelled: m.jobsCancelled.Load(),
-		JobsCoalesced: m.jobsCoalesced.Load(),
-		CacheHits:     m.cacheHits.Load(),
-		CacheMisses:   m.cacheMisses.Load(),
-		Workers:       m.workers,
-		WorkersBusy:   m.workersBusy.Load(),
+		JobsSubmitted:       m.jobsSubmitted.Load(),
+		JobsCompleted:       m.jobsCompleted.Load(),
+		JobsFailed:          m.jobsFailed.Load(),
+		JobsCancelled:       m.jobsCancelled.Load(),
+		JobsCoalesced:       m.jobsCoalesced.Load(),
+		CacheHits:           m.cacheHits.Load(),
+		CacheMisses:         m.cacheMisses.Load(),
+		RateLimited:         m.rateLimited.Load(),
+		BatchesRun:          m.batchesRun.Load(),
+		BatchCellsExpanded:  m.batchCellsExpanded.Load(),
+		BatchCellsCached:    m.batchCellsCached.Load(),
+		BatchCellsCoalesced: m.batchCellsCoalesced.Load(),
+		Workers:             m.workers,
+		WorkersBusy:         m.workersBusy.Load(),
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
@@ -62,4 +86,32 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.WorkerUtilization = float64(s.WorkersBusy) / float64(s.Workers)
 	}
 	return s
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), the body GET /v1/metrics serves to scrapers that
+// ask for text/plain.
+func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("consensusd_jobs_submitted_total", "Accepted run submissions.", s.JobsSubmitted)
+	counter("consensusd_jobs_completed_total", "Jobs that reached done (cache hits included).", s.JobsCompleted)
+	counter("consensusd_jobs_failed_total", "Jobs that failed.", s.JobsFailed)
+	counter("consensusd_jobs_cancelled_total", "Jobs cancelled.", s.JobsCancelled)
+	counter("consensusd_jobs_coalesced_total", "Submissions absorbed by an identical in-flight job.", s.JobsCoalesced)
+	counter("consensusd_cache_hits_total", "Result-cache hits at submit time.", s.CacheHits)
+	counter("consensusd_cache_misses_total", "Result-cache misses at submit time.", s.CacheMisses)
+	counter("consensusd_rate_limited_total", "Submit requests shed with 429.", s.RateLimited)
+	counter("consensusd_batches_run_total", "Batch requests that started running.", s.BatchesRun)
+	counter("consensusd_batch_cells_expanded_total", "Cells expanded from batch requests.", s.BatchCellsExpanded)
+	counter("consensusd_batch_cells_cached_total", "Batch cells answered from the result cache.", s.BatchCellsCached)
+	counter("consensusd_batch_cells_coalesced_total", "Batch cells absorbed by an identical earlier cell.", s.BatchCellsCoalesced)
+	gauge("consensusd_workers", "Worker pool size.", float64(s.Workers))
+	gauge("consensusd_workers_busy", "Workers currently running a job.", float64(s.WorkersBusy))
+	gauge("consensusd_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
+	gauge("consensusd_worker_utilization", "WorkersBusy divided by Workers.", s.WorkerUtilization)
 }

@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/consensus"
 )
 
 // Status is a job's lifecycle state.
@@ -52,6 +50,19 @@ type Options struct {
 	// tiny POST with a huge n OOMs the daemon (<=0 = 2^27, ~1 GB of
 	// state; raise it deliberately on big machines).
 	MaxN int64
+	// MaxBatchCells bounds the cells one batch request may expand to
+	// (<=0 = 4096).
+	MaxBatchCells int
+	// MaxBodyBytes caps the HTTP request body the API accepts; larger
+	// submissions get 413 (<=0 = 1 MiB).
+	MaxBodyBytes int64
+	// SubmitRate rate-limits the HTTP submit endpoints (POST /v1/runs and
+	// /v1/batches) to this many requests per second with a burst of
+	// SubmitBurst; excess requests get 429 (0 = unlimited).
+	SubmitRate float64
+	// SubmitBurst is the submit rate limiter's bucket size (<=0 = 8 when
+	// SubmitRate is set).
+	SubmitBurst int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +83,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxN <= 0 {
 		o.MaxN = 1 << 27
+	}
+	if o.MaxBatchCells <= 0 {
+		o.MaxBatchCells = 4096
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.SubmitRate > 0 && o.SubmitBurst <= 0 {
+		o.SubmitBurst = 8
 	}
 	return o
 }
@@ -193,6 +213,7 @@ type Service struct {
 	opts    Options
 	metrics *Metrics
 	cache   *resultCache
+	limiter *tokenBucket
 	queue   chan *Job
 
 	mu      sync.Mutex
@@ -212,6 +233,7 @@ func New(opts Options) *Service {
 		opts:    opts,
 		metrics: &Metrics{workers: opts.Workers},
 		cache:   newResultCache(opts.CacheSize),
+		limiter: newTokenBucket(opts.SubmitRate, float64(opts.SubmitBurst)),
 		queue:   make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]*Job),
@@ -258,19 +280,26 @@ func (s *Service) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
 // before the first finishes coalesces onto the existing job and returns
 // its view instead of executing the deterministic simulation twice.
 func (s *Service) Submit(spec Spec) (JobView, error) {
+	_, view, err := s.submit(spec)
+	return view, err
+}
+
+// submit is Submit returning the job itself, for callers (the batch
+// runner) that must outlive history eviction.
+func (s *Service) submit(spec Spec) (*Job, JobView, error) {
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
-		return JobView{}, err
+		return nil, JobView{}, err
 	}
 	// Admission control: reject populations the daemon cannot afford to
 	// materialize (size 0 = unknown kind without a Size hook; those are
 	// admitted and bounded only by the engines themselves).
-	if n := consensus.InitSize(spec.Init); n > s.opts.MaxN {
-		return JobView{}, fmt.Errorf("service: population %d exceeds the server limit %d", n, s.opts.MaxN)
+	if n := spec.Population(); n > s.opts.MaxN {
+		return nil, JobView{}, fmt.Errorf("service: population %d exceeds the server limit %d", n, s.opts.MaxN)
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		return JobView{}, err
+		return nil, JobView{}, err
 	}
 	now := time.Now()
 	j := &Job{
@@ -284,7 +313,7 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return JobView{}, ErrClosed
+		return nil, JobView{}, ErrClosed
 	}
 	// Order matters: an in-flight job for this hash wins over the cache
 	// (it cannot be cached yet), and a finished one has moved from the
@@ -299,7 +328,7 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		if !terminal {
 			s.metrics.jobsCoalesced.Add(1)
 			s.mu.Unlock()
-			return existing.view(), nil
+			return existing, existing.view(), nil
 		}
 	}
 	if entry, hit := s.cache.get(hash); hit {
@@ -319,7 +348,7 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		case s.queue <- j:
 		default:
 			s.mu.Unlock()
-			return JobView{}, ErrQueueFull
+			return nil, JobView{}, ErrQueueFull
 		}
 		s.pending[hash] = j
 		s.metrics.cacheMisses.Add(1)
@@ -331,7 +360,7 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
-	return j.view(), nil
+	return j, j.view(), nil
 }
 
 // evictLocked drops the oldest terminal jobs beyond the MaxJobs bound so

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/consensus"
+	"repro/multidim"
 )
 
 func waitDone(t *testing.T, s *Service, id string) JobView {
@@ -53,7 +55,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 	if !second.CacheHit || second.Status != StatusDone || second.Result == nil {
 		t.Fatalf("second submission must be a completed cache hit: %+v", second)
 	}
-	if *second.Result != *final.Result {
+	if !reflect.DeepEqual(second.Result, final.Result) {
 		t.Fatalf("cache returned a different result: %+v vs %+v", second.Result, final.Result)
 	}
 	recs1, _, _, err := s.Records(first.ID, 0)
@@ -68,7 +70,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 		t.Fatalf("cache hit must replay the records: %d vs %d", len(recs1), len(recs2))
 	}
 	for i := range recs1 {
-		if recs1[i] != recs2[i] {
+		if !reflect.DeepEqual(recs1[i], recs2[i]) {
 			t.Fatalf("record %d differs: %+v vs %+v", i, recs1[i], recs2[i])
 		}
 	}
@@ -126,6 +128,85 @@ func TestCancelRunning(t *testing.T) {
 	// Cancelling again reports the terminal conflict.
 	if _, err := s.Cancel(view.ID); err != ErrTerminal {
 		t.Fatalf("second cancel: %v, want ErrTerminal", err)
+	}
+}
+
+// TestCancelGossipMidRun: the gossip engine now reports rounds through the
+// observer hook, so DELETE /v1/runs stops a gossip run mid-simulation, not
+// just between runs (the former limitation).
+func TestCancelGossipMidRun(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	// voter over the message-passing simulator converges in Θ(n) rounds of
+	// Θ(n) work each — slow enough to be caught mid-flight.
+	spec := Spec{
+		Init:      consensus.InitSpec{Kind: "twovalue", N: 2000},
+		Rule:      RuleSpec{Name: "voter"},
+		Engine:    "gossip",
+		Seed:      2,
+		MaxRounds: 1 << 18,
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		recs, terminal, _, err := s.Records(view.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal {
+			t.Fatal("gossip run finished before it could be cancelled")
+		}
+		if len(recs) > 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip run never produced a record")
+		}
+	}
+	if _, err := s.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, view.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("status = %s, want cancelled (mid-run)", final.Status)
+	}
+	if final.Records == 0 {
+		t.Fatal("a mid-run cancel must leave the rounds streamed so far")
+	}
+}
+
+// TestCacheHitNewKinds: the cache-determinism guarantee extends to the
+// multidim and robust kinds.
+func TestCacheHitNewKinds(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	specs := []Spec{
+		{Kind: KindMultidim, Seed: 4, Multidim: &MultidimSpec{
+			Init: multidim.InitSpec{Kind: "random", N: 300, D: 2, M: 6, Seed: 4}}},
+		{Kind: KindRobust, Seed: 4,
+			Init:   consensus.InitSpec{Kind: "twovalue", N: 300},
+			Robust: &RobustSpec{LossProb: 0.05, Crashes: 3}},
+	}
+	for _, spec := range specs {
+		first, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		final := waitDone(t, s, first.ID)
+		if final.Status != StatusDone || final.Result == nil {
+			t.Fatalf("%s run failed: %+v", spec.Kind, final)
+		}
+		second, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.CacheHit || !reflect.DeepEqual(second.Result, final.Result) {
+			t.Fatalf("%s resubmission must be an identical cache hit: %+v vs %+v",
+				spec.Kind, second.Result, final.Result)
+		}
 	}
 }
 

@@ -1,14 +1,27 @@
 // Package service turns the consensus library into an embeddable
 // simulation-as-a-service subsystem: serializable run specs, a job store
 // with a bounded worker pool, a result cache keyed by the canonical spec
-// hash, and an HTTP JSON API (see Handler). The cmd/consensusd daemon and
-// cmd/consensusctl client are thin wrappers around this package.
+// hash, a batch/grid expander and an HTTP JSON API (see Handler). The
+// cmd/consensusd daemon and cmd/consensusctl client are thin wrappers
+// around this package.
 //
-// A Spec is the JSON form of a consensus.Config. Rules, adversaries,
-// engines, timings and initial states are referenced by registry name
-// (rules.New, adversary.New, consensus.EngineByName, consensus.BuildInit),
-// so every strategy the library grows becomes submittable over the wire
-// without touching this package.
+// A Spec is a discriminated union over the repo's simulation families,
+// selected by Kind:
+//
+//   - "median" (the default): the paper's scalar dynamics, the JSON form
+//     of a consensus.Config. Rules, adversaries, engines, timings and
+//     initial states are referenced by registry name (rules.New,
+//     adversary.New, consensus.EngineByName, consensus.BuildInit).
+//   - "multidim": the coordinate-wise median dynamics on d-dimensional
+//     points (package multidim), with its own init and adversary
+//     registries (multidim.BuildInit, multidim.NewAdversary).
+//   - "robust": the asynchronous faulty execution (package robust),
+//     reusing the scalar init registry plus loss/crash/mode knobs.
+//
+// Every family satisfies the same engine contract — a per-round observer
+// that doubles as the cancellation point, plus normalized registry-name
+// construction — so every run in the repo is submittable, hashable,
+// cacheable and streamable over the wire.
 //
 // Canonical hashing: Normalize fills defaulted fields, json.Marshal orders
 // struct fields deterministically and map keys lexicographically, and Hash
@@ -26,36 +39,65 @@ import (
 	"repro/adversary"
 	"repro/consensus"
 	"repro/internal/rng"
+	"repro/multidim"
+	"repro/robust"
 	"repro/rules"
 )
 
+// Spec kinds — the discriminant of the Spec union.
+const (
+	// KindMedian is the scalar dynamics of the paper ("" normalizes to it).
+	KindMedian = "median"
+	// KindMultidim is the coordinate-wise median on d-dimensional points.
+	KindMultidim = "multidim"
+	// KindRobust is the asynchronous execution with loss and crash faults.
+	KindRobust = "robust"
+)
+
+// Kinds returns the spec kinds in sorted order.
+func Kinds() []string { return []string{KindMedian, KindMultidim, KindRobust} }
+
 // Spec is the serializable description of one simulation run.
 type Spec struct {
-	// Init describes the initial state (see consensus.InitKinds).
-	Init consensus.InitSpec `json:"init"`
-	// Rule references a registered update rule (see rules.Names).
-	Rule RuleSpec `json:"rule"`
-	// Adversary optionally references a registered strategy (nil = none).
+	// Kind selects the simulation family: "median" (default when empty),
+	// "multidim" or "robust". Every other field belongs to one family;
+	// Validate rejects specs that mix them.
+	Kind string `json:"kind,omitempty"`
+	// Init describes the scalar initial state (median and robust kinds;
+	// see consensus.InitKinds).
+	Init consensus.InitSpec `json:"init,omitzero"`
+	// Rule references a registered update rule (median kind only; see
+	// rules.Names). The multidim and robust engines hard-code their rule.
+	Rule RuleSpec `json:"rule,omitzero"`
+	// Adversary optionally references a registered strategy (median kind;
+	// nil = none).
 	Adversary *AdversarySpec `json:"adversary,omitempty"`
 	// Seed makes the run reproducible. 0 means "derive from the spec
 	// hash" (see DeriveSeed), so seedless specs are still deterministic.
 	Seed uint64 `json:"seed,omitempty"`
-	// MaxRounds caps the run (0 = engine default).
+	// MaxRounds caps the run (0 = engine default). The robust kind counts
+	// parallel rounds: the step cap is MaxRounds·n.
 	MaxRounds int `json:"max_rounds,omitempty"`
-	// AlmostSlack enables almost-stable detection (see consensus.Config).
+	// AlmostSlack enables almost-stable detection (median kind; see
+	// consensus.Config).
 	AlmostSlack int `json:"almost_slack,omitempty"`
-	// Window is the stability window (0 = default).
+	// Window is the stability window (median kind; 0 = default).
 	Window int `json:"window,omitempty"`
 	// Timing is the adversary hook point: "before-round" (default) or
-	// "after-choices".
+	// "after-choices" (median kind).
 	Timing string `json:"timing,omitempty"`
-	// Engine selects the simulator by name (see consensus.EngineNames);
-	// "" and "auto" both mean automatic selection.
+	// Engine selects the simulator by name (median kind; see
+	// consensus.EngineNames); "" and "auto" both mean automatic selection.
 	Engine string `json:"engine,omitempty"`
-	// Workers parallelises the ball engine (0/1 = sequential).
+	// Workers parallelises the ball engine (median kind; 0/1 = sequential).
 	Workers int `json:"workers,omitempty"`
 	// Gossip configures the gossip engine (ignored otherwise).
 	Gossip *GossipSpec `json:"gossip,omitempty"`
+	// Multidim carries the multidim kind's payload.
+	Multidim *MultidimSpec `json:"multidim,omitempty"`
+	// Robust carries the robust kind's payload (nil normalizes to the
+	// fault-free asynchronous run).
+	Robust *RobustSpec `json:"robust,omitempty"`
 }
 
 // RuleSpec references a registered rule plus its parameters.
@@ -79,9 +121,77 @@ type GossipSpec struct {
 	CapFactor float64 `json:"cap_factor,omitempty"`
 }
 
+// MultidimSpec carries the multidim kind's payload: a point-set generator
+// reference and an optional adversary reference, both resolved through the
+// multidim package's registries.
+type MultidimSpec struct {
+	// Init describes the initial point set (see multidim.InitKinds).
+	Init multidim.InitSpec `json:"init"`
+	// Adversary optionally references a registered strategy (nil = none;
+	// see multidim.AdversaryNames).
+	Adversary *MultidimAdversarySpec `json:"adversary,omitempty"`
+}
+
+// MultidimAdversarySpec references a registered multidim adversary.
+type MultidimAdversarySpec struct {
+	Name   string          `json:"name"`
+	Params multidim.Params `json:"params,omitempty"`
+}
+
+// RobustSpec carries the robust kind's payload. The initial values come
+// from the scalar init registry (Spec.Init).
+type RobustSpec struct {
+	// LossProb is the independent per-sample loss probability in [0,1].
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Crashes freezes that many uniformly chosen processes before the
+	// first step.
+	Crashes int `json:"crashes,omitempty"`
+	// Mode is the crash fault model: "responsive" (default) or "silent"
+	// (see robust.Modes).
+	Mode string `json:"mode,omitempty"`
+}
+
+// kind resolves the family discriminant ("" means median).
+func (s Spec) kind() string {
+	if s.Kind == "" {
+		return KindMedian
+	}
+	return s.Kind
+}
+
 // Normalize returns a copy with defaulted fields made explicit and empty
 // parameter maps dropped, so equivalent specs share one canonical encoding.
+// Fields belonging to other families pass through untouched — Validate, not
+// Normalize, rejects them.
 func (s Spec) Normalize() Spec {
+	s.Kind = s.kind()
+	switch s.Kind {
+	case KindMultidim:
+		if s.Multidim != nil {
+			m := *s.Multidim
+			m.Init = multidim.NormalizeInit(m.Init)
+			if m.Adversary != nil {
+				a := *m.Adversary
+				if len(a.Params) == 0 {
+					a.Params = nil
+				}
+				m.Adversary = &a
+			}
+			s.Multidim = &m
+		}
+		return s
+	case KindRobust:
+		s.Init = consensus.NormalizeInit(s.Init)
+		r := RobustSpec{}
+		if s.Robust != nil {
+			r = *s.Robust
+		}
+		if r.Mode == "" {
+			r.Mode = robust.ModeResponsive
+		}
+		s.Robust = &r
+		return s
+	}
 	s.Init = consensus.NormalizeInit(s.Init)
 	if s.Engine == "" {
 		s.Engine = "auto"
@@ -108,15 +218,123 @@ func (s Spec) Normalize() Spec {
 	return s
 }
 
-// Validate checks that every registry reference resolves and the init spec
-// is well-formed, without materializing the O(n) initial state — it is safe
-// to call on every API request.
+// Validate checks that every registry reference resolves, the init spec is
+// well-formed and no field of a foreign family is set, without materializing
+// the O(n) initial state — it is safe to call on every API request.
 func (s Spec) Validate() error {
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("service: negative max_rounds")
+	}
+	switch s.kind() {
+	case KindMultidim:
+		return s.validateMultidim()
+	case KindRobust:
+		return s.validateRobust()
+	case KindMedian:
+		if s.Multidim != nil || s.Robust != nil {
+			return fmt.Errorf("service: median specs take no multidim/robust payload")
+		}
+		if err := consensus.CheckInit(s.Init); err != nil {
+			return err
+		}
+		_, err := s.components()
+		return err
+	default:
+		return fmt.Errorf("service: unknown spec kind %q (known: %v)", s.Kind, Kinds())
+	}
+}
+
+// scalarFieldsUnset rejects median-family fields on multidim specs, where
+// they have no meaning and would make equivalent runs hash differently.
+func (s Spec) scalarFieldsUnset() error {
+	i := s.Init
+	if i.Kind != "" || i.N != 0 || i.M != 0 || i.NLow != 0 ||
+		i.Low != 0 || i.High != 0 || i.Seed != 0 || len(i.Counts) != 0 {
+		return fmt.Errorf("service: %s specs take no scalar init (use the family payload)", s.kind())
+	}
+	return s.medianKnobsUnset()
+}
+
+// medianKnobsUnset rejects the knobs only the scalar engines interpret.
+func (s Spec) medianKnobsUnset() error {
+	switch {
+	case s.Rule.Name != "" || len(s.Rule.Params) != 0:
+		return fmt.Errorf("service: %s runs hard-code their rule; leave rule unset", s.kind())
+	case s.Adversary != nil:
+		return fmt.Errorf("service: %s specs reference adversaries through their family payload", s.kind())
+	case s.Gossip != nil, s.Engine != "", s.Timing != "",
+		s.Workers != 0, s.AlmostSlack != 0, s.Window != 0:
+		return fmt.Errorf("service: %s specs take no engine/timing/workers/slack/window/gossip fields", s.kind())
+	}
+	return nil
+}
+
+func (s Spec) validateMultidim() error {
+	if s.Robust != nil {
+		return fmt.Errorf("service: multidim specs take no robust payload")
+	}
+	if err := s.scalarFieldsUnset(); err != nil {
+		return err
+	}
+	if s.Multidim == nil {
+		return fmt.Errorf("service: multidim specs need a multidim payload")
+	}
+	if err := multidim.CheckInit(s.Multidim.Init); err != nil {
+		return err
+	}
+	if a := s.Multidim.Adversary; a != nil {
+		if _, err := multidim.NewAdversary(a.Name, a.Params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Spec) validateRobust() error {
+	if s.Multidim != nil {
+		return fmt.Errorf("service: robust specs take no multidim payload")
+	}
+	if err := s.medianKnobsUnset(); err != nil {
+		return err
+	}
 	if err := consensus.CheckInit(s.Init); err != nil {
 		return err
 	}
-	_, err := s.components()
-	return err
+	r := RobustSpec{}
+	if s.Robust != nil {
+		r = *s.Robust
+	}
+	silent, err := robust.ModeByName(r.Mode)
+	if err != nil {
+		return err
+	}
+	// The init size may be unknown (0) for kinds without a Size hook; the
+	// engine's own construction check then catches a bad crash count.
+	n := consensus.InitSize(s.Init)
+	if n > 0 {
+		return robust.Check(int(n), robust.Options{
+			LossProb: r.LossProb, Crashes: r.Crashes, Silent: silent,
+		})
+	}
+	if r.LossProb < 0 || r.LossProb > 1 {
+		return fmt.Errorf("robust: LossProb %v outside [0,1]", r.LossProb)
+	}
+	if r.Crashes < 0 {
+		return fmt.Errorf("robust: negative Crashes %d", r.Crashes)
+	}
+	return nil
+}
+
+// Population reports the population the spec would materialize, for
+// admission control. 0 means unknown.
+func (s Spec) Population() int64 {
+	if s.kind() == KindMultidim {
+		if s.Multidim == nil {
+			return 0
+		}
+		return multidim.InitSize(s.Multidim.Init)
+	}
+	return consensus.InitSize(s.Init)
 }
 
 // Canonical returns the canonical JSON encoding of the normalized spec —
@@ -154,10 +372,14 @@ func (s Spec) EffectiveSeed() (uint64, error) {
 	return DeriveSeed(h), nil
 }
 
-// Config materializes the spec into a runnable consensus.Config with a
-// fresh rule and adversary instance (adversaries carry per-run state) and
-// the effective seed filled in.
+// Config materializes a median-kind spec into a runnable consensus.Config
+// with a fresh rule and adversary instance (adversaries carry per-run
+// state) and the effective seed filled in. Other kinds run through Execute,
+// which dispatches to their own engines.
 func (s Spec) Config() (consensus.Config, error) {
+	if k := s.kind(); k != KindMedian {
+		return consensus.Config{}, fmt.Errorf("service: %s specs have no consensus.Config; run them through Execute", k)
+	}
 	cfg, err := s.components()
 	if err != nil {
 		return consensus.Config{}, err

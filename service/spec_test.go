@@ -7,6 +7,8 @@ import (
 
 	"repro/adversary"
 	"repro/consensus"
+	"repro/multidim"
+	"repro/robust"
 	"repro/rules"
 )
 
@@ -104,8 +106,12 @@ func roundTrip(t *testing.T, label string, spec Spec) {
 	if h1 != h2 {
 		t.Fatalf("%s: hash changed across JSON round trip: %s != %s", label, h1, h2)
 	}
-	if _, err := back.Config(); err != nil {
-		t.Fatalf("%s: config after round trip: %v", label, err)
+	// Only the median kind materializes a consensus.Config; the other
+	// families dispatch through Execute.
+	if k := spec.Normalize().Kind; k == KindMedian {
+		if _, err := back.Config(); err != nil {
+			t.Fatalf("%s: config after round trip: %v", label, err)
+		}
 	}
 }
 
@@ -151,6 +157,196 @@ func TestCanonicalHash(t *testing.T) {
 	u2 := Spec{Init: consensus.InitSpec{Kind: "uniform", N: 50, M: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}}
 	if mustHash(t, u1) != mustHash(t, u2) {
 		t.Fatal("uniform m=0 and m=n must hash equal")
+	}
+}
+
+// TestSpecRoundTripMultidim round-trips a multidim spec for every
+// registered init kind and adversary strategy.
+func TestSpecRoundTripMultidim(t *testing.T) {
+	for _, kind := range multidim.InitKinds() {
+		spec := Spec{
+			Kind:     KindMultidim,
+			Seed:     3,
+			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: kind, N: 64, D: 2, Seed: 7}},
+		}
+		roundTrip(t, "multidim init "+kind, spec)
+	}
+	for _, name := range multidim.AdversaryNames() {
+		spec := Spec{
+			Kind: KindMultidim,
+			Seed: 3,
+			Multidim: &MultidimSpec{
+				Init:      multidim.InitSpec{Kind: "distinct", N: 64, D: 3},
+				Adversary: &MultidimAdversarySpec{Name: name, Params: multidim.Params{"t": 2}},
+			},
+		}
+		roundTrip(t, "multidim adversary "+name, spec)
+	}
+}
+
+// TestSpecRoundTripRobust round-trips a robust spec for every registered
+// mode and every scalar init kind.
+func TestSpecRoundTripRobust(t *testing.T) {
+	for _, mode := range robust.Modes() {
+		spec := Spec{
+			Kind:   KindRobust,
+			Init:   consensus.InitSpec{Kind: "twovalue", N: 100},
+			Seed:   3,
+			Robust: &RobustSpec{LossProb: 0.25, Crashes: 5, Mode: mode},
+		}
+		roundTrip(t, "robust mode "+mode, spec)
+	}
+	for _, kind := range consensus.InitKinds() {
+		init := consensus.InitSpec{Kind: kind, N: 100, Seed: 5}
+		if kind == "blocks" {
+			init = consensus.InitSpec{Kind: kind, Counts: []int64{60, 40}}
+		}
+		spec := Spec{Kind: KindRobust, Init: init, Seed: 3}
+		roundTrip(t, "robust init "+kind, spec)
+	}
+}
+
+// TestCanonicalHashKinds pins the union's normalization rules: the implied
+// median kind and the explicit one hash equal, families hash apart, and
+// each family's defaulted payload fields hash like their explicit forms.
+func TestCanonicalHashKinds(t *testing.T) {
+	base := Spec{
+		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "median"},
+		Seed: 5,
+	}
+	explicit := base
+	explicit.Kind = KindMedian
+	if mustHash(t, base) != mustHash(t, explicit) {
+		t.Fatal("implied and explicit median kind must hash equal")
+	}
+
+	robustSpec := Spec{Kind: KindRobust, Init: base.Init, Seed: 5}
+	if mustHash(t, robustSpec) == mustHash(t, base) {
+		t.Fatal("robust and median specs over the same init must hash differently")
+	}
+	// A nil robust payload and the explicit fault-free responsive payload
+	// describe the same run.
+	explicitRobust := robustSpec
+	explicitRobust.Robust = &RobustSpec{Mode: "responsive"}
+	if mustHash(t, robustSpec) != mustHash(t, explicitRobust) {
+		t.Fatal("nil and explicit default robust payloads must hash equal")
+	}
+
+	// Multidim init defaults canonicalize: d=0 means 1, m=0 means n.
+	m1 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50}}, Seed: 5}
+	m2 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 1, M: 50}}, Seed: 5}
+	if mustHash(t, m1) != mustHash(t, m2) {
+		t.Fatal("implied and explicit multidim init defaults must hash equal")
+	}
+	m3 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 2}}, Seed: 5}
+	if mustHash(t, m1) == mustHash(t, m3) {
+		t.Fatal("different dimensions must hash differently")
+	}
+}
+
+// TestValidateKindMixing rejects specs that mix family fields.
+func TestValidateKindMixing(t *testing.T) {
+	bad := []Spec{
+		// median spec with a foreign payload
+		{Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"},
+			Robust: &RobustSpec{}},
+		// multidim with scalar init / rule / engine
+		{Kind: KindMultidim, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
+			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
+		{Kind: KindMultidim, Rule: RuleSpec{Name: "median"},
+			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
+		{Kind: KindMultidim, Engine: "ball",
+			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
+		// multidim without its payload, or with a bad adversary
+		{Kind: KindMultidim},
+		{Kind: KindMultidim, Multidim: &MultidimSpec{
+			Init:      multidim.InitSpec{Kind: "distinct", N: 10},
+			Adversary: &MultidimAdversarySpec{Name: "nope"}}},
+		// robust with median knobs or bad payloads
+		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}},
+		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10}, AlmostSlack: 3},
+		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
+			Robust: &RobustSpec{LossProb: 1.5}},
+		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
+			Robust: &RobustSpec{Crashes: 10}},
+		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
+			Robust: &RobustSpec{Mode: "quantum"}},
+		// unknown kind
+		{Kind: "tetrahedral", Init: consensus.InitSpec{Kind: "twovalue", N: 10}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad kind-mix spec %d validated: %+v", i, spec)
+		}
+	}
+}
+
+// TestExecuteMultidimDeterminism: same multidim spec, same result and
+// record stream — the cache-determinism contract for the new kind.
+func TestExecuteMultidimDeterminism(t *testing.T) {
+	spec := Spec{
+		Kind: KindMultidim,
+		Seed: 11,
+		Multidim: &MultidimSpec{
+			Init: multidim.InitSpec{Kind: "random", N: 400, D: 2, M: 8, Seed: 11},
+		},
+	}
+	var recs1, recs2 []RoundRecord
+	res1, err := Execute(spec, func(r RoundRecord) { recs1 = append(recs1, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Execute(spec, func(r RoundRecord) { recs2 = append(recs2, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("multidim runs diverged: %+v vs %+v", res1, res2)
+	}
+	if !reflect.DeepEqual(recs1, recs2) {
+		t.Fatal("multidim record streams diverged")
+	}
+	if res1.Reason != "consensus" || len(res1.WinnerPoint) != 2 || res1.WinnerCount != 400 {
+		t.Fatalf("unexpected multidim result: %+v", res1)
+	}
+	if len(recs1) != res1.Rounds+1 {
+		t.Fatalf("got %d records, want %d", len(recs1), res1.Rounds+1)
+	}
+	if recs1[0].Round != 0 || recs1[0].N != 400 || len(recs1[0].LeaderPoint) != 2 {
+		t.Fatalf("bad initial record: %+v", recs1[0])
+	}
+}
+
+// TestExecuteRobustDeterminism: the robust kind is deterministic too, and
+// reports parallel-time rounds with one record per round.
+func TestExecuteRobustDeterminism(t *testing.T) {
+	spec := Spec{
+		Kind:   KindRobust,
+		Init:   consensus.InitSpec{Kind: "twovalue", N: 600},
+		Seed:   13,
+		Robust: &RobustSpec{LossProb: 0.1, Crashes: 6, Mode: "silent"},
+	}
+	var recs []RoundRecord
+	res1, err := Execute(spec, func(r RoundRecord) { recs = append(recs, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Execute(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("robust runs diverged: %+v vs %+v", res1, res2)
+	}
+	if res1.Reason != "consensus" || res1.Steps == 0 || res1.Steps != res1.Rounds*600 {
+		t.Fatalf("unexpected robust result: %+v", res1)
+	}
+	if len(recs) != res1.Rounds+1 {
+		t.Fatalf("got %d records, want %d", len(recs), res1.Rounds+1)
+	}
+	if recs[0].Round != 0 || recs[0].Support != 2 {
+		t.Fatalf("bad initial record: %+v", recs[0])
 	}
 }
 
@@ -248,7 +444,7 @@ func TestExecuteConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res != res2 {
+	if !reflect.DeepEqual(res, res2) {
 		t.Fatalf("identical specs diverged: %+v vs %+v", res, res2)
 	}
 }
