@@ -83,6 +83,19 @@ func New(name string, budget BudgetSpec, p Params) (model.Adversary, error) {
 	return c(bf, p)
 }
 
+// Ref is the serializable reference to a registered adversary strategy:
+// its name, budget family and parameters — the "adversary" block of run
+// specs.
+type Ref struct {
+	Name   string     `json:"name"`
+	Budget BudgetSpec `json:"budget"`
+	Params Params     `json:"params,omitempty"`
+}
+
+// New constructs a fresh instance of the referenced adversary (adversaries
+// carry per-run state, so instances must never be shared between runs).
+func (r Ref) New() (model.Adversary, error) { return New(r.Name, r.Budget, r.Params) }
+
 // Names returns the registered strategy names in sorted order.
 func Names() []string {
 	regMu.RLock()

@@ -1,23 +1,33 @@
 // Command consensusctl is the consensusd client: it submits run specs of
-// any kind, runs batch sweeps, fetches results, follows live round streams
-// and reads service metrics.
+// any registered kind, runs batch sweeps, fetches results, follows live
+// round streams, discovers the server's engines and reads service metrics.
 //
 //	consensusctl submit -n 100000 -rule median -wait
+//	consensusctl submit -kind gossip -n 5000 -selector drop-value:1 -stream
 //	consensusctl submit -kind multidim -init random -n 2000 -d 3 -wait
 //	consensusctl submit -kind robust -n 5000 -loss 0.1 -crashes 50 -wait
 //	consensusctl submit -spec run.json -stream
 //	consensusctl batch -axis n=1e3,1e4 -axis seed=1,2,3
+//	consensusctl batch -axis n=1e3,1e4 -zip crashes=10,100 -reps 5
 //	consensusctl batch -spec batch.json
+//	consensusctl engines
 //	consensusctl get r-1
 //	consensusctl watch r-1
 //	consensusctl cancel r-1
 //	consensusctl metrics
 //
 // The server is selected with -server (default http://localhost:8645) on
-// every subcommand. "submit -spec -" reads one or more JSON specs from
-// stdin (a single spec object, a service RunRecord, or NDJSON of either),
-// so sweep -json output pipes straight back into the service. "batch"
-// streams one BatchCellRecord per expanded cell as NDJSON.
+// every subcommand; $CONSENSUS_TOKEN, when set, is sent as a bearer token
+// (required by servers started with -auth-token). "submit -spec -" reads
+// one or more JSON specs from stdin (a single spec object, a service
+// RunRecord, or NDJSON of either), so sweep -json output pipes straight
+// back into the service. "batch" streams one BatchCellRecord per expanded
+// cell as NDJSON.
+//
+// The per-kind flag surface is validated against the engine registry's
+// descriptors (the same document GET /v1/engines serves): a flag that maps
+// to a parameter the selected kind does not declare is rejected
+// client-side, before anything reaches the server.
 package main
 
 import (
@@ -33,8 +43,9 @@ import (
 	"time"
 
 	"repro/adversary"
-	"repro/consensus"
+	"repro/engine"
 	"repro/multidim"
+	"repro/rules"
 	"repro/service"
 	"repro/service/client"
 )
@@ -51,6 +62,8 @@ func main() {
 		err = runSubmit(args)
 	case "batch":
 		err = runBatch(args)
+	case "engines":
+		err = runEngines(args)
 	case "get":
 		err = runGet(args)
 	case "watch":
@@ -77,6 +90,7 @@ func usage() {
 commands:
   submit    submit a run spec (flags or -spec file)
   batch     submit a batch grid and stream per-cell records
+  engines   list the server's registered engines and their parameters
   get       print a run's state
   watch     stream a run's per-round records, then print the result
   cancel    request cancellation of a run
@@ -89,86 +103,117 @@ func serverFlag(fs *flag.FlagSet) *string {
 	return fs.String("server", "http://localhost:8645", "consensusd base URL")
 }
 
+// newClient builds the API client, attaching $CONSENSUS_TOKEN as the
+// bearer token when set.
+func newClient(server string) *client.Client {
+	c := client.New(server)
+	c.Token = os.Getenv("CONSENSUS_TOKEN")
+	return c
+}
+
 // specFlags is the shared flag surface that builds one Spec of any kind —
 // the submit command's template and the batch command's grid template.
 type specFlags struct {
-	fs       *flag.FlagSet
-	kind     *string
-	n        *int
-	m        *int
-	d        *int
-	initKind *string
-	ruleName *string
-	k        *int
-	advName  *string
-	budgetK  *string
-	budgetF  *float64
-	noiseT   *int
-	loss     *float64
-	crashes  *int
-	mode     *string
-	seed     *uint64
-	rounds   *int
-	slack    *int
-	window   *int
-	timing   *string
-	engine   *string
+	fs        *flag.FlagSet
+	kind      *string
+	n         *int
+	m         *int
+	d         *int
+	initKind  *string
+	ruleName  *string
+	k         *int
+	advName   *string
+	budgetK   *string
+	budgetF   *float64
+	noiseT    *int
+	loss      *float64
+	crashes   *int
+	mode      *string
+	capFactor *float64
+	selector  *string
+	seed      *uint64
+	rounds    *int
+	slack     *int
+	window    *int
+	timing    *string
+	engine    *string
 }
 
 func addSpecFlags(fs *flag.FlagSet) *specFlags {
 	return &specFlags{
-		fs:       fs,
-		kind:     fs.String("kind", "median", "spec kind: median, multidim, robust"),
-		n:        fs.Int("n", 100000, "population size"),
-		m:        fs.Int("m", 2, "number of initial values (multidim: coordinate range)"),
-		d:        fs.Int("d", 1, "point dimension (kind multidim)"),
-		initKind: fs.String("init", "", "initial state kind (median/robust: consensus.InitKinds, default twovalue; multidim: multidim.InitKinds, default random)"),
-		ruleName: fs.String("rule", "median", "rule registry name (kind median)"),
-		k:        fs.Int("k", 0, "k parameter for the kmedian rule (0 = unset)"),
-		advName:  fs.String("adversary", "", "adversary registry name ('' = none; multidim: see multidim.AdversaryNames)"),
-		budgetK:  fs.String("budget", "sqrt", "adversary budget kind: fixed, sqrt, sqrtlog (kind median)"),
-		budgetF:  fs.Float64("budget-factor", 1, "adversary budget factor (kind median)"),
-		noiseT:   fs.Int("t", 0, "multidim adversary per-round budget (0 = default)"),
-		loss:     fs.Float64("loss", 0, "per-sample loss probability (kind robust)"),
-		crashes:  fs.Int("crashes", 0, "crashed processes (kind robust)"),
-		mode:     fs.String("mode", "", "crash fault mode: responsive, silent (kind robust)"),
-		seed:     fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)"),
-		rounds:   fs.Int("rounds", 0, "round cap (0 = engine default)"),
-		slack:    fs.Int("slack", 0, "almost-stable slack (0 = off; kind median)"),
-		window:   fs.Int("window", 0, "stability window (0 = default; kind median)"),
-		timing:   fs.String("timing", "", "adversary timing: before-round, after-choices (kind median)"),
-		engine:   fs.String("engine", "", "engine: auto, ball, count, twobin, gossip (kind median)"),
+		fs:        fs,
+		kind:      fs.String("kind", "median", "spec kind (see consensusctl engines)"),
+		n:         fs.Int("n", 100000, "population size"),
+		m:         fs.Int("m", 2, "number of initial values (multidim: coordinate range)"),
+		d:         fs.Int("d", 1, "point dimension (kind multidim)"),
+		initKind:  fs.String("init", "", "initial state kind (scalar kinds: consensus.InitKinds, default twovalue; multidim: multidim.InitKinds, default random)"),
+		ruleName:  fs.String("rule", "median", "rule registry name (kinds median, gossip)"),
+		k:         fs.Int("k", 0, "k parameter for the kmedian rule (0 = unset)"),
+		advName:   fs.String("adversary", "", "adversary registry name ('' = none; multidim: see multidim.AdversaryNames)"),
+		budgetK:   fs.String("budget", "sqrt", "adversary budget kind: fixed, sqrt, sqrtlog"),
+		budgetF:   fs.Float64("budget-factor", 1, "adversary budget factor"),
+		noiseT:    fs.Int("t", 0, "multidim adversary per-round budget (0 = default)"),
+		loss:      fs.Float64("loss", 0, "per-sample loss probability (kind robust)"),
+		crashes:   fs.Int("crashes", 0, "crashed processes (kind robust)"),
+		mode:      fs.String("mode", "", "crash fault mode: responsive, silent (kind robust)"),
+		capFactor: fs.Float64("cap-factor", 0, "per-round request capacity scale (kind gossip; 0 = default, negative = unlimited)"),
+		selector:  fs.String("selector", "", "drop selector: fair, drop-value:<victim> (kind gossip)"),
+		seed:      fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)"),
+		rounds:    fs.Int("rounds", 0, "round cap (0 = engine default)"),
+		slack:     fs.Int("slack", 0, "almost-stable slack (0 = off)"),
+		window:    fs.Int("window", 0, "stability window (0 = default)"),
+		timing:    fs.String("timing", "", "adversary timing: before-round, after-choices (kind median)"),
+		engine:    fs.String("engine", "", "engine: auto, ball, count, twobin (kind median)"),
 	}
 }
 
-// kindOwnedFlags lists the spec flags each kind interprets beyond the
-// shared kind/n/m/init/seed/rounds set. A flag explicitly set for a
-// foreign kind is an error — mirroring the server-side Validate
-// strictness — instead of silently running without it.
-var kindOwnedFlags = map[string]map[string]bool{
-	service.KindMedian: {"rule": true, "k": true, "adversary": true, "budget": true,
-		"budget-factor": true, "slack": true, "window": true, "timing": true, "engine": true},
-	service.KindMultidim: {"d": true, "adversary": true, "t": true},
-	service.KindRobust:   {"loss": true, "crashes": true, "mode": true},
+// flagParams maps each kind-specific flag to the descriptor parameter it
+// sets. A flag is legal for a kind exactly when the kind's descriptor
+// declares that parameter — so a newly registered engine's flag surface
+// follows from its Descriptor(), with no table to edit here. Shared flags
+// (kind, n, m, init, seed, rounds) are absent: they are legal everywhere.
+var flagParams = map[string]string{
+	"rule":          "rule.name",
+	"k":             "rule.params.k",
+	"adversary":     "adversary.name",
+	"budget":        "adversary.budget.kind",
+	"budget-factor": "adversary.budget.factor",
+	"t":             "adversary.params.t",
+	"slack":         "almost_slack",
+	"window":        "window",
+	"timing":        "timing",
+	"engine":        "engine",
+	"d":             "init.d",
+	"loss":          "loss_prob",
+	"crashes":       "crashes",
+	"mode":          "mode",
+	"cap-factor":    "cap_factor",
+	"selector":      "selector",
 }
 
-// checkKindFlags rejects explicitly-set flags another kind owns.
-func (f *specFlags) checkKindFlags(kind string) error {
-	allowed := kindOwnedFlags[kind]
+// paramsOf indexes a descriptor's parameter names.
+func paramsOf(d engine.Descriptor) map[string]bool {
+	out := make(map[string]bool, len(d.Params))
+	for _, p := range d.Params {
+		out[p.Name] = true
+	}
+	return out
+}
+
+// checkKindFlags rejects explicitly-set flags whose parameter the kind's
+// descriptor does not declare — mirroring the server-side strict decode —
+// instead of silently running without them.
+func (f *specFlags) checkKindFlags(d engine.Descriptor) error {
+	params := paramsOf(d)
 	var bad []string
 	f.fs.Visit(func(fl *flag.Flag) {
-		if allowed[fl.Name] {
-			return
-		}
-		for _, owned := range kindOwnedFlags {
-			if owned[fl.Name] {
-				bad = append(bad, "-"+fl.Name)
-				return
-			}
+		param, owned := flagParams[fl.Name]
+		if owned && !params[param] {
+			bad = append(bad, "-"+fl.Name)
 		}
 	})
 	if len(bad) > 0 {
-		return fmt.Errorf("flags %s do not apply to kind %s", strings.Join(bad, ", "), kind)
+		return fmt.Errorf("flags %s do not apply to kind %s", strings.Join(bad, ", "), d.Kind)
 	}
 	return nil
 }
@@ -178,35 +223,38 @@ func (f *specFlags) checkKindFlags(kind string) error {
 // hash and defeat the result cache.
 func (f *specFlags) spec() (service.Spec, error) {
 	kind := *f.kind
-	if kind == "" {
-		kind = service.KindMedian
-	}
-	switch kind {
-	case service.KindMedian, service.KindMultidim, service.KindRobust:
-	default:
-		return service.Spec{}, fmt.Errorf("unknown spec kind %q (known: %v)", *f.kind, service.Kinds())
-	}
-	if err := f.checkKindFlags(kind); err != nil {
+	eng, err := engine.Lookup(kind)
+	if err != nil {
 		return service.Spec{}, err
 	}
-	switch kind {
-	case service.KindMultidim:
-		return f.multidimSpec()
-	case service.KindRobust:
-		return f.robustSpec()
-	default:
-		return f.medianSpec()
+	d := eng.Descriptor()
+	if err := f.checkKindFlags(d); err != nil {
+		return service.Spec{}, err
 	}
+	spec := service.Spec{Kind: d.Kind, Seed: *f.seed, MaxRounds: *f.rounds}
+	switch d.Kind {
+	case service.KindMultidim:
+		spec.Payload = f.multidimPayload()
+	case service.KindRobust:
+		spec.Payload = f.robustPayload()
+	case service.KindGossip:
+		spec.Payload = f.gossipPayload()
+	case service.KindMedian:
+		spec.Payload = f.medianPayload()
+	default:
+		return service.Spec{}, fmt.Errorf("kind %s has no flag surface; submit it with -spec", d.Kind)
+	}
+	return spec, nil
 }
 
-// scalarInit builds the shared scalar init spec of the median and robust
-// kinds.
-func (f *specFlags) scalarInit() consensus.InitSpec {
+// scalarInit builds the shared scalar init spec of the median, gossip and
+// robust kinds.
+func (f *specFlags) scalarInit() service.InitSpec {
 	kind := *f.initKind
 	if kind == "" {
 		kind = "twovalue"
 	}
-	init := consensus.InitSpec{Kind: kind, N: *f.n}
+	init := service.InitSpec{Kind: kind, N: *f.n}
 	switch kind {
 	case "uniform":
 		init.M = *f.m
@@ -217,30 +265,51 @@ func (f *specFlags) scalarInit() consensus.InitSpec {
 	return init
 }
 
-func (f *specFlags) medianSpec() (service.Spec, error) {
-	spec := service.Spec{
+// scalarAdversary builds the adversary block shared by the median and
+// gossip kinds (nil = none).
+func (f *specFlags) scalarAdversary() *service.AdversarySpec {
+	if *f.advName == "" || *f.advName == "none" {
+		return nil
+	}
+	return &service.AdversarySpec{
+		Name:   *f.advName,
+		Budget: adversary.BudgetSpec{Kind: *f.budgetK, Factor: *f.budgetF},
+	}
+}
+
+func (f *specFlags) ruleRef() service.RuleSpec {
+	rule := service.RuleSpec{Name: *f.ruleName}
+	if *f.k > 0 {
+		rule.Params = rules.Params{"k": float64(*f.k)}
+	}
+	return rule
+}
+
+func (f *specFlags) medianPayload() *service.MedianSpec {
+	return &service.MedianSpec{
 		Init:        f.scalarInit(),
-		Rule:        service.RuleSpec{Name: *f.ruleName},
-		Seed:        *f.seed,
-		MaxRounds:   *f.rounds,
+		Rule:        f.ruleRef(),
+		Adversary:   f.scalarAdversary(),
 		AlmostSlack: *f.slack,
 		Window:      *f.window,
 		Timing:      *f.timing,
 		Engine:      *f.engine,
 	}
-	if *f.k > 0 {
-		spec.Rule.Params = map[string]float64{"k": float64(*f.k)}
-	}
-	if *f.advName != "" && *f.advName != "none" {
-		spec.Adversary = &service.AdversarySpec{
-			Name:   *f.advName,
-			Budget: adversary.BudgetSpec{Kind: *f.budgetK, Factor: *f.budgetF},
-		}
-	}
-	return spec, nil
 }
 
-func (f *specFlags) multidimSpec() (service.Spec, error) {
+func (f *specFlags) gossipPayload() *service.GossipSpec {
+	return &service.GossipSpec{
+		Init:        f.scalarInit(),
+		Rule:        f.ruleRef(),
+		Adversary:   f.scalarAdversary(),
+		CapFactor:   *f.capFactor,
+		Selector:    *f.selector,
+		AlmostSlack: *f.slack,
+		Window:      *f.window,
+	}
+}
+
+func (f *specFlags) multidimPayload() *service.MultidimSpec {
 	kind := *f.initKind
 	if kind == "" {
 		kind = "random"
@@ -250,37 +319,24 @@ func (f *specFlags) multidimSpec() (service.Spec, error) {
 		init.M = *f.m
 		init.Seed = *f.seed
 	}
-	spec := service.Spec{
-		Kind:      service.KindMultidim,
-		Seed:      *f.seed,
-		MaxRounds: *f.rounds,
-		Multidim:  &service.MultidimSpec{Init: init},
-	}
+	payload := &service.MultidimSpec{Init: init}
 	if *f.advName != "" && *f.advName != "none" {
 		adv := &service.MultidimAdversarySpec{Name: *f.advName}
 		if *f.noiseT > 0 {
 			adv.Params = multidim.Params{"t": float64(*f.noiseT)}
 		}
-		spec.Multidim.Adversary = adv
+		payload.Adversary = adv
 	}
-	return spec, nil
+	return payload
 }
 
-func (f *specFlags) robustSpec() (service.Spec, error) {
-	spec := service.Spec{
-		Kind:      service.KindRobust,
-		Init:      f.scalarInit(),
-		Seed:      *f.seed,
-		MaxRounds: *f.rounds,
+func (f *specFlags) robustPayload() *service.RobustSpec {
+	return &service.RobustSpec{
+		Init:     f.scalarInit(),
+		LossProb: *f.loss,
+		Crashes:  *f.crashes,
+		Mode:     *f.mode,
 	}
-	if *f.loss != 0 || *f.crashes != 0 || *f.mode != "" {
-		spec.Robust = &service.RobustSpec{
-			LossProb: *f.loss,
-			Crashes:  *f.crashes,
-			Mode:     *f.mode,
-		}
-	}
-	return spec, nil
 }
 
 func runSubmit(args []string) error {
@@ -292,7 +348,7 @@ func runSubmit(args []string) error {
 	stream := fs.Bool("stream", false, "stream round records while waiting (implies -wait)")
 	fs.Parse(args)
 
-	c := client.New(*server)
+	c := newClient(*server)
 	ctx := context.Background()
 
 	var specs []service.Spec
@@ -333,7 +389,7 @@ func runSubmit(args []string) error {
 	return nil
 }
 
-// axisFlags accumulates repeated -axis param=v1,v2,... flags.
+// axisFlags accumulates repeated -axis (or -zip) param=v1,v2,... flags.
 type axisFlags []service.Axis
 
 func (a *axisFlags) String() string {
@@ -361,13 +417,29 @@ func (a *axisFlags) Set(s string) error {
 	return nil
 }
 
+// checkAxes validates axis params against the template's kind before the
+// request leaves the client, using the same descriptor data the server
+// enforces.
+func checkAxes(tmpl service.Spec, groups ...[]service.Axis) error {
+	for _, axes := range groups {
+		for _, ax := range axes {
+			if !tmpl.AxisOK(ax.Param) {
+				return fmt.Errorf("kind %s has no batch axis %q (see consensusctl engines)",
+					tmpl.Normalize().Kind, ax.Param)
+			}
+		}
+	}
+	return nil
+}
+
 func runBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	server := serverFlag(fs)
 	specPath := fs.String("spec", "", "read a BatchRequest from a JSON file ('-' = stdin) instead of flags")
 	reps := fs.Int("reps", 1, "repetitions per grid cell")
-	var axes axisFlags
+	var axes, zips axisFlags
 	fs.Var(&axes, "axis", "sweep axis param=v1,v2,... (repeatable; cartesian product)")
+	fs.Var(&zips, "zip", "zipped axis param=v1,v2,... (repeatable; all advance together, equal lengths)")
 	sf := addSpecFlags(fs)
 	fs.Parse(args)
 
@@ -377,19 +449,36 @@ func runBatch(args []string) error {
 			return err
 		}
 	} else {
-		if len(axes) == 0 {
-			return fmt.Errorf("batch needs at least one -axis (or -spec)")
+		if len(axes) == 0 && len(zips) == 0 {
+			return fmt.Errorf("batch needs at least one -axis or -zip (or -spec)")
 		}
 		tmpl, err := sf.spec()
 		if err != nil {
 			return err
 		}
-		req = service.BatchRequest{Template: tmpl, Axes: axes, Reps: *reps}
+		if err := checkAxes(tmpl, axes, zips); err != nil {
+			return err
+		}
+		req = service.BatchRequest{Template: tmpl, Axes: axes, Zip: zips, Reps: *reps}
 	}
 	enc := json.NewEncoder(os.Stdout)
-	return client.New(*server).Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
+	return newClient(*server).Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
 		return enc.Encode(rec)
 	})
+}
+
+// runEngines prints the server's engine discovery document — the
+// registered spec kinds with their parameter schemas and batch axes.
+func runEngines(args []string) error {
+	fs := flag.NewFlagSet("engines", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	descriptors, err := newClient(*server).Engines(context.Background())
+	if err != nil {
+		return err
+	}
+	printJSON(descriptors)
+	return nil
 }
 
 // readJSONFile strictly decodes one JSON document from a file or stdin.
@@ -450,12 +539,12 @@ func readSpecs(path string) ([]service.Spec, error) {
 }
 
 // decodeSpec accepts either a bare Spec or a RunRecord wrapper. Both are
-// decoded strictly: a misspelled field must fail here, not be silently
-// dropped, re-marshalled clean and accepted by the server.
+// decoded strictly (the spec codec rejects unknown fields for the spec's
+// kind), so a misspelled field must fail here, not be silently dropped,
+// re-marshalled clean and accepted by the server.
 func decodeSpec(raw []byte) (service.Spec, error) {
 	var rec service.RunRecord
-	if err := strictUnmarshal(raw, &rec); err == nil && rec.SpecHash != "" &&
-		(rec.Spec.Rule.Name != "" || rec.Spec.Kind != "") {
+	if err := strictUnmarshal(raw, &rec); err == nil && rec.SpecHash != "" && rec.Spec.Payload != nil {
 		return rec.Spec, nil
 	}
 	var spec service.Spec
@@ -479,7 +568,7 @@ func runGet(args []string) error {
 	if err != nil {
 		return err
 	}
-	view, err := client.New(*server).Get(context.Background(), id)
+	view, err := newClient(*server).Get(context.Background(), id)
 	if err != nil {
 		return err
 	}
@@ -495,7 +584,7 @@ func runWatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	c := client.New(*server)
+	c := newClient(*server)
 	ctx := context.Background()
 	if err := streamRun(ctx, c, id); err != nil {
 		return err
@@ -523,7 +612,7 @@ func runCancel(args []string) error {
 	if err != nil {
 		return err
 	}
-	view, err := client.New(*server).Cancel(context.Background(), id)
+	view, err := newClient(*server).Cancel(context.Background(), id)
 	if err != nil {
 		return err
 	}
@@ -535,7 +624,7 @@ func runMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	server := serverFlag(fs)
 	fs.Parse(args)
-	m, err := client.New(*server).Metrics(context.Background())
+	m, err := newClient(*server).Metrics(context.Background())
 	if err != nil {
 		return err
 	}
@@ -547,7 +636,7 @@ func runHealth(args []string) error {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	server := serverFlag(fs)
 	fs.Parse(args)
-	if err := client.New(*server).Health(context.Background()); err != nil {
+	if err := newClient(*server).Health(context.Background()); err != nil {
 		return err
 	}
 	fmt.Println("ok")

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/service"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -25,8 +27,11 @@ func TestReadSpecsPrettyPrinted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 1 || specs[0].Rule.Name != "median" || specs[0].Seed != 7 {
+	if len(specs) != 1 || specs[0].Seed != 7 {
 		t.Fatalf("bad parse: %+v", specs)
+	}
+	if p := specs[0].Payload.(*service.MedianSpec); p.Rule.Name != "median" {
+		t.Fatalf("bad payload: %+v", p)
 	}
 }
 
@@ -41,11 +46,11 @@ func TestReadSpecsNDJSONRunRecords(t *testing.T) {
 	if len(specs) != 2 {
 		t.Fatalf("got %d specs, want 2", len(specs))
 	}
-	if specs[0].Init.N != 10 || specs[0].Rule.Name != "median" {
-		t.Fatalf("RunRecord wrapper not unwrapped: %+v", specs[0])
+	if p := specs[0].Payload.(*service.MedianSpec); p.Init.N != 10 || p.Rule.Name != "median" {
+		t.Fatalf("RunRecord wrapper not unwrapped: %+v", p)
 	}
-	if specs[1].Init.N != 20 || specs[1].Rule.Name != "voter" {
-		t.Fatalf("bare spec line mis-parsed: %+v", specs[1])
+	if p := specs[1].Payload.(*service.MedianSpec); p.Init.N != 20 || p.Rule.Name != "voter" {
+		t.Fatalf("bare spec line mis-parsed: %+v", p)
 	}
 }
 
@@ -68,23 +73,28 @@ func TestReadSpecsRejectsUnknownFields(t *testing.T) {
 }
 
 func TestReadSpecsKindedRecords(t *testing.T) {
-	// multidim and robust specs have no rule name; the RunRecord wrapper
-	// must still be recognized by its kind, and bare kinded specs parse.
+	// multidim, robust and gossip specs have no median payload; the
+	// RunRecord wrapper must still be recognized, and bare kinded specs
+	// parse through the registry codec.
 	specs, err := readSpecs(writeTemp(t,
-		`{"spec":{"kind":"multidim","seed":1,"multidim":{"init":{"kind":"distinct","n":10,"d":2}}},"spec_hash":"abc","result":{"rounds":3,"reason":"consensus","winner":0,"winner_count":10,"stable_since":0,"seed":1}}
-{"kind":"robust","init":{"kind":"twovalue","n":20},"robust":{"loss_prob":0.1,"crashes":2}}
+		`{"spec":{"kind":"multidim","seed":1,"init":{"kind":"distinct","n":10,"d":2}},"spec_hash":"abc","result":{"rounds":3,"reason":"consensus","winner":0,"winner_count":10,"stable_since":0,"seed":1}}
+{"kind":"robust","init":{"kind":"twovalue","n":20},"loss_prob":0.1,"crashes":2}
+{"kind":"gossip","init":{"kind":"twovalue","n":20},"selector":"drop-value:1"}
 `))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 2 {
-		t.Fatalf("got %d specs, want 2", len(specs))
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
 	}
-	if specs[0].Kind != "multidim" || specs[0].Multidim == nil || specs[0].Multidim.Init.N != 10 {
+	if p := specs[0].Payload.(*service.MultidimSpec); specs[0].Kind != "multidim" || p.Init.N != 10 {
 		t.Fatalf("kinded RunRecord wrapper not unwrapped: %+v", specs[0])
 	}
-	if specs[1].Kind != "robust" || specs[1].Robust == nil || specs[1].Robust.Crashes != 2 {
+	if p := specs[1].Payload.(*service.RobustSpec); specs[1].Kind != "robust" || p.Crashes != 2 {
 		t.Fatalf("bare robust spec mis-parsed: %+v", specs[1])
+	}
+	if p := specs[2].Payload.(*service.GossipSpec); specs[2].Kind != "gossip" || p.Selector != "drop-value:1" {
+		t.Fatalf("bare gossip spec mis-parsed: %+v", specs[2])
 	}
 }
 
@@ -111,7 +121,7 @@ func TestAxisFlags(t *testing.T) {
 func TestSpecFlagKinds(t *testing.T) {
 	// Each kind builds a valid spec from defaults, with the family
 	// payload populated and foreign fields left out.
-	for _, kind := range []string{"median", "multidim", "robust"} {
+	for _, kind := range []string{"median", "gossip", "multidim", "robust"} {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)
 		sf := addSpecFlags(fs)
 		if err := fs.Parse([]string{"-kind", kind, "-n", "100"}); err != nil {
@@ -168,13 +178,53 @@ func TestSpecFlagsRejectForeignKindFlags(t *testing.T) {
 	}
 }
 
+func TestGossipFlags(t *testing.T) {
+	// The gossip kind's flag surface follows its descriptor: selector and
+	// cap-factor are gossip-owned, median's engine flag is rejected.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := addSpecFlags(fs)
+	if err := fs.Parse([]string{"-kind", "gossip", "-n", "100", "-selector", "drop-value:2", "-cap-factor", "0.5", "-rule", "median"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sf.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("gossip flag spec invalid: %v", err)
+	}
+	p := spec.Payload.(*service.GossipSpec)
+	if p.Selector != "drop-value:2" || p.CapFactor != 0.5 {
+		t.Fatalf("gossip flags not applied: %+v", p)
+	}
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	sf = addSpecFlags(fs)
+	if err := fs.Parse([]string{"-kind", "gossip", "-engine", "ball"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.spec(); err == nil {
+		t.Fatal("-engine must be rejected for kind gossip")
+	}
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	sf = addSpecFlags(fs)
+	if err := fs.Parse([]string{"-selector", "fair"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.spec(); err == nil {
+		t.Fatal("-selector must be rejected for kind median")
+	}
+}
+
 func TestBuildFlagSpecOmitsIrrelevantFields(t *testing.T) {
 	// Mirrors the hash-stability requirement: kinds that ignore m/seed
 	// must not embed them (see runSubmit). Tested via the sweep-side
 	// equivalent initSpec builder in cmd/sweep; here we just pin the
 	// decodeSpec fallback ordering.
 	spec, err := decodeSpec([]byte(`{"init":{"kind":"twovalue","n":5},"rule":{"name":"median"}}`))
-	if err != nil || spec.Init.N != 5 {
-		t.Fatalf("decodeSpec: %+v %v", spec, err)
+	if err != nil {
+		t.Fatalf("decodeSpec: %v", err)
+	}
+	if p := spec.Payload.(*service.MedianSpec); p.Init.N != 5 {
+		t.Fatalf("decodeSpec: %+v", p)
 	}
 }

@@ -3,15 +3,19 @@
 // monitored over the network.
 //
 //	consensusd -addr :8645 -service-workers 8
+//	consensusd -addr :8645 -auth-token s3cret   # 401 on unauthenticated writes
 //
 // Endpoints (see package service for details):
 //
-//	POST   /v1/runs             submit a run spec (median, multidim, robust)
+//	POST   /v1/runs             submit a run spec (any registered kind:
+//	                            median, gossip, multidim, robust)
 //	GET    /v1/runs             list runs
 //	GET    /v1/runs/{id}        run status + result
 //	DELETE /v1/runs/{id}        cancel a run (mid-simulation, any engine)
 //	GET    /v1/runs/{id}/stream per-round NDJSON records
-//	POST   /v1/batches          expand + run a grid, NDJSON per cell
+//	POST   /v1/batches          expand + run a grid (cartesian + zipped
+//	                            axes, derived fields), NDJSON per cell
+//	GET    /v1/engines          registered spec kinds + param schemas
 //	GET    /v1/healthz          liveness
 //	GET    /v1/metrics          job/cache/worker/batch counters (JSON, or
 //	                            Prometheus text via Accept negotiation)
@@ -42,6 +46,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max HTTP request body in bytes (413 beyond)")
 	submitRate := flag.Float64("submit-rate", 0, "submit requests per second admitted (0 = unlimited; 429 beyond)")
 	submitBurst := flag.Int("submit-burst", 0, "submit rate limiter burst (0 = default)")
+	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints ('' = no auth)")
 	flag.Parse()
 
 	svc := service.New(service.Options{
@@ -55,6 +60,7 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		SubmitRate:    *submitRate,
 		SubmitBurst:   *submitBurst,
+		AuthToken:     *authToken,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -117,31 +117,27 @@ func main() {
 	}
 }
 
-// batchRequest assembles the sweep as a batch. Plain sweeps are a template
-// plus an "n" axis — the form POST /v1/batches expands server-side.
-// Adversarial sweeps pin the almost-stable slack to 3·budget(n), a derived
-// per-cell field no axis can express, so they enumerate explicit specs.
+// batchRequest assembles the sweep as a batch: a template plus an "n"
+// axis — the form POST /v1/batches expands server-side. Adversarial sweeps
+// pin the almost-stable slack to ~3·budget(n); that n-dependent field is a
+// server-side derive rule now (almost_slack = ⌊3·√n⌋ per cell), so they
+// ride the same grid path instead of enumerating explicit specs.
 func batchRequest(ns []float64, m int, initKind, ruleName, advName string, maxRounds int, seed uint64, reps int) (service.BatchRequest, error) {
-	if advName == "none" {
-		tmpl, err := buildSpec(0, m, initKind, ruleName, advName, maxRounds, seed)
-		if err != nil {
-			return service.BatchRequest{}, err
-		}
-		return service.BatchRequest{
-			Template: tmpl,
-			Axes:     []service.Axis{{Param: "n", Values: ns}},
-			Reps:     reps,
-		}, nil
+	tmpl, err := buildSpec(m, initKind, ruleName, advName, maxRounds, seed)
+	if err != nil {
+		return service.BatchRequest{}, err
 	}
-	specs := make([]service.Spec, len(ns))
-	for i, n := range ns {
-		spec, err := buildSpec(int(n), m, initKind, ruleName, advName, maxRounds, seed)
-		if err != nil {
-			return service.BatchRequest{}, err
-		}
-		specs[i] = spec
+	req := service.BatchRequest{
+		Template: tmpl,
+		Axes:     []service.Axis{{Param: "n", Values: ns}},
+		Reps:     reps,
 	}
-	return service.BatchRequest{Specs: specs, Reps: reps}, nil
+	if advName != "none" {
+		req.Derive = []service.DeriveRule{
+			{Param: "almost_slack", From: "n", Func: "sqrt", Factor: 3},
+		}
+	}
+	return req, nil
 }
 
 // runLocal expands the batch with the shared expansion rules and runs the
@@ -208,33 +204,30 @@ func summarize(ns []float64, reps int, records []service.RunRecord) []experiment
 	return cells
 }
 
-// buildSpec assembles the service spec for one grid point (n == 0 builds
-// the axis template, whose n the batch expansion patches in). The CLI
-// keeps its historical short names; they resolve to registry names here.
-func buildSpec(n, m int, initKind, ruleName, advName string, maxRounds int, seed uint64) (service.Spec, error) {
-	init, err := initSpec(initKind, n, m, seed)
+// buildSpec assembles the batch template (the "n" axis patches the
+// population per cell). The CLI keeps its historical short names; they
+// resolve to registry names here.
+func buildSpec(m int, initKind, ruleName, advName string, maxRounds int, seed uint64) (service.Spec, error) {
+	init, err := initSpec(initKind, 0, m, seed)
 	if err != nil {
 		return service.Spec{}, err
 	}
-	spec := service.Spec{
-		Init:      init,
-		Rule:      service.RuleSpec{Name: ruleName},
-		Seed:      seed,
-		MaxRounds: maxRounds,
+	payload := &service.MedianSpec{
+		Init: init,
+		Rule: service.RuleSpec{Name: ruleName},
 	}
 	if advName != "none" {
-		adv, err := adversarySpec(advName)
+		payload.Adversary, err = adversarySpec(advName)
 		if err != nil {
 			return service.Spec{}, err
 		}
-		spec.Adversary = adv
-		bf, err := adv.Budget.Func()
-		if err != nil {
-			return service.Spec{}, err
-		}
-		spec.AlmostSlack = 3 * bf(n)
 	}
-	return spec, nil
+	return service.Spec{
+		Kind:      service.KindMedian,
+		Seed:      seed,
+		MaxRounds: maxRounds,
+		Payload:   payload,
+	}, nil
 }
 
 // adversarySpec is the single source for the CLI's adversary description:

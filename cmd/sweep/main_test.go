@@ -77,25 +77,45 @@ func TestBatchRequestShapes(t *testing.T) {
 	if len(req.Specs) != 0 || len(req.Axes) != 1 || req.Axes[0].Param != "n" || req.Reps != 3 {
 		t.Fatalf("plain sweep must be axis-mode: %+v", req)
 	}
-	// Adversarial sweeps carry the n-derived slack, so they enumerate
-	// explicit per-cell specs.
+	// Adversarial sweeps derive the n-dependent slack server-side, riding
+	// the same template+axis grid path as plain sweeps.
 	req, err = batchRequest([]float64{10000}, 2, "twovalue", "median", "balancer", 100, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(req.Axes) != 0 || len(req.Specs) != 1 {
-		t.Fatalf("adversarial sweep must be specs-mode: %+v", req)
+	if len(req.Specs) != 0 || len(req.Axes) != 1 || len(req.Derive) != 1 {
+		t.Fatalf("adversarial sweep must be axis+derive mode: %+v", req)
 	}
-	if req.Specs[0].AlmostSlack != 300 {
-		t.Fatalf("slack %d, want 3*sqrt(10000) = 300", req.Specs[0].AlmostSlack)
+	if d := req.Derive[0]; d.Param != "almost_slack" || d.From != "n" || d.Func != "sqrt" || d.Factor != 3 {
+		t.Fatalf("bad derive rule: %+v", d)
 	}
-	// Both shapes expand through the shared batch expansion.
+	// Both shapes expand through the shared batch expansion; the derive
+	// rule pins the per-cell slack to ⌊3·√n⌋.
 	cells, err := service.ExpandBatch(req, service.BatchLimits{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cells) != 2 {
 		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if slack := c.Spec.Payload.(*service.MedianSpec).AlmostSlack; slack != 300 {
+			t.Fatalf("cell slack %d, want 3*sqrt(10000) = 300", slack)
+		}
+	}
+	// Pin the derive semantics at a non-perfect-square n too: the slack is
+	// the adversary budget family Sqrt(3), i.e. ⌊3·√n⌋ — deliberately so,
+	// replacing the old explicit-spec 3·⌊√n⌋ (⌊3·√1000⌋ = 94, not 93).
+	req, err = batchRequest([]float64{1000}, 2, "twovalue", "median", "balancer", 100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err = service.ExpandBatch(req, service.BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slack := cells[0].Spec.Payload.(*service.MedianSpec).AlmostSlack; slack != 94 {
+		t.Fatalf("cell slack %d, want floor(3*sqrt(1000)) = 94", slack)
 	}
 }
 

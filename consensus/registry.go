@@ -3,10 +3,8 @@ package consensus
 import (
 	"fmt"
 	"sort"
-	"sync"
 
-	"repro/internal/assign"
-	"repro/internal/rng"
+	"repro/internal/initspec"
 )
 
 // This file is the package's registration surface: serializable names for
@@ -78,259 +76,34 @@ func TimingName(t Timing) string {
 	return "before-round"
 }
 
-// InitSpec is the serializable description of an initial state: a generator
-// kind plus the union of the parameters the built-in generators take. Unused
-// fields are zero and omitted from JSON.
-type InitSpec struct {
-	// Kind selects the generator (see InitKinds).
-	Kind string `json:"kind"`
-	// N is the population size (all kinds except blocks).
-	N int `json:"n,omitempty"`
-	// M is the number of initial values (uniform, evenblocks).
-	M int `json:"m,omitempty"`
-	// NLow is the low-bin population for twovalue (0 means n/2).
-	NLow int `json:"n_low,omitempty"`
-	// Low and High are the two values of twovalue (0,0 means 1,2).
-	Low  Value `json:"low,omitempty"`
-	High Value `json:"high,omitempty"`
-	// Seed drives randomized generators (uniform).
-	Seed uint64 `json:"seed,omitempty"`
-	// Counts is the count vector for blocks.
-	Counts []int64 `json:"counts,omitempty"`
-}
+// InitSpec is the serializable description of an initial state. It is an
+// alias of initspec.Spec — the registry itself lives in the leaf package
+// internal/initspec so that internal/gossip (which this package imports)
+// can resolve init specs without an import cycle; this package remains the
+// public surface.
+type InitSpec = initspec.Spec
 
-// InitGenerator materializes an initial state from its spec. Check, when
-// non-nil, validates a spec without allocating the O(n) state — the service
-// layer validates every submitted spec, so a missing Check means each
-// validation materializes (and discards) the full population. Normalize,
-// when non-nil, rewrites a spec to its canonical form: defaulted fields
-// made explicit, fields the kind ignores zeroed — so specs describing the
-// same state serialize (and hash) identically.
-// Size, when non-nil, reports the population the spec would materialize
-// without allocating it, letting servers enforce admission limits.
-type InitGenerator struct {
-	Generate  func(s InitSpec) ([]Value, error)
-	Check     func(s InitSpec) error
-	Normalize func(s InitSpec) InitSpec
-	Size      func(s InitSpec) int64
-}
-
-var (
-	initMu       sync.RWMutex
-	initRegistry = map[string]InitGenerator{}
-)
+// InitGenerator materializes an initial state from its spec (alias of
+// initspec.Generator; see that type for the Check/Normalize/Size hooks).
+type InitGenerator = initspec.Generator
 
 // RegisterInit adds a named initial-state generator, panicking on duplicates.
-func RegisterInit(kind string, g InitGenerator) {
-	if kind == "" || g.Generate == nil {
-		panic("consensus: RegisterInit with empty kind or nil generator")
-	}
-	initMu.Lock()
-	defer initMu.Unlock()
-	if _, dup := initRegistry[kind]; dup {
-		panic(fmt.Sprintf("consensus: duplicate init registration of %q", kind))
-	}
-	initRegistry[kind] = g
-}
-
-func initFor(kind string) (InitGenerator, error) {
-	initMu.RLock()
-	g, ok := initRegistry[kind]
-	initMu.RUnlock()
-	if !ok {
-		return InitGenerator{}, fmt.Errorf("consensus: unknown init kind %q (known: %v)", kind, InitKinds())
-	}
-	return g, nil
-}
+func RegisterInit(kind string, g InitGenerator) { initspec.Register(kind, g) }
 
 // BuildInit materializes the initial state described by s.
-func BuildInit(s InitSpec) ([]Value, error) {
-	g, err := initFor(s.Kind)
-	if err != nil {
-		return nil, err
-	}
-	return g.Generate(s)
-}
+func BuildInit(s InitSpec) ([]Value, error) { return initspec.Build(s) }
 
 // CheckInit validates an init spec without materializing the state when the
 // generator provides a Check, falling back to generate-and-discard.
-func CheckInit(s InitSpec) error {
-	g, err := initFor(s.Kind)
-	if err != nil {
-		return err
-	}
-	if g.Check != nil {
-		return g.Check(s)
-	}
-	_, err = g.Generate(s)
-	return err
-}
+func CheckInit(s InitSpec) error { return initspec.Check(s) }
 
 // NormalizeInit rewrites an init spec to its canonical form. Unknown kinds
-// and generators without a Normalize hook pass through unchanged (their
-// validation error, if any, surfaces in CheckInit/BuildInit).
-func NormalizeInit(s InitSpec) InitSpec {
-	g, err := initFor(s.Kind)
-	if err != nil || g.Normalize == nil {
-		return s
-	}
-	return g.Normalize(s)
-}
+// and generators without a Normalize hook pass through unchanged.
+func NormalizeInit(s InitSpec) InitSpec { return initspec.Normalize(s) }
 
 // InitSize reports the population an init spec would materialize, without
 // allocating it. 0 means unknown (unregistered kind or no Size hook).
-func InitSize(s InitSpec) int64 {
-	g, err := initFor(s.Kind)
-	if err != nil || g.Size == nil {
-		return 0
-	}
-	return g.Size(s)
-}
+func InitSize(s InitSpec) int64 { return initspec.Size(s) }
 
 // InitKinds returns the registered init kinds in sorted order.
-func InitKinds() []string {
-	initMu.RLock()
-	defer initMu.RUnlock()
-	out := make([]string, 0, len(initRegistry))
-	for kind := range initRegistry {
-		out = append(out, kind)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func needN(s InitSpec) error {
-	if s.N <= 0 {
-		return fmt.Errorf("consensus: init %q needs n > 0, got %d", s.Kind, s.N)
-	}
-	return nil
-}
-
-// twoValueShape resolves the twovalue defaults and validates the spec.
-func twoValueShape(s InitSpec) (nLow int, low, high Value, err error) {
-	if err := needN(s); err != nil {
-		return 0, 0, 0, err
-	}
-	low, high = s.Low, s.High
-	if low == 0 && high == 0 {
-		low, high = 1, 2
-	}
-	if low >= high {
-		return 0, 0, 0, fmt.Errorf("consensus: init twovalue needs low < high, got %d >= %d", low, high)
-	}
-	nLow = s.NLow
-	if nLow == 0 {
-		nLow = s.N / 2
-	}
-	if nLow < 0 || nLow > s.N {
-		return 0, 0, 0, fmt.Errorf("consensus: init twovalue needs 0 <= n_low <= n, got %d", nLow)
-	}
-	return nLow, low, high, nil
-}
-
-func checkBlocks(s InitSpec) error {
-	if len(s.Counts) == 0 {
-		return fmt.Errorf("consensus: init blocks needs a non-empty counts vector")
-	}
-	var n int64
-	for i, k := range s.Counts {
-		if k < 0 {
-			return fmt.Errorf("consensus: init blocks counts[%d] is negative", i)
-		}
-		n += k
-	}
-	if n == 0 {
-		return fmt.Errorf("consensus: init blocks needs at least one ball")
-	}
-	return nil
-}
-
-// clampM resolves the m parameter the way uniform/evenblocks interpret it.
-func clampM(s InitSpec) int {
-	if s.M <= 0 || s.M > s.N {
-		return s.N
-	}
-	return s.M
-}
-
-func init() {
-	RegisterInit("distinct", InitGenerator{
-		Check: needN,
-		Size:  func(s InitSpec) int64 { return int64(s.N) },
-		Normalize: func(s InitSpec) InitSpec {
-			return InitSpec{Kind: s.Kind, N: s.N}
-		},
-		Generate: func(s InitSpec) ([]Value, error) {
-			if err := needN(s); err != nil {
-				return nil, err
-			}
-			return AllDistinct(s.N), nil
-		},
-	})
-	RegisterInit("uniform", InitGenerator{
-		Check: needN,
-		Size:  func(s InitSpec) int64 { return int64(s.N) },
-		Normalize: func(s InitSpec) InitSpec {
-			return InitSpec{Kind: s.Kind, N: s.N, M: clampM(s), Seed: s.Seed}
-		},
-		Generate: func(s InitSpec) ([]Value, error) {
-			if err := needN(s); err != nil {
-				return nil, err
-			}
-			return assign.Uniform(s.N, clampM(s), rng.NewXoshiro256(s.Seed)), nil
-		},
-	})
-	RegisterInit("twovalue", InitGenerator{
-		Size: func(s InitSpec) int64 { return int64(s.N) },
-		Check: func(s InitSpec) error {
-			_, _, _, err := twoValueShape(s)
-			return err
-		},
-		Normalize: func(s InitSpec) InitSpec {
-			nLow, low, high, err := twoValueShape(s)
-			if err != nil {
-				return s // invalid specs fail validation, not hashing
-			}
-			return InitSpec{Kind: s.Kind, N: s.N, NLow: nLow, Low: low, High: high}
-		},
-		Generate: func(s InitSpec) ([]Value, error) {
-			nLow, low, high, err := twoValueShape(s)
-			if err != nil {
-				return nil, err
-			}
-			return TwoValue(s.N, nLow, low, high), nil
-		},
-	})
-	RegisterInit("blocks", InitGenerator{
-		Check: checkBlocks,
-		Size: func(s InitSpec) int64 {
-			var n int64
-			for _, k := range s.Counts {
-				n += k
-			}
-			return n
-		},
-		Normalize: func(s InitSpec) InitSpec {
-			return InitSpec{Kind: s.Kind, Counts: s.Counts}
-		},
-		Generate: func(s InitSpec) ([]Value, error) {
-			if err := checkBlocks(s); err != nil {
-				return nil, err
-			}
-			return Blocks(s.Counts), nil
-		},
-	})
-	RegisterInit("evenblocks", InitGenerator{
-		Check: needN,
-		Size:  func(s InitSpec) int64 { return int64(s.N) },
-		Normalize: func(s InitSpec) InitSpec {
-			return InitSpec{Kind: s.Kind, N: s.N, M: clampM(s)}
-		},
-		Generate: func(s InitSpec) ([]Value, error) {
-			if err := needN(s); err != nil {
-				return nil, err
-			}
-			return EvenBlocks(s.N, clampM(s)), nil
-		},
-	})
-}
+func InitKinds() []string { return initspec.Kinds() }

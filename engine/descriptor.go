@@ -1,0 +1,83 @@
+package engine
+
+// Descriptor is a simulation family's self-description: the document
+// GET /v1/engines serves so clients can discover kinds, generate per-kind
+// flags and reject unknown parameters before a spec ever reaches the
+// server. Param names use dotted paths into the spec JSON ("init.kind",
+// "rule.name", "adversary.budget.factor"); the envelope's shared fields
+// (kind, seed, max_rounds) belong to every kind and are not repeated here.
+type Descriptor struct {
+	// Kind is the spec kind the family registers under.
+	Kind string `json:"kind"`
+	// Default marks the kind an empty "kind" field normalizes to. At most
+	// one registered kind may set it.
+	Default bool `json:"default,omitempty"`
+	// Summary is a one-line human description.
+	Summary string `json:"summary"`
+	// Params is the payload's parameter schema, sorted by name.
+	Params []Param `json:"params"`
+	// Axes lists the parameter names the family accepts as batch sweep
+	// axes (POST /v1/batches), beyond the shared "seed" and "max_rounds".
+	Axes []string `json:"axes,omitempty"`
+}
+
+// Param documents one payload parameter.
+type Param struct {
+	// Name is the dotted path of the field in the spec JSON.
+	Name string `json:"name"`
+	// Type is the JSON type: "string", "int", "uint", "float", "bool",
+	// "object" or "array".
+	Type string `json:"type"`
+	// Default renders the value an omitted field normalizes to ("" when
+	// the zero value simply stays zero).
+	Default string `json:"default,omitempty"`
+	// Enum lists the legal values of closed string sets (registry names).
+	Enum []string `json:"enum,omitempty"`
+	// Min and Max bound numeric parameters when set.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Doc is a one-line description.
+	Doc string `json:"doc,omitempty"`
+}
+
+// Bound returns a *float64 for Param.Min/Max literals.
+func Bound(v float64) *float64 { return &v }
+
+// RuleRefParams describes the shared rule-reference block ("rule.*", a
+// rules.Ref) under the given Enum of rule names and default. The median
+// and gossip kinds both embed it.
+func RuleRefParams(names []string, def string) []Param {
+	return []Param{
+		{Name: "rule.name", Type: "string", Default: def, Enum: names, Doc: "update rule"},
+		{Name: "rule.params", Type: "object", Doc: "rule parameters (numeric, rule-specific)"},
+		{Name: "rule.params.k", Type: "int", Min: Bound(1), Doc: "k parameter of the kmedian rule"},
+	}
+}
+
+// AdversaryRefParams describes the shared adversary-reference block
+// ("adversary.*", an adversary.Ref) under the given Enum of strategy
+// names. The median and gossip kinds both embed it.
+func AdversaryRefParams(names []string) []Param {
+	return []Param{
+		{Name: "adversary.name", Type: "string", Enum: names, Doc: "T-bounded adversary strategy (omit the block for none)"},
+		{Name: "adversary.budget.kind", Type: "string", Enum: []string{"fixed", "sqrt", "sqrtlog"}, Doc: "budget family"},
+		{Name: "adversary.budget.factor", Type: "float", Min: Bound(0), Doc: "budget scale factor"},
+		{Name: "adversary.params", Type: "object", Doc: "strategy parameters (numeric, strategy-specific)"},
+	}
+}
+
+// ScalarInitParams describes the shared scalar init block (the
+// internal/initspec registry) under the given Enum of init kinds — the
+// median, robust and gossip kinds all embed it as "init.*".
+func ScalarInitParams(kinds []string) []Param {
+	return []Param{
+		{Name: "init.kind", Type: "string", Default: "", Enum: kinds, Doc: "initial-state generator"},
+		{Name: "init.n", Type: "int", Min: Bound(1), Doc: "population size (all kinds except blocks)"},
+		{Name: "init.m", Type: "int", Doc: "number of initial values (uniform, evenblocks; 0 = n)"},
+		{Name: "init.n_low", Type: "int", Doc: "low-bin population for twovalue (0 = n/2)"},
+		{Name: "init.low", Type: "int", Doc: "low value of twovalue (0,0 = 1,2)"},
+		{Name: "init.high", Type: "int", Doc: "high value of twovalue"},
+		{Name: "init.seed", Type: "uint", Doc: "seed of randomized generators (uniform)"},
+		{Name: "init.counts", Type: "array", Doc: "count vector for blocks"},
+	}
+}

@@ -1,0 +1,260 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/engine"
+)
+
+// fakeSpec is a minimal payload: n rounds of nothing, observable and
+// axis-patchable.
+type fakeSpec struct {
+	N      int     `json:"n,omitempty"`
+	Rounds int     `json:"rounds_to_run,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+}
+
+func (f *fakeSpec) Normalize() {
+	if f.Rounds == 0 {
+		f.Rounds = 2
+	}
+}
+
+func (f *fakeSpec) Validate() error {
+	if f.N <= 0 {
+		return fmt.Errorf("fake: n must be positive")
+	}
+	return nil
+}
+
+func (f *fakeSpec) Population() int64 { return int64(f.N) }
+
+func (f *fakeSpec) Run(ctx engine.RunContext) (engine.Result, error) {
+	rounds := f.Rounds
+	if ctx.MaxRounds > 0 && ctx.MaxRounds < rounds {
+		rounds = ctx.MaxRounds
+	}
+	for r := 0; r <= rounds; r++ {
+		ctx.Observe(engine.Record{Round: r, N: int64(f.N), Support: 1, LeaderCount: int64(f.N)})
+	}
+	return engine.Result{Rounds: rounds, Reason: "consensus", WinnerCount: int64(f.N)}, nil
+}
+
+func (f *fakeSpec) ApplyAxis(param string, v float64) error {
+	switch param {
+	case "n":
+		n, err := engine.IntAxis(param, v)
+		if err != nil {
+			return err
+		}
+		f.N = n
+	case "rate":
+		f.Rate = v
+	default:
+		return fmt.Errorf("fake: unknown axis %q", param)
+	}
+	return nil
+}
+
+type fakeEngine struct {
+	kind string
+	dflt bool
+}
+
+func (e fakeEngine) NewPayload() engine.Payload { return &fakeSpec{} }
+
+func (e fakeEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{
+		Kind:    e.kind,
+		Default: e.dflt,
+		Summary: "test-only fake engine",
+		Params: []engine.Param{
+			{Name: "n", Type: "int", Min: engine.Bound(1), Doc: "population"},
+			{Name: "rounds_to_run", Type: "int", Default: "2", Doc: "rounds to simulate"},
+			{Name: "rate", Type: "float", Doc: "a float axis"},
+		},
+		Axes: []string{"n", "rate"},
+	}
+}
+
+// The fake engines registered once for the whole test package. The engine
+// package's own tests run with an otherwise empty registry (no family
+// package is imported), so the default-kind mechanics are exercised on
+// "fake" itself.
+func init() {
+	engine.Register(fakeEngine{kind: "fake", dflt: true})
+	engine.Register(fakeEngine{kind: "fake2"})
+}
+
+func TestRegistryBasics(t *testing.T) {
+	if got := engine.Kinds(); !reflect.DeepEqual(got, []string{"fake", "fake2"}) {
+		t.Fatalf("kinds %v", got)
+	}
+	if engine.DefaultKind() != "fake" {
+		t.Fatalf("default kind %q", engine.DefaultKind())
+	}
+	// "" resolves to the default kind.
+	e, err := engine.Lookup("")
+	if err != nil || e.Descriptor().Kind != "fake" {
+		t.Fatalf("Lookup(\"\"): %v %v", e, err)
+	}
+	if _, err := engine.Lookup("warp"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	ds := engine.Descriptors()
+	if len(ds) != 2 || ds[0].Kind != "fake" || ds[1].Kind != "fake2" {
+		t.Fatalf("descriptors %v", ds)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate kind", func() { engine.Register(fakeEngine{kind: "fake"}) })
+	mustPanic("second default", func() { engine.Register(fakeEngine{kind: "fake3", dflt: true}) })
+	mustPanic("empty kind", func() { engine.Register(fakeEngine{kind: ""}) })
+	mustPanic("axes without AxisApplier", func() { engine.Register(noAxisEngine{}) })
+}
+
+// noAxisEngine advertises axes on a payload that cannot apply them.
+type noAxisEngine struct{}
+
+type inertSpec struct{}
+
+func (*inertSpec) Normalize()                                   {}
+func (*inertSpec) Validate() error                              { return nil }
+func (*inertSpec) Population() int64                            { return 0 }
+func (*inertSpec) Run(engine.RunContext) (engine.Result, error) { return engine.Result{}, nil }
+func (noAxisEngine) NewPayload() engine.Payload                 { return &inertSpec{} }
+func (noAxisEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{Kind: "inert", Summary: "x", Axes: []string{"n"}}
+}
+
+func TestSpecCodec(t *testing.T) {
+	spec := engine.Spec{Kind: "fake", Seed: 9, MaxRounds: 5, Payload: &fakeSpec{N: 10, Rate: 0.5}}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope and payload share one flat object with sorted keys.
+	want := `{"kind":"fake","max_rounds":5,"n":10,"rate":0.5,"seed":9}`
+	if string(buf) != want {
+		t.Fatalf("marshal: got %s, want %s", buf, want)
+	}
+	var back engine.Spec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", back, spec)
+	}
+	// Kindless JSON decodes as the default kind.
+	var dflt engine.Spec
+	if err := json.Unmarshal([]byte(`{"n":3}`), &dflt); err != nil {
+		t.Fatal(err)
+	}
+	if dflt.Kind != "" || dflt.Payload.(*fakeSpec).N != 3 {
+		t.Fatalf("kindless decode: %+v", dflt)
+	}
+	// Unknown fields for the kind are rejected, naming the kind.
+	err = json.Unmarshal([]byte(`{"kind":"fake","warp":1}`), &back)
+	if err == nil || !strings.Contains(err.Error(), "fake") {
+		t.Fatalf("unknown field: %v", err)
+	}
+	// Unknown kinds are rejected at decode time.
+	if err := json.Unmarshal([]byte(`{"kind":"warp"}`), &back); err == nil {
+		t.Fatal("unknown kind must fail to decode")
+	}
+}
+
+func TestSpecNormalizeDoesNotMutateCaller(t *testing.T) {
+	p := &fakeSpec{N: 10}
+	spec := engine.Spec{Payload: p}
+	norm := spec.Normalize()
+	if norm.Kind != "fake" {
+		t.Fatalf("normalize must make the default kind explicit, got %q", norm.Kind)
+	}
+	if norm.Payload.(*fakeSpec).Rounds != 2 {
+		t.Fatal("normalize must fill payload defaults")
+	}
+	if p.Rounds != 0 {
+		t.Fatal("normalize mutated the caller's payload")
+	}
+	// Normalized and raw forms hash identically.
+	h1, _ := spec.Hash()
+	h2, _ := norm.Hash()
+	if h1 == "" || h1 != h2 {
+		t.Fatalf("hash not canonical: %q vs %q", h1, h2)
+	}
+}
+
+func TestSpecCloneIsDeep(t *testing.T) {
+	spec := engine.Spec{Kind: "fake", Payload: &fakeSpec{N: 10}}
+	clone := spec.Clone()
+	clone.Payload.(*fakeSpec).N = 99
+	if spec.Payload.(*fakeSpec).N != 10 {
+		t.Fatal("clone shares the payload")
+	}
+}
+
+func TestApplyAxis(t *testing.T) {
+	spec := engine.Spec{Kind: "fake", Payload: &fakeSpec{N: 1}}
+	for param, v := range map[string]float64{"n": 7, "rate": 0.25, "seed": 3, "max_rounds": 9} {
+		if err := spec.ApplyAxis(param, v); err != nil {
+			t.Fatalf("ApplyAxis(%s): %v", param, err)
+		}
+	}
+	p := spec.Payload.(*fakeSpec)
+	if p.N != 7 || p.Rate != 0.25 || spec.Seed != 3 || spec.MaxRounds != 9 {
+		t.Fatalf("axes not applied: %+v %+v", spec, p)
+	}
+	if err := spec.ApplyAxis("warp", 1); err == nil {
+		t.Fatal("non-descriptor axis must be rejected")
+	}
+	if err := spec.ApplyAxis("n", 1.5); err == nil {
+		t.Fatal("non-integral int axis must be rejected")
+	}
+	if !spec.AxisOK("n") || !spec.AxisOK("seed") || spec.AxisOK("warp") {
+		t.Fatal("AxisOK disagrees with the descriptor")
+	}
+}
+
+func TestExecuteObservesAndCancels(t *testing.T) {
+	spec := engine.Spec{Kind: "fake", Seed: 1, Payload: &fakeSpec{N: 4, Rounds: 10}}
+	var recs []engine.Record
+	res, err := engine.Execute(spec, func(r engine.Record) { recs = append(recs, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 || res.Seed != 1 || len(recs) != 11 {
+		t.Fatalf("result %+v, %d records", res, len(recs))
+	}
+	// Seedless specs get the hash-derived seed stamped into the result.
+	seedless := engine.Spec{Kind: "fake", Payload: &fakeSpec{N: 4}}
+	res, err = engine.Execute(seedless, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := seedless.EffectiveSeed()
+	if res.Seed != want || res.Seed == 0 {
+		t.Fatalf("derived seed %d, want %d", res.Seed, want)
+	}
+	// Cancellation unwinds through the observer after a bounded number of
+	// rounds.
+	calls := 0
+	_, err = engine.Execute(spec, nil, func() bool { calls++; return calls > 3 })
+	if err != engine.ErrCancelled {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Engine is one registered simulation family: a Descriptor that makes the
+// kind self-describing over the wire (GET /v1/engines) and a factory for
+// its typed spec payload.
+type Engine interface {
+	// Descriptor describes the kind. It is recomputed on every call so
+	// enum lists that reference other registries (rules, adversaries,
+	// init kinds) stay current regardless of registration order.
+	Descriptor() Descriptor
+	// NewPayload returns a fresh zero payload for the codec to decode
+	// into. It must return a pointer to a struct.
+	NewPayload() Payload
+}
+
+// entry is one registered family plus its axis set, captured once at
+// Register time so the per-cell batch path never rebuilds descriptors
+// (descriptor enums may be recomputed freely, but the axis set of a kind
+// is static).
+type entry struct {
+	engine Engine
+	axes   map[string]bool
+}
+
+var (
+	regMu       sync.RWMutex
+	registry    = map[string]entry{}
+	defaultKind string
+)
+
+// Register adds a simulation family under its Descriptor().Kind, panicking
+// on duplicates, empty kinds and a second default. It is meant to be called
+// from package init functions.
+func Register(e Engine) {
+	d := e.Descriptor()
+	if d.Kind == "" {
+		panic("engine: Register with empty descriptor kind")
+	}
+	// Advertised capabilities must exist: a descriptor that declares batch
+	// axes on a payload that cannot apply them would pass AxisOK and then
+	// fail every cell at patch time.
+	if len(d.Axes) > 0 {
+		if _, ok := e.NewPayload().(AxisApplier); !ok {
+			panic(fmt.Sprintf("engine: kind %q declares axes %v but its payload does not implement AxisApplier", d.Kind, d.Axes))
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Kind]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of kind %q", d.Kind))
+	}
+	if d.Default {
+		if defaultKind != "" {
+			panic(fmt.Sprintf("engine: kinds %q and %q both claim to be the default", defaultKind, d.Kind))
+		}
+		defaultKind = d.Kind
+	}
+	axes := make(map[string]bool, len(d.Axes))
+	for _, a := range d.Axes {
+		axes[a] = true
+	}
+	registry[d.Kind] = entry{engine: e, axes: axes}
+}
+
+// Lookup resolves a kind name. "" resolves to the default kind (the one
+// whose Descriptor sets Default), so omitted spec kinds keep working.
+func Lookup(kind string) (Engine, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if kind == "" {
+		kind = defaultKind
+	}
+	e, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown spec kind %q (known: %v)", kind, kindsLocked())
+	}
+	return e.engine, nil
+}
+
+// axisAllowed reports whether the kind registered the named batch axis,
+// from the set captured at Register time — the per-cell hot path of batch
+// expansion, so no descriptor is rebuilt here.
+func axisAllowed(kind, param string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if kind == "" {
+		kind = defaultKind
+	}
+	return registry[kind].axes[param]
+}
+
+// DefaultKind returns the kind "" normalizes to ("" if none is registered).
+func DefaultKind() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return defaultKind
+}
+
+// Kinds returns the registered kinds in sorted order.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return kindsLocked()
+}
+
+func kindsLocked() []string {
+	out := make([]string, 0, len(registry))
+	for kind := range registry {
+		out = append(out, kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Descriptors returns every registered kind's descriptor, sorted by kind —
+// the discovery document GET /v1/engines serves. The order is independent
+// of registration order.
+func Descriptors() []Descriptor {
+	regMu.RLock()
+	engines := make([]Engine, 0, len(registry))
+	for _, e := range registry {
+		engines = append(engines, e.engine)
+	}
+	regMu.RUnlock()
+	out := make([]Descriptor, 0, len(engines))
+	for _, e := range engines {
+		out = append(out, e.Descriptor())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}

@@ -1,0 +1,312 @@
+// Package initspec is the registry of serializable scalar initial-state
+// generators shared by every family that starts from a value vector (the
+// median, robust and gossip spec kinds). It used to live inside package
+// consensus; it is a leaf package so that internal/gossip — which package
+// consensus itself imports — can resolve init specs without a cycle.
+// Package consensus re-exports the whole surface (consensus.InitSpec,
+// consensus.BuildInit, ...), so library callers never see this package.
+package initspec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/engine"
+	"repro/internal/assign"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Value aliases the shared process-value type.
+type Value = model.Value
+
+// Spec is the serializable description of an initial state: a generator
+// kind plus the union of the parameters the built-in generators take. Unused
+// fields are zero and omitted from JSON.
+type Spec struct {
+	// Kind selects the generator (see Kinds).
+	Kind string `json:"kind"`
+	// N is the population size (all kinds except blocks).
+	N int `json:"n,omitempty"`
+	// M is the number of initial values (uniform, evenblocks).
+	M int `json:"m,omitempty"`
+	// NLow is the low-bin population for twovalue (0 means n/2).
+	NLow int `json:"n_low,omitempty"`
+	// Low and High are the two values of twovalue (0,0 means 1,2).
+	Low  Value `json:"low,omitempty"`
+	High Value `json:"high,omitempty"`
+	// Seed drives randomized generators (uniform).
+	Seed uint64 `json:"seed,omitempty"`
+	// Counts is the count vector for blocks.
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Generator materializes an initial state from its spec. Check, when
+// non-nil, validates a spec without allocating the O(n) state — the service
+// layer validates every submitted spec, so a missing Check means each
+// validation materializes (and discards) the full population. Normalize,
+// when non-nil, rewrites a spec to its canonical form: defaulted fields
+// made explicit, fields the kind ignores zeroed — so specs describing the
+// same state serialize (and hash) identically.
+// Size, when non-nil, reports the population the spec would materialize
+// without allocating it, letting servers enforce admission limits.
+type Generator struct {
+	Generate  func(s Spec) ([]Value, error)
+	Check     func(s Spec) error
+	Normalize func(s Spec) Spec
+	Size      func(s Spec) int64
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Generator{}
+)
+
+// Register adds a named initial-state generator, panicking on duplicates.
+func Register(kind string, g Generator) {
+	if kind == "" || g.Generate == nil {
+		panic("initspec: Register with empty kind or nil generator")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("initspec: duplicate init registration of %q", kind))
+	}
+	registry[kind] = g
+}
+
+func generatorFor(kind string) (Generator, error) {
+	mu.RLock()
+	g, ok := registry[kind]
+	mu.RUnlock()
+	if !ok {
+		return Generator{}, fmt.Errorf("consensus: unknown init kind %q (known: %v)", kind, Kinds())
+	}
+	return g, nil
+}
+
+// Build materializes the initial state described by s.
+func Build(s Spec) ([]Value, error) {
+	g, err := generatorFor(s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(s)
+}
+
+// Check validates an init spec without materializing the state when the
+// generator provides a Check, falling back to generate-and-discard.
+func Check(s Spec) error {
+	g, err := generatorFor(s.Kind)
+	if err != nil {
+		return err
+	}
+	if g.Check != nil {
+		return g.Check(s)
+	}
+	_, err = g.Generate(s)
+	return err
+}
+
+// Normalize rewrites an init spec to its canonical form. Unknown kinds
+// and generators without a Normalize hook pass through unchanged (their
+// validation error, if any, surfaces in Check/Build).
+func Normalize(s Spec) Spec {
+	g, err := generatorFor(s.Kind)
+	if err != nil || g.Normalize == nil {
+		return s
+	}
+	return g.Normalize(s)
+}
+
+// Size reports the population an init spec would materialize, without
+// allocating it. 0 means unknown (unregistered kind or no Size hook).
+func Size(s Spec) int64 {
+	g, err := generatorFor(s.Kind)
+	if err != nil || g.Size == nil {
+		return 0
+	}
+	return g.Size(s)
+}
+
+// AxisApply patches one of the shared scalar init batch axes ("n", "m",
+// "n_low") and reports whether param was one of them — the common half of
+// every scalar kind's engine.AxisApplier, so the median, robust and
+// gossip kinds cannot drift apart on it.
+func AxisApply(s *Spec, param string, v float64) (bool, error) {
+	var dst *int
+	switch param {
+	case "n":
+		dst = &s.N
+	case "m":
+		dst = &s.M
+	case "n_low":
+		dst = &s.NLow
+	default:
+		return false, nil
+	}
+	iv, err := engine.IntAxis(param, v)
+	if err != nil {
+		return true, err
+	}
+	*dst = iv
+	return true, nil
+}
+
+// FollowSeed keeps seed-consuming init kinds (uniform) in step with the
+// run seed — the shared engine.SeedFollower body of the scalar kinds, so
+// batch repetitions draw distinct initial states.
+func FollowSeed(s *Spec, seed uint64) {
+	if s.Kind == "uniform" {
+		s.Seed = seed
+	}
+}
+
+// Kinds returns the registered init kinds in sorted order.
+func Kinds() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for kind := range registry {
+		out = append(out, kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func needN(s Spec) error {
+	if s.N <= 0 {
+		return fmt.Errorf("consensus: init %q needs n > 0, got %d", s.Kind, s.N)
+	}
+	return nil
+}
+
+// twoValueShape resolves the twovalue defaults and validates the spec.
+func twoValueShape(s Spec) (nLow int, low, high Value, err error) {
+	if err := needN(s); err != nil {
+		return 0, 0, 0, err
+	}
+	low, high = s.Low, s.High
+	if low == 0 && high == 0 {
+		low, high = 1, 2
+	}
+	if low >= high {
+		return 0, 0, 0, fmt.Errorf("consensus: init twovalue needs low < high, got %d >= %d", low, high)
+	}
+	nLow = s.NLow
+	if nLow == 0 {
+		nLow = s.N / 2
+	}
+	if nLow < 0 || nLow > s.N {
+		return 0, 0, 0, fmt.Errorf("consensus: init twovalue needs 0 <= n_low <= n, got %d", nLow)
+	}
+	return nLow, low, high, nil
+}
+
+func checkBlocks(s Spec) error {
+	if len(s.Counts) == 0 {
+		return fmt.Errorf("consensus: init blocks needs a non-empty counts vector")
+	}
+	var n int64
+	for i, k := range s.Counts {
+		if k < 0 {
+			return fmt.Errorf("consensus: init blocks counts[%d] is negative", i)
+		}
+		n += k
+	}
+	if n == 0 {
+		return fmt.Errorf("consensus: init blocks needs at least one ball")
+	}
+	return nil
+}
+
+// clampM resolves the m parameter the way uniform/evenblocks interpret it.
+func clampM(s Spec) int {
+	if s.M <= 0 || s.M > s.N {
+		return s.N
+	}
+	return s.M
+}
+
+func init() {
+	Register("distinct", Generator{
+		Check: needN,
+		Size:  func(s Spec) int64 { return int64(s.N) },
+		Normalize: func(s Spec) Spec {
+			return Spec{Kind: s.Kind, N: s.N}
+		},
+		Generate: func(s Spec) ([]Value, error) {
+			if err := needN(s); err != nil {
+				return nil, err
+			}
+			return assign.AllDistinct(s.N), nil
+		},
+	})
+	Register("uniform", Generator{
+		Check: needN,
+		Size:  func(s Spec) int64 { return int64(s.N) },
+		Normalize: func(s Spec) Spec {
+			return Spec{Kind: s.Kind, N: s.N, M: clampM(s), Seed: s.Seed}
+		},
+		Generate: func(s Spec) ([]Value, error) {
+			if err := needN(s); err != nil {
+				return nil, err
+			}
+			return assign.Uniform(s.N, clampM(s), rng.NewXoshiro256(s.Seed)), nil
+		},
+	})
+	Register("twovalue", Generator{
+		Size: func(s Spec) int64 { return int64(s.N) },
+		Check: func(s Spec) error {
+			_, _, _, err := twoValueShape(s)
+			return err
+		},
+		Normalize: func(s Spec) Spec {
+			nLow, low, high, err := twoValueShape(s)
+			if err != nil {
+				return s // invalid specs fail validation, not hashing
+			}
+			return Spec{Kind: s.Kind, N: s.N, NLow: nLow, Low: low, High: high}
+		},
+		Generate: func(s Spec) ([]Value, error) {
+			nLow, low, high, err := twoValueShape(s)
+			if err != nil {
+				return nil, err
+			}
+			return assign.TwoValue(s.N, nLow, low, high), nil
+		},
+	})
+	Register("blocks", Generator{
+		Check: checkBlocks,
+		Size: func(s Spec) int64 {
+			var n int64
+			for _, k := range s.Counts {
+				n += k
+			}
+			return n
+		},
+		Normalize: func(s Spec) Spec {
+			return Spec{Kind: s.Kind, Counts: s.Counts}
+		},
+		Generate: func(s Spec) ([]Value, error) {
+			if err := checkBlocks(s); err != nil {
+				return nil, err
+			}
+			return assign.Blocks(s.Counts), nil
+		},
+	})
+	Register("evenblocks", Generator{
+		Check: needN,
+		Size:  func(s Spec) int64 { return int64(s.N) },
+		Normalize: func(s Spec) Spec {
+			return Spec{Kind: s.Kind, N: s.N, M: clampM(s)}
+		},
+		Generate: func(s Spec) ([]Value, error) {
+			if err := needN(s); err != nil {
+				return nil, err
+			}
+			return assign.EvenBlocks(s.N, clampM(s)), nil
+		},
+	})
+}

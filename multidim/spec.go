@@ -1,0 +1,147 @@
+package multidim
+
+import (
+	"fmt"
+
+	"repro/engine"
+	"repro/internal/model"
+)
+
+// This file registers the coordinate-wise median dynamics as the
+// "multidim" spec kind of the engine plugin API (package engine).
+
+// Spec is the multidim kind's spec payload: a point-set generator
+// reference and an optional adversary reference, both resolved through
+// this package's registries.
+type Spec struct {
+	// Init describes the initial point set (see InitKinds).
+	Init InitSpec `json:"init,omitzero"`
+	// Adversary optionally references a registered strategy (nil = none;
+	// see AdversaryNames).
+	Adversary *AdversaryRef `json:"adversary,omitempty"`
+}
+
+// AdversaryRef is the serializable reference to a registered multidim
+// adversary.
+type AdversaryRef struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+}
+
+// Normalize implements engine.Payload.
+func (s *Spec) Normalize() {
+	s.Init = NormalizeInit(s.Init)
+	if s.Adversary != nil && len(s.Adversary.Params) == 0 {
+		s.Adversary.Params = nil
+	}
+}
+
+// Validate implements engine.Payload.
+func (s *Spec) Validate() error {
+	if err := CheckInit(s.Init); err != nil {
+		return err
+	}
+	if a := s.Adversary; a != nil {
+		if _, err := NewAdversary(a.Name, a.Params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Population implements engine.Payload.
+func (s *Spec) Population() int64 { return InitSize(s.Init) }
+
+// Run implements engine.Payload.
+func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
+	pts, err := BuildInit(s.Init)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	var adv Adversary
+	if a := s.Adversary; a != nil {
+		adv, err = NewAdversary(a.Name, a.Params)
+		if err != nil {
+			return engine.Result{}, err
+		}
+	}
+	n := int64(len(pts))
+	emit := func(round int, state []Point) {
+		winner, count, support := Plurality(state)
+		ctx.Observe(engine.Record{
+			Round: round, N: n, Support: support,
+			LeaderCount: int64(count),
+			LeaderPoint: append([]int64(nil), winner...),
+		})
+	}
+	eng := NewEngine(pts, adv, ctx.Seed, Options{
+		MaxRounds: ctx.MaxRounds,
+		Observer:  emit,
+	})
+	emit(0, eng.State())
+	out := eng.Run()
+	reason := model.StopMaxRounds
+	if out.Consensus {
+		reason = model.StopConsensus
+	}
+	tv, cv := out.TupleValid, out.CoordValid
+	return engine.Result{
+		Rounds:      out.Rounds,
+		Reason:      reason.String(),
+		WinnerCount: int64(out.WinnerCount),
+		WinnerPoint: append([]int64(nil), out.Winner...),
+		TupleValid:  &tv,
+		CoordValid:  &cv,
+	}, nil
+}
+
+// ApplyAxis implements engine.AxisApplier.
+func (s *Spec) ApplyAxis(param string, v float64) error {
+	iv, err := engine.IntAxis(param, v)
+	if err != nil {
+		return err
+	}
+	switch param {
+	case "n":
+		s.Init.N = iv
+	case "m":
+		s.Init.M = iv
+	case "d":
+		s.Init.D = iv
+	default:
+		return fmt.Errorf("multidim: unknown batch axis %q", param)
+	}
+	return nil
+}
+
+// FollowSeed implements engine.SeedFollower for the random point set.
+func (s *Spec) FollowSeed(seed uint64) {
+	if s.Init.Kind == "random" {
+		s.Init.Seed = seed
+	}
+}
+
+// multidimEngine registers the kind.
+type multidimEngine struct{}
+
+func (multidimEngine) NewPayload() engine.Payload { return &Spec{} }
+
+func (multidimEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{
+		Kind:    "multidim",
+		Summary: "coordinate-wise median dynamics on d-dimensional points (the paper's Section 6 future work)",
+		Params: []engine.Param{
+			{Name: "init.kind", Type: "string", Enum: InitKinds(), Doc: "initial point-set generator"},
+			{Name: "init.n", Type: "int", Min: engine.Bound(1), Doc: "population size"},
+			{Name: "init.d", Type: "int", Min: engine.Bound(1), Default: "1", Doc: "point dimension"},
+			{Name: "init.m", Type: "int", Doc: "per-coordinate value range for random (0 = n)"},
+			{Name: "init.seed", Type: "uint", Doc: "seed of randomized generators (random)"},
+			{Name: "adversary.name", Type: "string", Enum: AdversaryNames(), Doc: "adversary strategy (omit the block for none)"},
+			{Name: "adversary.params", Type: "object", Doc: "strategy parameters (numeric, strategy-specific)"},
+			{Name: "adversary.params.t", Type: "int", Min: engine.Bound(0), Doc: "per-round budget of the noise strategy"},
+		},
+		Axes: []string{"n", "m", "d"},
+	}
+}
+
+func init() { engine.Register(multidimEngine{}) }

@@ -48,6 +48,16 @@ func New(name string, p Params) (Rule, error) {
 	return c(p)
 }
 
+// Ref is the serializable reference to a registered rule: its name plus
+// its parameters — the "rule" block of run specs.
+type Ref struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+}
+
+// New constructs a fresh instance of the referenced rule.
+func (r Ref) New() (Rule, error) { return New(r.Name, r.Params) }
+
 // Names returns the registered rule names in sorted order.
 func Names() []string {
 	regMu.RLock()

@@ -2,23 +2,41 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
+	"repro/adversary"
+	"repro/engine"
 	"repro/internal/rng"
 )
 
 // BatchRequest is the wire form of a parameter sweep: either a template
 // spec plus grid axes (expanded server-side, internal/experiment style) or
-// an explicit list of pre-built cell specs. Exactly one of Axes and Specs
-// may be non-empty; Reps applies to both.
+// an explicit list of pre-built cell specs. Exactly one of the grid fields
+// (Axes/Zip/Derive) and Specs may be used; Reps applies to both.
+//
+// Which parameters a kind accepts as axes is part of its engine descriptor
+// (GET /v1/engines, Descriptor.Axes); the envelope axes "seed" and
+// "max_rounds" work for every kind.
 type BatchRequest struct {
-	// Template is the spec every grid cell starts from (axes-mode only).
+	// Template is the spec every grid cell starts from (grid-mode only).
 	Template Spec `json:"template,omitzero"`
 	// Axes are expanded as a cartesian product, last axis fastest; each
 	// value patches the template field named by Param.
 	Axes []Axis `json:"axes,omitempty"`
+	// Zip axes advance together instead of multiplying: all must have
+	// the same length L, contributing one grid dimension of L points
+	// (varying slowest). They express correlated parameters — e.g.
+	// n paired with a hand-picked per-n crash count — that a cartesian
+	// product cannot.
+	Zip []Axis `json:"zip,omitempty"`
+	// Derive computes per-cell parameters from the cell's own axis
+	// values — e.g. an n-dependent almost_slack for adversarial sweeps —
+	// so derived fields no longer force an explicit spec list.
+	Derive []DeriveRule `json:"derive,omitempty"`
 	// Specs lists explicit cell specs instead of a grid.
 	Specs []Spec `json:"specs,omitempty"`
 	// Reps repeats every cell with derived per-repetition seeds
@@ -32,11 +50,51 @@ type Axis struct {
 	Values []float64 `json:"values"`
 }
 
-// batchParams names the template fields an Axis may patch.
-var batchParams = map[string]bool{
-	"n": true, "m": true, "d": true, "n_low": true, "k": true,
-	"seed": true, "max_rounds": true, "almost_slack": true,
-	"budget_factor": true, "loss_prob": true, "crashes": true,
+// DeriveRule computes one cell parameter from an axis value of the same
+// cell: target = Factor · f(from), where f is named by Func. "sqrt" and
+// "sqrtlog" are the integer-valued adversary budget families themselves
+// (adversary.Sqrt/SqrtLog: the scaled value truncates toward zero), so a
+// derived slack of {func: "sqrt", factor: 3} is exactly the budget
+// ⌊3·√n⌋; "log2" truncates the same way; "linear" applies raw, for
+// float-valued targets.
+type DeriveRule struct {
+	// Param names the target parameter (any axis-patchable param of the
+	// template's kind).
+	Param string `json:"param"`
+	// From names the source axis or zip param the cell value is read from.
+	From string `json:"from"`
+	// Func is the derivation: "linear" (default), "sqrt", "sqrtlog" or
+	// "log2".
+	Func string `json:"func,omitempty"`
+	// Factor scales the derived value (0 = 1).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// value computes the derived parameter from the source axis value.
+func (d DeriveRule) value(x float64) (float64, error) {
+	f := d.Factor
+	if f == 0 {
+		f = 1
+	}
+	switch d.Func {
+	case "", "linear":
+		return f * x, nil
+	case "sqrt", "sqrtlog":
+		// The adversary package owns these families; resolving through
+		// BudgetSpec keeps derive rules and budgets from ever diverging.
+		bf, err := adversary.BudgetSpec{Kind: d.Func, Factor: f}.Func()
+		if err != nil {
+			return 0, err
+		}
+		return float64(bf(int(x))), nil
+	case "log2":
+		if x < 1 {
+			return 0, nil
+		}
+		return math.Trunc(f * math.Log2(x)), nil
+	default:
+		return 0, fmt.Errorf("service: unknown derive func %q (known: linear, log2, sqrt, sqrtlog)", d.Func)
+	}
 }
 
 // BatchCell is one expanded cell of a batch: its grid coordinates and the
@@ -46,7 +104,8 @@ type BatchCell struct {
 	Index int `json:"index"`
 	// Rep is the repetition number within the grid point.
 	Rep int `json:"rep"`
-	// Params echoes the axis values that produced the cell (axes-mode).
+	// Params echoes the axis values that produced the cell (grid-mode;
+	// cartesian axes first, then zip axes).
 	Params []float64 `json:"params,omitempty"`
 	// Spec is the normalized cell spec; SpecHash its canonical hash.
 	Spec     Spec   `json:"spec"`
@@ -76,9 +135,130 @@ type BatchLimits struct {
 	MaxN int64
 }
 
+// grid is the validated shape of a batch request's axes/zip/derive fields.
+type grid struct {
+	axes   []Axis
+	zip    []Axis
+	derive []DeriveRule
+	cart   int // cartesian points (product of axes lengths)
+	zipLen int // zip points (1 when no zip axes)
+}
+
+// buildGrid validates the grid fields against the template's kind (axis
+// names must be descriptor axes or the shared seed/max_rounds) and the
+// expansion ceiling.
+func buildGrid(req BatchRequest, maxCells int) (grid, error) {
+	g := grid{axes: req.Axes, zip: req.Zip, derive: req.Derive, cart: 1, zipLen: 1}
+	seen := map[string]bool{}
+	checkAxis := func(ax Axis, where string) error {
+		switch {
+		case ax.Param == "" || !req.Template.AxisOK(ax.Param):
+			return fmt.Errorf("service: unknown batch %s param %q for kind %s", where, ax.Param, specKind(req.Template))
+		case seen[ax.Param]:
+			return fmt.Errorf("service: batch %s param %q appears twice", where, ax.Param)
+		case len(ax.Values) == 0:
+			return fmt.Errorf("service: batch %s %q has no values", where, ax.Param)
+		}
+		seen[ax.Param] = true
+		return nil
+	}
+	for _, ax := range g.axes {
+		if err := checkAxis(ax, "axis"); err != nil {
+			return grid{}, err
+		}
+		if g.cart > maxCells/len(ax.Values) {
+			return grid{}, fmt.Errorf("service: batch grid too large")
+		}
+		g.cart *= len(ax.Values)
+	}
+	for i, ax := range g.zip {
+		if err := checkAxis(ax, "zip axis"); err != nil {
+			return grid{}, err
+		}
+		if i > 0 && len(ax.Values) != g.zipLen {
+			return grid{}, fmt.Errorf("service: zip axes must have equal lengths, %q has %d values, want %d",
+				ax.Param, len(ax.Values), g.zipLen)
+		}
+		g.zipLen = len(ax.Values)
+	}
+	if g.cart > maxCells/g.zipLen {
+		return grid{}, fmt.Errorf("service: batch grid too large")
+	}
+	for _, d := range g.derive {
+		if d.Param == "" || !req.Template.AxisOK(d.Param) {
+			return grid{}, fmt.Errorf("service: unknown derive param %q for kind %s", d.Param, specKind(req.Template))
+		}
+		if seen[d.Param] {
+			return grid{}, fmt.Errorf("service: derive param %q is already an axis or derive target", d.Param)
+		}
+		seen[d.Param] = true
+		if !axisParamIn(g.axes, d.From) && !axisParamIn(g.zip, d.From) {
+			return grid{}, fmt.Errorf("service: derive source %q is not an axis or zip param", d.From)
+		}
+		if _, err := d.value(1); err != nil {
+			return grid{}, err
+		}
+	}
+	return g, nil
+}
+
+func axisParamIn(axes []Axis, param string) bool {
+	for _, ax := range axes {
+		if ax.Param == param {
+			return true
+		}
+	}
+	return false
+}
+
+// specKind renders a spec's kind for error messages ("" reads as the
+// default kind after normalization).
+func specKind(s Spec) string { return s.Normalize().Kind }
+
+// cell materializes one grid point: the cartesian axes at index ci (last
+// axis fastest), the zip axes at index zi, then the derived params.
+func (g grid) cell(template Spec, ci, zi int) (Spec, []float64, error) {
+	spec := template.Clone()
+	params := make([]float64, 0, len(g.axes)+len(g.zip))
+	byName := make(map[string]float64, len(g.axes)+len(g.zip))
+	stride := 1
+	axisVals := make([]float64, len(g.axes))
+	for i := len(g.axes) - 1; i >= 0; i-- {
+		v := g.axes[i].Values[(ci/stride)%len(g.axes[i].Values)]
+		axisVals[i] = v
+		stride *= len(g.axes[i].Values)
+	}
+	for i, ax := range g.axes {
+		params = append(params, axisVals[i])
+		byName[ax.Param] = axisVals[i]
+		if err := spec.ApplyAxis(ax.Param, axisVals[i]); err != nil {
+			return Spec{}, nil, err
+		}
+	}
+	for _, ax := range g.zip {
+		v := ax.Values[zi]
+		params = append(params, v)
+		byName[ax.Param] = v
+		if err := spec.ApplyAxis(ax.Param, v); err != nil {
+			return Spec{}, nil, err
+		}
+	}
+	for _, d := range g.derive {
+		v, err := d.value(byName[d.From])
+		if err != nil {
+			return Spec{}, nil, err
+		}
+		if err := spec.ApplyAxis(d.Param, v); err != nil {
+			return Spec{}, nil, err
+		}
+	}
+	return spec, params, nil
+}
+
 // ExpandBatch expands a batch request into canonical, validated cells:
-// the cartesian product of the axes applied to the template (or the
-// explicit spec list), times Reps repetitions.
+// the grid — cartesian axes times zipped axes, plus derived params —
+// applied to the template (or the explicit spec list), times Reps
+// repetitions.
 //
 // Repetition seeding is deterministic so batches are cache-stable: with
 // Reps == 1 the cell seeds are left exactly as the template/axes produced
@@ -88,7 +268,8 @@ type BatchLimits struct {
 // the base keeps a seed axis from colliding across grid points (raw bases
 // differing by exactly (j−i)·Reps would otherwise derive identical rep
 // seeds). Init kinds that consume their own seed (uniform, random) follow
-// the run seed, mirroring cmd/sweep's historical behavior.
+// the run seed (engine.SeedFollower), mirroring cmd/sweep's historical
+// behavior.
 func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 	// maxCells is the absolute expansion ceiling, applied before any
 	// multiplication so attacker-sized axes/reps can neither overflow the
@@ -102,22 +283,15 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 	if reps > maxCells {
 		return nil, fmt.Errorf("service: batch reps %d exceeds the limit %d", reps, maxCells)
 	}
-	if len(req.Axes) > 0 && len(req.Specs) > 0 {
+	gridMode := len(req.Axes) > 0 || len(req.Zip) > 0 || len(req.Derive) > 0
+	if gridMode && len(req.Specs) > 0 {
 		return nil, fmt.Errorf("service: batch request sets both axes and specs")
 	}
-	points := 1
-	for _, ax := range req.Axes {
-		if ax.Param == "" || !batchParams[ax.Param] {
-			return nil, fmt.Errorf("service: unknown batch axis param %q", ax.Param)
-		}
-		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("service: batch axis %q has no values", ax.Param)
-		}
-		if points > maxCells/len(ax.Values) {
-			return nil, fmt.Errorf("service: batch grid too large")
-		}
-		points *= len(ax.Values)
+	g, err := buildGrid(req, maxCells)
+	if err != nil {
+		return nil, err
 	}
+	points := g.cart * g.zipLen
 	if len(req.Specs) > 0 {
 		points = len(req.Specs)
 	}
@@ -147,9 +321,9 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 		if len(req.Specs) > 0 {
 			spec = req.Specs[point]
 		} else {
-			spec = req.Template
 			var err error
-			if spec, params, err = applyAxes(spec, req.Axes, point); err != nil {
+			// Zip axes vary slowest: point = zi·cart + ci.
+			if spec, params, err = g.cell(req.Template, point%g.cart, point/g.cart); err != nil {
 				return nil, err
 			}
 		}
@@ -160,7 +334,8 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 				if s == 0 {
 					s = base
 				}
-				cell = withSeed(cell, rng.Mix64(rng.Mix64(s)+uint64(point)*uint64(reps)+uint64(rep)))
+				cell = cell.Clone()
+				cell.SetSeed(rng.Mix64(rng.Mix64(s) + uint64(point)*uint64(reps) + uint64(rep)))
 			}
 			cell = cell.Normalize()
 			if err := cell.Validate(); err != nil {
@@ -169,7 +344,9 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 			if n := cell.Population(); limits.MaxN > 0 && n > limits.MaxN {
 				return nil, fmt.Errorf("service: batch cell %d: population %d exceeds the server limit %d", len(cells), n, limits.MaxN)
 			}
-			hash, err := cell.Hash()
+			// The cell is already normalized, so its plain encoding is the
+			// canonical one — skip Hash()'s per-cell re-normalization.
+			canonical, err := json.Marshal(cell)
 			if err != nil {
 				return nil, err
 			}
@@ -178,193 +355,11 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 				Rep:      rep,
 				Params:   params,
 				Spec:     cell,
-				SpecHash: hash,
+				SpecHash: engine.HashBytes(canonical),
 			})
 		}
 	}
 	return cells, nil
-}
-
-// applyAxes patches the template with point's coordinates in the cartesian
-// product of the axes (last axis fastest) and returns the patched spec plus
-// the coordinate tuple.
-func applyAxes(spec Spec, axes []Axis, point int) (Spec, []float64, error) {
-	spec = spec.clone()
-	params := make([]float64, len(axes))
-	stride := 1
-	for i := len(axes) - 1; i >= 0; i-- {
-		v := axes[i].Values[(point/stride)%len(axes[i].Values)]
-		params[i] = v
-		stride *= len(axes[i].Values)
-		if err := applyParam(&spec, axes[i].Param, v); err != nil {
-			return Spec{}, nil, err
-		}
-	}
-	return spec, params, nil
-}
-
-// intValue rejects non-integral axis values for integer parameters.
-func intValue(param string, v float64) (int, error) {
-	if v != float64(int64(v)) {
-		return 0, fmt.Errorf("service: batch axis %q needs integer values, got %v", param, v)
-	}
-	return int(v), nil
-}
-
-// applyParam patches one named field of the spec, dispatching on the
-// spec's kind where the same name lives in different places.
-func applyParam(spec *Spec, param string, v float64) error {
-	kind := spec.kind()
-	multi := kind == KindMultidim
-	if multi && spec.Multidim == nil {
-		spec.Multidim = &MultidimSpec{}
-	}
-	switch param {
-	case "n":
-		n, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		if multi {
-			spec.Multidim.Init.N = n
-		} else {
-			spec.Init.N = n
-		}
-	case "m":
-		m, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		if multi {
-			spec.Multidim.Init.M = m
-		} else {
-			spec.Init.M = m
-		}
-	case "d":
-		if !multi {
-			return fmt.Errorf("service: batch axis \"d\" applies only to multidim specs")
-		}
-		d, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		spec.Multidim.Init.D = d
-	case "n_low":
-		nl, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		spec.Init.NLow = nl
-	case "k":
-		k, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		if spec.Rule.Params == nil {
-			spec.Rule.Params = map[string]float64{}
-		}
-		spec.Rule.Params["k"] = float64(k)
-	case "seed":
-		s, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		*spec = withSeed(*spec, uint64(s))
-	case "max_rounds":
-		mr, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		spec.MaxRounds = mr
-	case "almost_slack":
-		as, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		spec.AlmostSlack = as
-	case "budget_factor":
-		if spec.Adversary == nil {
-			return fmt.Errorf("service: batch axis \"budget_factor\" needs a template adversary")
-		}
-		spec.Adversary.Budget.Factor = v
-	case "loss_prob":
-		if spec.Robust == nil {
-			spec.Robust = &RobustSpec{}
-		}
-		spec.Robust.LossProb = v
-	case "crashes":
-		c, err := intValue(param, v)
-		if err != nil {
-			return err
-		}
-		if spec.Robust == nil {
-			spec.Robust = &RobustSpec{}
-		}
-		spec.Robust.Crashes = c
-	default:
-		return fmt.Errorf("service: unknown batch axis param %q", param)
-	}
-	return nil
-}
-
-// withSeed sets the run seed and keeps seed-consuming init kinds in step
-// with it, so repetitions draw distinct initial states the way cmd/sweep
-// always has.
-func withSeed(spec Spec, seed uint64) Spec {
-	spec = spec.clone()
-	spec.Seed = seed
-	switch spec.kind() {
-	case KindMultidim:
-		if spec.Multidim != nil && spec.Multidim.Init.Kind == "random" {
-			spec.Multidim.Init.Seed = seed
-		}
-	default:
-		if spec.Init.Kind == "uniform" {
-			spec.Init.Seed = seed
-		}
-	}
-	return spec
-}
-
-// clone deep-copies the spec's pointer and map fields so patching one cell
-// can never leak into the template or a sibling cell.
-func (s Spec) clone() Spec {
-	if s.Adversary != nil {
-		a := *s.Adversary
-		a.Params = cloneMap(a.Params)
-		s.Adversary = &a
-	}
-	if s.Gossip != nil {
-		g := *s.Gossip
-		s.Gossip = &g
-	}
-	if s.Multidim != nil {
-		m := *s.Multidim
-		if m.Adversary != nil {
-			ma := *m.Adversary
-			ma.Params = cloneMap(ma.Params)
-			m.Adversary = &ma
-		}
-		s.Multidim = &m
-	}
-	if s.Robust != nil {
-		r := *s.Robust
-		s.Robust = &r
-	}
-	s.Rule.Params = cloneMap(s.Rule.Params)
-	s.Init.Counts = append([]int64(nil), s.Init.Counts...)
-	return s
-}
-
-func cloneMap[M ~map[string]float64](m M) M {
-	if m == nil {
-		return nil
-	}
-	out := make(M, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }
 
 // ExpandBatch expands a request under the service's admission limits.

@@ -2,19 +2,29 @@ package service
 
 import (
 	"context"
+	"math"
 	"reflect"
 	"testing"
 
-	"repro/consensus"
+	"repro/adversary"
 	"repro/multidim"
 )
 
 func medianTemplate() Spec {
-	return Spec{
-		Init: consensus.InitSpec{Kind: "twovalue"},
+	return Spec{Kind: KindMedian, Seed: 1, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue"},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 1,
+	}}
+}
+
+// medianPayload unwraps a cell's median payload.
+func medianPayload(t *testing.T, s Spec) *MedianSpec {
+	t.Helper()
+	p, ok := s.Payload.(*MedianSpec)
+	if !ok {
+		t.Fatalf("payload is %T, want *MedianSpec", s.Payload)
 	}
+	return p
 }
 
 // TestExpandBatchGrid: a 2-axis grid expands as a cartesian product, last
@@ -43,16 +53,119 @@ func TestExpandBatchGrid(t *testing.T) {
 		if !reflect.DeepEqual(c.Params, wantParams[i]) {
 			t.Fatalf("cell %d params %v, want %v", i, c.Params, wantParams[i])
 		}
-		if c.Spec.Init.N != int(wantParams[i][0]) || c.Spec.Seed != uint64(wantParams[i][1]) {
+		if medianPayload(t, c.Spec).Init.N != int(wantParams[i][0]) || c.Spec.Seed != uint64(wantParams[i][1]) {
 			t.Fatalf("cell %d spec not patched: %+v", i, c.Spec)
 		}
 		if c.SpecHash == "" || seen[c.SpecHash] {
 			t.Fatalf("cell %d hash missing or duplicated", i)
 		}
+		// The expander's fast-path hash must agree with Spec.Hash — they
+		// are the same cache key.
+		if h, err := c.Spec.Hash(); err != nil || h != c.SpecHash {
+			t.Fatalf("cell %d fast-path hash %s != Spec.Hash %s (%v)", i, c.SpecHash, h, err)
+		}
 		seen[c.SpecHash] = true
 		if err := c.Spec.Validate(); err != nil {
 			t.Fatalf("cell %d invalid: %v", i, err)
 		}
+	}
+}
+
+// TestExpandBatchZip: zipped axes advance together — one grid dimension of
+// L correlated points, varying slowest — instead of multiplying.
+func TestExpandBatchZip(t *testing.T) {
+	req := BatchRequest{
+		Template: Spec{Kind: KindRobust, Seed: 1, Payload: &RobustSpec{
+			Init: InitSpec{Kind: "twovalue"},
+		}},
+		Axes: []Axis{{Param: "seed", Values: []float64{1, 2}}},
+		Zip: []Axis{
+			{Param: "n", Values: []float64{100, 1000}},
+			{Param: "crashes", Values: []float64{1, 10}},
+		},
+	}
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cartesian points × 2 zip points; zip varies slowest.
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	wantParams := [][]float64{{1, 100, 1}, {2, 100, 1}, {1, 1000, 10}, {2, 1000, 10}}
+	for i, c := range cells {
+		if !reflect.DeepEqual(c.Params, wantParams[i]) {
+			t.Fatalf("cell %d params %v, want %v", i, c.Params, wantParams[i])
+		}
+		p := c.Spec.Payload.(*RobustSpec)
+		if p.Init.N != int(wantParams[i][1]) || p.Crashes != int(wantParams[i][2]) {
+			t.Fatalf("cell %d zip not applied: %+v", i, p)
+		}
+	}
+	// Unequal zip lengths are rejected.
+	req.Zip[1].Values = []float64{1}
+	if _, err := ExpandBatch(req, BatchLimits{}); err == nil {
+		t.Fatal("unequal zip lengths must be rejected")
+	}
+}
+
+// TestExpandBatchDerive: derived fields compute per-cell parameters from
+// the cell's own axis values — the adversarial-sweep shape (n-dependent
+// almost_slack) that used to force an explicit spec list.
+func TestExpandBatchDerive(t *testing.T) {
+	tmpl := medianTemplate()
+	tmpl.Payload.(*MedianSpec).Adversary = &AdversarySpec{
+		Name: "balancer", Budget: adversary.BudgetSpec{Kind: "sqrt", Factor: 1},
+	}
+	req := BatchRequest{
+		Template: tmpl,
+		Axes:     []Axis{{Param: "n", Values: []float64{100, 10000}}},
+		Derive: []DeriveRule{
+			{Param: "almost_slack", From: "n", Func: "sqrt", Factor: 3},
+		},
+	}
+	cells, err := ExpandBatch(req, BatchLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	for i, wantSlack := range []int{int(math.Trunc(3 * 10)), int(math.Trunc(3 * 100))} {
+		if got := medianPayload(t, cells[i].Spec).AlmostSlack; got != wantSlack {
+			t.Fatalf("cell %d slack %d, want %d", i, got, wantSlack)
+		}
+	}
+	// Derive sources must be axes of the same request.
+	bad := req
+	bad.Derive = []DeriveRule{{Param: "almost_slack", From: "m", Func: "sqrt"}}
+	if _, err := ExpandBatch(bad, BatchLimits{}); err == nil {
+		t.Fatal("derive from a non-axis param must be rejected")
+	}
+	bad.Derive = []DeriveRule{{Param: "almost_slack", From: "n", Func: "warp"}}
+	if _, err := ExpandBatch(bad, BatchLimits{}); err == nil {
+		t.Fatal("unknown derive func must be rejected")
+	}
+	bad.Derive = []DeriveRule{{Param: "n", From: "n"}}
+	if _, err := ExpandBatch(bad, BatchLimits{}); err == nil {
+		t.Fatal("deriving an axis param must be rejected")
+	}
+}
+
+// TestExpandBatchRejectsForeignPayload: a template whose payload belongs
+// to another family must fail expansion (Submit rejects it too) — the
+// cell clone must not silently truncate it into a valid-looking spec of
+// the wrong family.
+func TestExpandBatchRejectsForeignPayload(t *testing.T) {
+	req := BatchRequest{
+		Template: Spec{Kind: KindRobust, Payload: &MedianSpec{
+			Init: InitSpec{Kind: "twovalue", N: 100},
+			Rule: RuleSpec{Name: "voter"},
+		}},
+		Axes: []Axis{{Param: "seed", Values: []float64{1, 2}}},
+	}
+	if _, err := ExpandBatch(req, BatchLimits{}); err == nil {
+		t.Fatal("foreign template payload must fail batch expansion")
 	}
 }
 
@@ -93,12 +206,13 @@ func TestExpandBatchReps(t *testing.T) {
 // (the base is pre-mixed), so no grid point silently collapses into
 // another's cached cells.
 func TestExpandBatchSeedAxisNoCollision(t *testing.T) {
+	tmpl := medianTemplate()
+	tmpl.Payload.(*MedianSpec).Init.N = 100
 	req := BatchRequest{
-		Template: medianTemplate(),
+		Template: tmpl,
 		Axes:     []Axis{{Param: "seed", Values: []float64{5, 3}}},
 		Reps:     2,
 	}
-	req.Template.Init.N = 100
 	cells, err := ExpandBatch(req, BatchLimits{})
 	if err != nil {
 		t.Fatal(err)
@@ -116,14 +230,14 @@ func TestExpandBatchSeedAxisNoCollision(t *testing.T) {
 }
 
 // TestExpandBatchSeedFollowsInit: seed-consuming init kinds follow the
-// derived rep seed, so repetitions draw distinct initial states.
+// derived rep seed (engine.SeedFollower), so repetitions draw distinct
+// initial states.
 func TestExpandBatchSeedFollowsInit(t *testing.T) {
 	req := BatchRequest{
-		Template: Spec{
-			Init: consensus.InitSpec{Kind: "uniform", M: 4},
+		Template: Spec{Seed: 9, Payload: &MedianSpec{
+			Init: InitSpec{Kind: "uniform", M: 4},
 			Rule: RuleSpec{Name: "median"},
-			Seed: 9,
-		},
+		}},
 		Axes: []Axis{{Param: "n", Values: []float64{100}}},
 		Reps: 2,
 	}
@@ -132,11 +246,11 @@ func TestExpandBatchSeedFollowsInit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range cells {
-		if c.Spec.Init.Seed != c.Spec.Seed {
-			t.Fatalf("uniform init seed %d must follow run seed %d", c.Spec.Init.Seed, c.Spec.Seed)
+		if got := medianPayload(t, c.Spec).Init.Seed; got != c.Spec.Seed {
+			t.Fatalf("uniform init seed %d must follow run seed %d", got, c.Spec.Seed)
 		}
 	}
-	if cells[0].Spec.Init.Seed == cells[1].Spec.Init.Seed {
+	if medianPayload(t, cells[0].Spec).Init.Seed == medianPayload(t, cells[1].Spec).Init.Seed {
 		t.Fatal("reps must draw distinct initial states")
 	}
 }
@@ -144,11 +258,9 @@ func TestExpandBatchSeedFollowsInit(t *testing.T) {
 // TestExpandBatchMultidim patches the multidim payload's n and d.
 func TestExpandBatchMultidim(t *testing.T) {
 	req := BatchRequest{
-		Template: Spec{
-			Kind:     KindMultidim,
-			Seed:     1,
-			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct"}},
-		},
+		Template: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
+			Init: multidim.InitSpec{Kind: "distinct"},
+		}},
 		Axes: []Axis{
 			{Param: "n", Values: []float64{50, 60}},
 			{Param: "d", Values: []float64{1, 4}},
@@ -161,21 +273,23 @@ func TestExpandBatchMultidim(t *testing.T) {
 	if len(cells) != 4 {
 		t.Fatalf("expanded %d cells, want 4", len(cells))
 	}
-	if cells[3].Spec.Multidim.Init.N != 60 || cells[3].Spec.Multidim.Init.D != 4 {
-		t.Fatalf("multidim payload not patched: %+v", cells[3].Spec.Multidim)
+	last := cells[3].Spec.Payload.(*MultidimSpec)
+	if last.Init.N != 60 || last.Init.D != 4 {
+		t.Fatalf("multidim payload not patched: %+v", last)
 	}
 	// The template must not have been mutated by the expansion.
-	if req.Template.Multidim.Init.N != 0 || req.Template.Multidim.Init.D != 0 {
-		t.Fatalf("expansion leaked into the template: %+v", req.Template.Multidim)
+	tmpl := req.Template.Payload.(*MultidimSpec)
+	if tmpl.Init.N != 0 || tmpl.Init.D != 0 {
+		t.Fatalf("expansion leaked into the template: %+v", tmpl)
 	}
 }
 
 // TestExpandBatchSpecsMode: explicit spec lists expand with reps too.
 func TestExpandBatchSpecsMode(t *testing.T) {
 	s1 := medianTemplate()
-	s1.Init.N = 100
+	s1.Payload.(*MedianSpec).Init.N = 100
 	s2 := medianTemplate()
-	s2.Init.N = 200
+	s2.Payload.(*MedianSpec).Init.N = 200
 	cells, err := ExpandBatch(BatchRequest{Specs: []Spec{s1, s2}, Reps: 2}, BatchLimits{})
 	if err != nil {
 		t.Fatal(err)
@@ -183,7 +297,7 @@ func TestExpandBatchSpecsMode(t *testing.T) {
 	if len(cells) != 4 {
 		t.Fatalf("expanded %d cells, want 4", len(cells))
 	}
-	if cells[0].Spec.Init.N != 100 || cells[2].Spec.Init.N != 200 {
+	if medianPayload(t, cells[0].Spec).Init.N != 100 || medianPayload(t, cells[2].Spec).Init.N != 200 {
 		t.Fatalf("specs-mode order wrong: %+v", cells)
 	}
 }
@@ -198,6 +312,8 @@ func TestExpandBatchErrors(t *testing.T) {
 	}{
 		{"unknown param", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "warp", Values: []float64{1}}}}, BatchLimits{}},
 		{"empty axis", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n"}}}, BatchLimits{}},
+		{"duplicate axis", BatchRequest{Template: tmpl, Axes: []Axis{
+			{Param: "n", Values: []float64{10}}, {Param: "n", Values: []float64{20}}}}, BatchLimits{}},
 		{"non-integer n", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100.5}}}}, BatchLimits{}},
 		{"cell cap", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 3}, BatchLimits{MaxCells: 4}},
 		// A huge reps must be rejected up front — not overflow the cell
@@ -205,9 +321,13 @@ func TestExpandBatchErrors(t *testing.T) {
 		{"reps overflow", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 1 << 30}, BatchLimits{MaxCells: 4096}},
 		{"reps overflow unlimited", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100, 200}}}, Reps: 1 << 30}, BatchLimits{}},
 		{"hard cap without limits", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "seed", Values: make([]float64, 2048)}}, Reps: 1024}, BatchLimits{}},
+		{"zip cap", BatchRequest{Template: tmpl,
+			Axes: []Axis{{Param: "seed", Values: make([]float64, 2048)}},
+			Zip:  []Axis{{Param: "n", Values: make([]float64, 2048)}}}, BatchLimits{}},
 		{"population cap", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100000}}}}, BatchLimits{MaxN: 1000}},
 		{"invalid cell", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{0}}}}, BatchLimits{}},
 		{"axes and specs", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{10}}}, Specs: []Spec{tmpl}}, BatchLimits{}},
+		{"derive and specs", BatchRequest{Derive: []DeriveRule{{Param: "almost_slack", From: "n"}}, Specs: []Spec{tmpl}}, BatchLimits{}},
 		{"d on median", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "d", Values: []float64{2}}}}, BatchLimits{}},
 		{"budget_factor without adversary", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "budget_factor", Values: []float64{2}}}}, BatchLimits{}},
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/engine"
 	"repro/service"
 )
 
@@ -21,6 +22,10 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8645".
 	BaseURL string
+	// Token, when non-empty, is sent as "Authorization: Bearer <Token>"
+	// on every request — required by servers started with -auth-token
+	// (consensusctl reads it from $CONSENSUS_TOKEN).
+	Token string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 }
@@ -56,7 +61,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
 		return err
 	}
@@ -75,6 +80,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// newRequest builds a request against the server, attaching the bearer
+// token when configured.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
 }
 
 func decodeError(resp *http.Response) error {
@@ -130,10 +148,20 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }
 
+// Engines fetches the server's engine discovery document: one descriptor
+// per registered spec kind, sorted by kind.
+func (c *Client) Engines(ctx context.Context) ([]engine.Descriptor, error) {
+	var v struct {
+		Engines []engine.Descriptor `json:"engines"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/engines", nil, &v)
+	return v.Engines, err
+}
+
 // Stream follows a job's round-by-round NDJSON stream, invoking fn per
 // record until the stream ends (job finished) or fn returns an error.
 func (c *Client) Stream(ctx context.Context, id string, fn func(service.RoundRecord) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+id+"/stream", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/runs/"+id+"/stream", nil)
 	if err != nil {
 		return err
 	}
@@ -171,7 +199,7 @@ func (c *Client) Batch(ctx context.Context, breq service.BatchRequest, fn func(s
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/batches", bytes.NewReader(buf))
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/batches", bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}

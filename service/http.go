@@ -1,6 +1,7 @@
 package service
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/engine"
 )
 
 // Handler returns the service's HTTP JSON API:
@@ -20,29 +23,61 @@ import (
 //	                            a live run until it finishes
 //	POST   /v1/batches          submit a BatchRequest grid; streams one
 //	                            BatchCellRecord per cell as NDJSON
+//	GET    /v1/engines          discovery: every registered spec kind's
+//	                            engine.Descriptor (param schema, batch
+//	                            axes), sorted by kind
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/metrics          MetricsSnapshot counters (JSON by default;
 //	                            Prometheus text format when the Accept
 //	                            header asks for text/plain or OpenMetrics)
 //
 // Errors are returned as {"error": "..."} with conventional status codes
-// (400 invalid spec, 404 unknown job, 409 cancelling a finished job,
-// 413 oversized body, 429 rate-limited submit, 503 full queue or closed
-// service). Submit endpoints enforce Options.MaxBodyBytes and, when
-// configured, the Options.SubmitRate token bucket.
+// (400 invalid spec, 401 missing/bad bearer token on mutating endpoints
+// when Options.AuthToken is set, 404 unknown job, 409 cancelling a
+// finished job, 413 oversized body, 429 rate-limited submit, 503 full
+// queue or closed service). Submit endpoints enforce Options.MaxBodyBytes
+// and, when configured, the Options.SubmitRate token bucket.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/runs", s.requireAuth(s.handleSubmit))
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.requireAuth(s.handleCancel))
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
-	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("POST /v1/batches", s.requireAuth(s.handleBatch))
+	mux.HandleFunc("GET /v1/engines", handleEngines)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleEngines serves the engine registry's descriptors — the discovery
+// document clients use to generate per-kind flags and validate specs
+// before submitting.
+func handleEngines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"engines": engine.Descriptors()})
+}
+
+// requireAuth guards a mutating endpoint with the configured bearer token.
+// Without Options.AuthToken the guard is a no-op; with it, requests must
+// carry "Authorization: Bearer <token>" or they get 401. Read-only
+// endpoints stay open either way.
+func (s *Service) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.AuthToken == "" {
+			h(w, r)
+			return
+		}
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AuthToken)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="consensusd"`)
+			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // admitSubmit applies the submit-endpoint protections: the token-bucket

@@ -3,6 +3,7 @@ package service_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,7 +11,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/consensus"
+	"repro/engine"
 	"repro/service"
 	"repro/service/client"
 )
@@ -30,11 +31,10 @@ func TestEndToEndHTTP(t *testing.T) {
 		t.Fatalf("healthz: %v", err)
 	}
 
-	spec := service.Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 100000},
+	spec := service.Spec{Seed: 1, Payload: &service.MedianSpec{
+		Init: service.InitSpec{Kind: "twovalue", N: 100000},
 		Rule: service.RuleSpec{Name: "median"},
-		Seed: 1,
-	}
+	}}
 	view, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -114,11 +114,10 @@ func TestBatchEndToEndHTTP(t *testing.T) {
 	ctx := context.Background()
 
 	req := service.BatchRequest{
-		Template: service.Spec{
-			Init: consensus.InitSpec{Kind: "twovalue"},
+		Template: service.Spec{Seed: 1, Payload: &service.MedianSpec{
+			Init: service.InitSpec{Kind: "twovalue"},
 			Rule: service.RuleSpec{Name: "median"},
-			Seed: 1,
-		},
+		}},
 		Axes: []service.Axis{
 			{Param: "n", Values: []float64{500, 1000}},
 			{Param: "seed", Values: []float64{1, 2}},
@@ -305,12 +304,10 @@ func TestStreamFollowsLiveRun(t *testing.T) {
 
 	// voter on a ball engine converges in Θ(n) rounds — slow enough that
 	// the stream attaches while the run is live.
-	spec := service.Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 500},
-		Rule:      service.RuleSpec{Name: "voter"},
-		Seed:      3,
-		MaxRounds: 1 << 20,
-	}
+	spec := service.Spec{Seed: 3, MaxRounds: 1 << 20, Payload: &service.MedianSpec{
+		Init: service.InitSpec{Kind: "twovalue", N: 500},
+		Rule: service.RuleSpec{Name: "voter"},
+	}}
 	view, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -336,5 +333,187 @@ func TestStreamFollowsLiveRun(t *testing.T) {
 		if r.Round != i {
 			t.Fatalf("stream out of order at %d: %+v", i, r)
 		}
+	}
+}
+
+// TestEnginesEndpoint: GET /v1/engines serves every registered kind's
+// descriptor, sorted by kind, independent of registration order, and the
+// content matches the in-process registry exactly.
+func TestEnginesEndpoint(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	descriptors, err := client.New(ts.URL).Engines(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(descriptors))
+	for i, d := range descriptors {
+		kinds[i] = d.Kind
+	}
+	want := []string{"gossip", "median", "multidim", "robust"}
+	if len(kinds) < 4 {
+		t.Fatalf("engines endpoint lists %d kinds, want at least 4", len(kinds))
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("engines endpoint kinds %v, want sorted %v", kinds, want)
+		}
+	}
+	// The wire document is exactly the registry's view (stability across
+	// registration order is the registry's sort guarantee).
+	local := engine.Descriptors()
+	wire, _ := json.Marshal(descriptors)
+	reg, _ := json.Marshal(local)
+	if string(wire) != string(reg) {
+		t.Fatalf("wire descriptors diverge from the registry:\n%s\nvs\n%s", wire, reg)
+	}
+	for _, d := range descriptors {
+		if len(d.Params) == 0 || d.Summary == "" {
+			t.Fatalf("kind %s descriptor is empty: %+v", d.Kind, d)
+		}
+	}
+}
+
+// TestGossipEndToEndHTTP: a gossip spec with a named drop selector
+// submits, streams round records, and a long one cancels mid-run over
+// DELETE — the acceptance flow for the first-class gossip kind.
+func TestGossipEndToEndHTTP(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	spec := service.Spec{Seed: 5, Kind: service.KindGossip, Payload: &service.GossipSpec{
+		Init:      service.InitSpec{Kind: "twovalue", N: 600},
+		CapFactor: 0.3,
+		Selector:  "drop-value:1",
+	}}
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, view.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone || final.Result == nil {
+		t.Fatalf("gossip run did not complete: %+v", final)
+	}
+	if final.Result.Reason != "consensus" || final.Result.Messages == nil {
+		t.Fatalf("gossip result incomplete: %+v", final.Result)
+	}
+	var streamed []service.RoundRecord
+	if err := c.Stream(ctx, view.ID, func(r service.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != final.Result.Rounds+1 {
+		t.Fatalf("streamed %d records, want %d", len(streamed), final.Result.Rounds+1)
+	}
+
+	// A slow voter-rule gossip run cancels mid-simulation via DELETE.
+	slow := service.Spec{Seed: 2, Kind: service.KindGossip, MaxRounds: 1 << 18,
+		Payload: &service.GossipSpec{
+			Init:     service.InitSpec{Kind: "twovalue", N: 2000},
+			Rule:     service.RuleSpec{Name: "voter"},
+			Selector: "drop-value:1",
+		}}
+	view, err = c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Get(ctx, view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == service.StatusDone {
+			t.Fatal("gossip run finished before it could be cancelled")
+		}
+		if v.Records > 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip run never produced a record")
+		}
+	}
+	if _, err := c.Cancel(ctx, view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err = c.Wait(ctx, view.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusCancelled {
+		t.Fatalf("status = %s, want cancelled (mid-run)", final.Status)
+	}
+	if final.Records == 0 {
+		t.Fatal("a mid-run cancel must leave the rounds streamed so far")
+	}
+}
+
+// TestBearerTokenAuth: with Options.AuthToken set, mutating endpoints
+// demand the token (401 otherwise) while read-only endpoints stay open.
+func TestBearerTokenAuth(t *testing.T) {
+	s := service.New(service.Options{Workers: 1, AuthToken: "s3cret"})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	spec := service.Spec{Seed: 1, Payload: &service.MedianSpec{
+		Init: service.InitSpec{Kind: "twovalue", N: 100},
+		Rule: service.RuleSpec{Name: "median"},
+	}}
+
+	// Unauthenticated and wrong-token submits are 401.
+	for _, token := range []string{"", "wrong"} {
+		c := client.New(ts.URL)
+		c.Token = token
+		if _, err := c.Submit(ctx, spec); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("submit with token %q: %v, want 401", token, err)
+		}
+		if err := c.Batch(ctx, service.BatchRequest{Template: spec,
+			Axes: []service.Axis{{Param: "seed", Values: []float64{1}}}},
+			func(service.BatchCellRecord) error { return nil }); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("batch with token %q: %v, want 401", token, err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read-only list must stay open, got %d", resp.StatusCode)
+	}
+
+	// The right token passes end to end, DELETE included.
+	c := client.New(ts.URL)
+	c.Token = "s3cret"
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, view.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Cancelling a finished run through an unauthenticated client is 401
+	// before it is 409.
+	anon := client.New(ts.URL)
+	if _, err := anon.Cancel(ctx, view.ID); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("unauthenticated cancel: %v, want 401", err)
+	}
+	if _, err := c.Cancel(ctx, view.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("authenticated cancel of finished run: %v, want 409", err)
 	}
 }

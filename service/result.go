@@ -1,70 +1,23 @@
 package service
 
-import (
-	"errors"
-	"fmt"
+import "repro/engine"
 
-	"repro/consensus"
-	"repro/multidim"
-	"repro/robust"
-)
+// RunResult is the serializable outcome of a run of any spec kind, plus
+// the effective seed the run used, so any cached result can be reproduced.
+// It is an alias of engine.Result: the scalar fields (Winner, WinnerCount)
+// are shared by every family, the optional fields carry each family's
+// extra telemetry.
+type RunResult = engine.Result
 
-// RunResult is the serializable outcome of a run of any spec kind, plus the
-// effective seed the run used, so any cached result can be reproduced. The
-// scalar fields (Winner, WinnerCount) are shared by every family; the
-// optional fields carry each family's extra telemetry.
-type RunResult struct {
-	// Rounds is the number of (parallel, for robust runs) rounds executed.
-	Rounds      int    `json:"rounds"`
-	Reason      string `json:"reason"`
-	Winner      int64  `json:"winner"`
-	WinnerCount int64  `json:"winner_count"`
-	StableSince int    `json:"stable_since"`
-	Seed        uint64 `json:"seed"`
-	// Messages holds gossip-engine telemetry (median kind).
-	Messages *MessageStats `json:"messages,omitempty"`
-	// WinnerPoint is the winning tuple of a multidim run (Winner is 0).
-	WinnerPoint []int64 `json:"winner_point,omitempty"`
-	// TupleValid / CoordValid report multidim validity (see
-	// multidim.Result).
-	TupleValid *bool `json:"tuple_valid,omitempty"`
-	CoordValid *bool `json:"coord_valid,omitempty"`
-	// Steps and ParallelTime report robust-run timing (Rounds is the
-	// parallel time rounded up).
-	Steps        int     `json:"steps,omitempty"`
-	ParallelTime float64 `json:"parallel_time,omitempty"`
-	// Dissenters counts processes (crashed included) not holding Winner
-	// at the end of a robust run.
-	Dissenters int `json:"dissenters,omitempty"`
-}
-
-// MessageStats mirrors consensus.MessageStats for gossip-engine runs.
-type MessageStats struct {
-	RequestsSent    int64 `json:"requests_sent"`
-	RequestsDropped int64 `json:"requests_dropped"`
-	MaxInDegree     int   `json:"max_in_degree"`
-}
+// MessageStats is the gossip kind's message-level telemetry.
+type MessageStats = engine.MessageStats
 
 // RoundRecord is one line of a run's round-by-round NDJSON stream: the
-// distribution summary the engines report through their Observer hook. The
-// engines observe the state once before the first round and once after
-// every executed round, so a run of R rounds yields R+1 records and record
-// 0 is the initial state.
-type RoundRecord struct {
-	// Round is the number of rounds executed before this snapshot
-	// (parallel rounds, for robust runs).
-	Round int `json:"round"`
-	// N is the population size.
-	N int64 `json:"n"`
-	// Support is the number of distinct values (tuples, for multidim
-	// runs) still alive.
-	Support int `json:"support"`
-	// Leader is the current plurality value; LeaderCount its population.
-	Leader      int64 `json:"leader"`
-	LeaderCount int64 `json:"leader_count"`
-	// LeaderPoint is the plurality tuple of a multidim run (Leader is 0).
-	LeaderPoint []int64 `json:"leader_point,omitempty"`
-}
+// distribution summary the engines report through their Observe hook (an
+// alias of engine.Record). The engines observe the state once before the
+// first round and once after every executed round, so a run of R rounds
+// yields R+1 records and record 0 is the initial state.
+type RoundRecord = engine.Record
 
 // RunRecord pairs a spec with its result — the machine-readable record the
 // API returns and cmd/sweep -json emits.
@@ -75,210 +28,15 @@ type RunRecord struct {
 }
 
 // ErrCancelled is returned by Execute when the cancelled callback fired.
-var ErrCancelled = errors.New("service: run cancelled")
+var ErrCancelled = engine.ErrCancelled
 
-// cancelSignal is the panic sentinel the observer uses to unwind a running
-// engine; Execute recovers it. The engines have no cancellation hook of
-// their own, but every family's engine calls its observer once per round,
-// which is exactly the granularity a cancel needs.
-type cancelSignal struct{}
-
-// checkCancel polls the cancellation callback and unwinds the engine when
-// it fires — the shared per-round cancellation point of every executor.
-func checkCancel(cancelled func() bool) {
-	if cancelled != nil && cancelled() {
-		panic(cancelSignal{})
-	}
-}
-
-// Execute runs a spec of any kind synchronously. observe, when non-nil,
-// receives one RoundRecord per executed round. cancelled, when non-nil, is
-// polled once per round; returning true aborts the run with ErrCancelled.
-// Any engine panic (e.g. an invalid engine/state combination that Validate
-// cannot see) is converted into an error so a bad spec can never take down
-// the serving process.
-func Execute(spec Spec, observe func(RoundRecord), cancelled func() bool) (res RunResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(cancelSignal); ok {
-				err = ErrCancelled
-				return
-			}
-			err = fmt.Errorf("service: run panicked: %v", r)
-		}
-	}()
-	spec = spec.Normalize()
-	switch spec.Kind {
-	case KindMultidim:
-		return executeMultidim(spec, observe, cancelled)
-	case KindRobust:
-		return executeRobust(spec, observe, cancelled)
-	default:
-		return executeMedian(spec, observe, cancelled)
-	}
-}
-
-// executeMedian runs the scalar dynamics through consensus.Run.
-func executeMedian(spec Spec, observe func(RoundRecord), cancelled func() bool) (RunResult, error) {
-	cfg, err := spec.Config()
-	if err != nil {
-		return RunResult{}, err
-	}
-	n := int64(len(cfg.Values))
-	// The observer is installed unconditionally: engine auto-selection
-	// depends on whether an observer is present, so a run must not change
-	// engine (and hence trajectory) based on whether anyone is watching.
-	// Every Execute caller — service workers, sweep cells, tests — gets
-	// the same engine and the same result for the same spec.
-	cfg.Observer = func(round int, vals []consensus.Value, counts []int64) {
-		checkCancel(cancelled)
-		if observe == nil {
-			return
-		}
-		rec := RoundRecord{Round: round, N: n, Support: len(vals)}
-		for i, c := range counts {
-			if c > rec.LeaderCount {
-				rec.Leader, rec.LeaderCount = vals[i], c
-			}
-		}
-		observe(rec)
-	}
-	out := consensus.Run(cfg)
-	res := RunResult{
-		Rounds:      out.Rounds,
-		Reason:      out.Reason.String(),
-		Winner:      out.Winner,
-		WinnerCount: out.WinnerCount,
-		StableSince: out.StableSince,
-		Seed:        cfg.Seed,
-	}
-	if out.Messages != (consensus.MessageStats{}) {
-		res.Messages = &MessageStats{
-			RequestsSent:    out.Messages.RequestsSent,
-			RequestsDropped: out.Messages.RequestsDropped,
-			MaxInDegree:     out.Messages.MaxInDegree,
-		}
-	}
-	return res, nil
-}
-
-// executeMultidim runs the coordinate-wise median dynamics.
-func executeMultidim(spec Spec, observe func(RoundRecord), cancelled func() bool) (RunResult, error) {
-	if spec.Multidim == nil {
-		return RunResult{}, fmt.Errorf("service: multidim specs need a multidim payload")
-	}
-	pts, err := multidim.BuildInit(spec.Multidim.Init)
-	if err != nil {
-		return RunResult{}, err
-	}
-	var adv multidim.Adversary
-	if a := spec.Multidim.Adversary; a != nil {
-		adv, err = multidim.NewAdversary(a.Name, a.Params)
-		if err != nil {
-			return RunResult{}, err
-		}
-	}
-	seed, err := spec.EffectiveSeed()
-	if err != nil {
-		return RunResult{}, err
-	}
-	n := int64(len(pts))
-	emit := func(round int, state []multidim.Point) {
-		checkCancel(cancelled)
-		if observe == nil {
-			return
-		}
-		winner, count, support := multidim.Plurality(state)
-		observe(RoundRecord{
-			Round: round, N: n, Support: support,
-			LeaderCount: int64(count),
-			LeaderPoint: append([]int64(nil), winner...),
-		})
-	}
-	eng := multidim.NewEngine(pts, adv, seed, multidim.Options{
-		MaxRounds: spec.MaxRounds,
-		Observer:  emit,
-	})
-	emit(0, eng.State())
-	out := eng.Run()
-	reason := consensus.StopMaxRounds
-	if out.Consensus {
-		reason = consensus.StopConsensus
-	}
-	tv, cv := out.TupleValid, out.CoordValid
-	return RunResult{
-		Rounds:      out.Rounds,
-		Reason:      reason.String(),
-		WinnerCount: int64(out.WinnerCount),
-		WinnerPoint: append([]int64(nil), out.Winner...),
-		TupleValid:  &tv,
-		CoordValid:  &cv,
-		Seed:        seed,
-	}, nil
-}
-
-// executeRobust runs the asynchronous faulty execution. MaxRounds counts
-// parallel rounds (n activations each), the unit the round records use.
-func executeRobust(spec Spec, observe func(RoundRecord), cancelled func() bool) (RunResult, error) {
-	vals, err := consensus.BuildInit(spec.Init)
-	if err != nil {
-		return RunResult{}, err
-	}
-	r := RobustSpec{}
-	if spec.Robust != nil {
-		r = *spec.Robust
-	}
-	silent, err := robust.ModeByName(r.Mode)
-	if err != nil {
-		return RunResult{}, err
-	}
-	seed, err := spec.EffectiveSeed()
-	if err != nil {
-		return RunResult{}, err
-	}
-	n := len(vals)
-	emit := func(round int, state []robust.Value) {
-		checkCancel(cancelled)
-		if observe == nil {
-			return
-		}
-		rec := RoundRecord{Round: round, N: int64(n)}
-		counts := make(map[robust.Value]int64, 16)
-		for _, v := range state {
-			counts[v]++
-		}
-		rec.Support = len(counts)
-		for v, c := range counts {
-			if c > rec.LeaderCount || (c == rec.LeaderCount && v < rec.Leader) {
-				rec.Leader, rec.LeaderCount = v, c
-			}
-		}
-		observe(rec)
-	}
-	maxSteps := 0
-	if spec.MaxRounds > 0 {
-		maxSteps = spec.MaxRounds * n
-	}
-	eng := robust.NewEngine(vals, robust.Options{
-		LossProb: r.LossProb,
-		Crashes:  r.Crashes,
-		Silent:   silent,
-		MaxSteps: maxSteps,
-		Observer: emit,
-	}, seed)
-	out := eng.Run()
-	reason := consensus.StopMaxRounds
-	if out.Consensus {
-		reason = consensus.StopConsensus
-	}
-	return RunResult{
-		Rounds:       (out.Steps + n - 1) / n,
-		Reason:       reason.String(),
-		Winner:       out.Winner,
-		WinnerCount:  int64(out.WinnerCount),
-		Steps:        out.Steps,
-		ParallelTime: out.ParallelTime,
-		Dissenters:   out.Dissenters,
-		Seed:         seed,
-	}, nil
+// Execute runs a spec of any registered kind synchronously, dispatching
+// through the engine registry. observe, when non-nil, receives one
+// RoundRecord per executed round. cancelled, when non-nil, is polled once
+// per round (through the engines' shared observer hook, their per-round
+// cancellation point); returning true aborts the run with ErrCancelled.
+// Any engine panic is converted into an error so a bad spec can never take
+// down the serving process.
+func Execute(spec Spec, observe func(RoundRecord), cancelled func() bool) (RunResult, error) {
+	return engine.Execute(spec, observe, cancelled)
 }

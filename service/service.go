@@ -1,12 +1,15 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/engine"
 )
 
 // Status is a job's lifecycle state.
@@ -63,6 +66,11 @@ type Options struct {
 	// SubmitBurst is the submit rate limiter's bucket size (<=0 = 8 when
 	// SubmitRate is set).
 	SubmitBurst int
+	// AuthToken, when non-empty, guards the mutating HTTP endpoints
+	// (POST /v1/runs, POST /v1/batches, DELETE /v1/runs/{id}): requests
+	// must carry "Authorization: Bearer <token>" or they get 401.
+	// Read-only endpoints stay open ("" = no auth).
+	AuthToken string
 }
 
 func (o Options) withDefaults() Options {
@@ -297,10 +305,13 @@ func (s *Service) submit(spec Spec) (*Job, JobView, error) {
 	if n := spec.Population(); n > s.opts.MaxN {
 		return nil, JobView{}, fmt.Errorf("service: population %d exceeds the server limit %d", n, s.opts.MaxN)
 	}
-	hash, err := spec.Hash()
+	// The spec is already normalized, so its plain encoding is the
+	// canonical one — skip Hash()'s re-normalization on every submit.
+	canonical, err := json.Marshal(spec)
 	if err != nil {
 		return nil, JobView{}, err
 	}
+	hash := engine.HashBytes(canonical)
 	now := time.Now()
 	j := &Job{
 		spec:    spec,

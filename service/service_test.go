@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/consensus"
 	"repro/multidim"
 )
 
@@ -31,11 +30,10 @@ func waitDone(t *testing.T, s *Service, id string) JobView {
 func TestCacheHitDeterminism(t *testing.T) {
 	s := New(Options{Workers: 2})
 	defer s.Close()
-	spec := Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 2000},
+	spec := Spec{Seed: 9, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 2000},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 9,
-	}
+	}}
 	first, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -88,12 +86,10 @@ func TestCancelRunning(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	// A voter run large enough to take a while under MaxRounds pressure.
-	spec := Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
-		Rule:      RuleSpec{Name: "voter"},
-		Seed:      2,
-		MaxRounds: 1 << 20,
-	}
+	spec := Spec{Seed: 2, MaxRounds: 1 << 20, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 4000},
+		Rule: RuleSpec{Name: "voter"},
+	}}
 	view, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -131,21 +127,19 @@ func TestCancelRunning(t *testing.T) {
 	}
 }
 
-// TestCancelGossipMidRun: the gossip engine now reports rounds through the
-// observer hook, so DELETE /v1/runs stops a gossip run mid-simulation, not
-// just between runs (the former limitation).
+// TestCancelGossipMidRun: the gossip kind reports rounds through the
+// shared observer hook, so DELETE /v1/runs stops a gossip run
+// mid-simulation, not just between runs.
 func TestCancelGossipMidRun(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	// voter over the message-passing simulator converges in Θ(n) rounds of
 	// Θ(n) work each — slow enough to be caught mid-flight.
-	spec := Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 2000},
-		Rule:      RuleSpec{Name: "voter"},
-		Engine:    "gossip",
-		Seed:      2,
-		MaxRounds: 1 << 18,
-	}
+	spec := Spec{Kind: KindGossip, Seed: 2, MaxRounds: 1 << 18, Payload: &GossipSpec{
+		Init:     InitSpec{Kind: "twovalue", N: 2000},
+		Rule:     RuleSpec{Name: "voter"},
+		Selector: "drop-value:1",
+	}}
 	view, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -184,11 +178,14 @@ func TestCacheHitNewKinds(t *testing.T) {
 	s := New(Options{Workers: 2})
 	defer s.Close()
 	specs := []Spec{
-		{Kind: KindMultidim, Seed: 4, Multidim: &MultidimSpec{
+		{Kind: KindMultidim, Seed: 4, Payload: &MultidimSpec{
 			Init: multidim.InitSpec{Kind: "random", N: 300, D: 2, M: 6, Seed: 4}}},
-		{Kind: KindRobust, Seed: 4,
-			Init:   consensus.InitSpec{Kind: "twovalue", N: 300},
-			Robust: &RobustSpec{LossProb: 0.05, Crashes: 3}},
+		{Kind: KindRobust, Seed: 4, Payload: &RobustSpec{
+			Init:     InitSpec{Kind: "twovalue", N: 300},
+			LossProb: 0.05, Crashes: 3}},
+		{Kind: KindGossip, Seed: 4, Payload: &GossipSpec{
+			Init:      InitSpec{Kind: "twovalue", N: 300},
+			CapFactor: 0.5, Selector: "drop-value:2"}},
 	}
 	for _, spec := range specs {
 		first, err := s.Submit(spec)
@@ -214,21 +211,18 @@ func TestCacheHitNewKinds(t *testing.T) {
 func TestCancelQueued(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
-	blocker := Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
-		Rule:      RuleSpec{Name: "voter"},
-		Seed:      4,
-		MaxRounds: 1 << 20,
-	}
+	blocker := Spec{Seed: 4, MaxRounds: 1 << 20, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 4000},
+		Rule: RuleSpec{Name: "voter"},
+	}}
 	b, err := s.Submit(blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := s.Submit(Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+	queued, err := s.Submit(Spec{Seed: 5, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 5,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,22 +242,18 @@ func TestCancelQueued(t *testing.T) {
 // TestCloseCancelsQueued: Close must not run the backlog to completion.
 func TestCloseCancelsQueued(t *testing.T) {
 	s := New(Options{Workers: 1})
-	blocker := Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
-		Rule:      RuleSpec{Name: "voter"},
-		Seed:      6,
-		MaxRounds: 1 << 20,
-	}
+	blocker := Spec{Seed: 6, MaxRounds: 1 << 20, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 4000},
+		Rule: RuleSpec{Name: "voter"},
+	}}
 	b, err := s.Submit(blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := s.Submit(Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
-		Rule:      RuleSpec{Name: "voter"},
-		Seed:      7,
-		MaxRounds: 1 << 20,
-	})
+	queued, err := s.Submit(Spec{Seed: 7, MaxRounds: 1 << 20, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 4000},
+		Rule: RuleSpec{Name: "voter"},
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,11 +279,10 @@ func TestJobEviction(t *testing.T) {
 	defer s.Close()
 	var ids []string
 	for seed := uint64(1); seed <= 6; seed++ {
-		v, err := s.Submit(Spec{
-			Init: consensus.InitSpec{Kind: "twovalue", N: 200},
+		v, err := s.Submit(Spec{Seed: seed, Payload: &MedianSpec{
+			Init: InitSpec{Kind: "twovalue", N: 200},
 			Rule: RuleSpec{Name: "median"},
-			Seed: seed,
-		})
+		}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,11 +299,10 @@ func TestJobEviction(t *testing.T) {
 		t.Fatalf("newest job must survive: %v", err)
 	}
 	// The evicted run's result is still answered from the cache.
-	v, err := s.Submit(Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 200},
+	v, err := s.Submit(Spec{Seed: 1, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 200},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 1,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,12 +316,10 @@ func TestJobEviction(t *testing.T) {
 func TestCoalesceInFlight(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
-	spec := Spec{
-		Init:      consensus.InitSpec{Kind: "twovalue", N: 4000},
-		Rule:      RuleSpec{Name: "voter"},
-		Seed:      8,
-		MaxRounds: 1 << 20,
-	}
+	spec := Spec{Seed: 8, MaxRounds: 1 << 20, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 4000},
+		Rule: RuleSpec{Name: "voter"},
+	}}
 	first, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -373,23 +359,22 @@ func TestCoalesceInFlight(t *testing.T) {
 func TestSubmitPopulationLimit(t *testing.T) {
 	s := New(Options{Workers: 1, MaxN: 1000})
 	defer s.Close()
-	if _, err := s.Submit(Spec{
-		Init: consensus.InitSpec{Kind: "distinct", N: 1001},
+	if _, err := s.Submit(Spec{Payload: &MedianSpec{
+		Init: InitSpec{Kind: "distinct", N: 1001},
 		Rule: RuleSpec{Name: "median"},
-	}); err == nil {
+	}}); err == nil {
 		t.Fatal("population above MaxN must be rejected")
 	}
-	if _, err := s.Submit(Spec{
-		Init: consensus.InitSpec{Kind: "blocks", Counts: []int64{600, 600}},
+	if _, err := s.Submit(Spec{Payload: &MedianSpec{
+		Init: InitSpec{Kind: "blocks", Counts: []int64{600, 600}},
 		Rule: RuleSpec{Name: "median"},
-	}); err == nil {
+	}}); err == nil {
 		t.Fatal("blocks population above MaxN must be rejected")
 	}
-	if _, err := s.Submit(Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 1000},
+	if _, err := s.Submit(Spec{Seed: 1, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 1000},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 1,
-	}); err != nil {
+	}}); err != nil {
 		t.Fatalf("population at MaxN must be accepted: %v", err)
 	}
 }
@@ -398,7 +383,7 @@ func TestSubmitPopulationLimit(t *testing.T) {
 func TestSubmitInvalidSpec(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
-	if _, err := s.Submit(Spec{Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "nope"}}); err == nil {
+	if _, err := s.Submit(Spec{Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "nope"}}}); err == nil {
 		t.Fatal("invalid spec must be rejected")
 	}
 	if m := s.Metrics(); m.JobsSubmitted != 0 {

@@ -5,433 +5,91 @@
 // cmd/consensusd daemon and cmd/consensusctl client are thin wrappers
 // around this package.
 //
-// A Spec is a discriminated union over the repo's simulation families,
-// selected by Kind:
+// Specs, results and execution all come from the engine plugin API
+// (package engine): a Spec is an engine.Spec — a kind-discriminated
+// envelope whose decode, validation, canonical hash and execution dispatch
+// through the engine registry. This package contains no per-kind code at
+// all; importing the family packages below is what populates the registry:
 //
-//   - "median" (the default): the paper's scalar dynamics, the JSON form
-//     of a consensus.Config. Rules, adversaries, engines, timings and
-//     initial states are referenced by registry name (rules.New,
-//     adversary.New, consensus.EngineByName, consensus.BuildInit).
+//   - "median" (the default): the paper's scalar dynamics (package
+//     consensus; payload consensus.Spec).
+//   - "gossip": the full message-passing network model with named drop
+//     selectors (internal/gossip; payload gossip.Spec).
 //   - "multidim": the coordinate-wise median dynamics on d-dimensional
-//     points (package multidim), with its own init and adversary
-//     registries (multidim.BuildInit, multidim.NewAdversary).
-//   - "robust": the asynchronous faulty execution (package robust),
-//     reusing the scalar init registry plus loss/crash/mode knobs.
+//     points (package multidim; payload multidim.Spec).
+//   - "robust": the asynchronous faulty execution (package robust;
+//     payload robust.Spec).
 //
-// Every family satisfies the same engine contract — a per-round observer
-// that doubles as the cancellation point, plus normalized registry-name
-// construction — so every run in the repo is submittable, hashable,
-// cacheable and streamable over the wire.
+// GET /v1/engines serves each kind's engine.Descriptor, so clients can
+// discover the registered kinds and their parameter schemas instead of
+// hard-coding them. Adding a family is an engine.Register call in its
+// package plus an import here — no service code changes.
 //
-// Canonical hashing: Normalize fills defaulted fields, json.Marshal orders
-// struct fields deterministically and map keys lexicographically, and Hash
-// is the SHA-256 of that canonical encoding. Two specs describing the same
-// run therefore share a hash, which is the cache key and the seed-derivation
-// input for seedless specs.
+// Canonical hashing: Normalize fills defaulted fields, the envelope codec
+// orders keys lexicographically, and Hash is the SHA-256 of that canonical
+// encoding. Two specs describing the same run therefore share a hash,
+// which is the cache key and the seed-derivation input for seedless specs.
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
-
 	"repro/adversary"
 	"repro/consensus"
-	"repro/internal/rng"
+	"repro/engine"
+	"repro/internal/gossip"
 	"repro/multidim"
 	"repro/robust"
 	"repro/rules"
 )
 
-// Spec kinds — the discriminant of the Spec union.
+// Spec kinds — the discriminants of the registered engine families. The
+// authoritative list is engine.Kinds(); these constants name the built-ins.
 const (
 	// KindMedian is the scalar dynamics of the paper ("" normalizes to it).
 	KindMedian = "median"
+	// KindGossip is the message-passing network model with named drop
+	// selectors.
+	KindGossip = "gossip"
 	// KindMultidim is the coordinate-wise median on d-dimensional points.
 	KindMultidim = "multidim"
 	// KindRobust is the asynchronous execution with loss and crash faults.
 	KindRobust = "robust"
 )
 
-// Kinds returns the spec kinds in sorted order.
-func Kinds() []string { return []string{KindMedian, KindMultidim, KindRobust} }
+// Kinds returns the registered spec kinds in sorted order.
+func Kinds() []string { return engine.Kinds() }
 
-// Spec is the serializable description of one simulation run.
-type Spec struct {
-	// Kind selects the simulation family: "median" (default when empty),
-	// "multidim" or "robust". Every other field belongs to one family;
-	// Validate rejects specs that mix them.
-	Kind string `json:"kind,omitempty"`
-	// Init describes the scalar initial state (median and robust kinds;
-	// see consensus.InitKinds).
-	Init consensus.InitSpec `json:"init,omitzero"`
-	// Rule references a registered update rule (median kind only; see
-	// rules.Names). The multidim and robust engines hard-code their rule.
-	Rule RuleSpec `json:"rule,omitzero"`
-	// Adversary optionally references a registered strategy (median kind;
-	// nil = none).
-	Adversary *AdversarySpec `json:"adversary,omitempty"`
-	// Seed makes the run reproducible. 0 means "derive from the spec
-	// hash" (see DeriveSeed), so seedless specs are still deterministic.
-	Seed uint64 `json:"seed,omitempty"`
-	// MaxRounds caps the run (0 = engine default). The robust kind counts
-	// parallel rounds: the step cap is MaxRounds·n.
-	MaxRounds int `json:"max_rounds,omitempty"`
-	// AlmostSlack enables almost-stable detection (median kind; see
-	// consensus.Config).
-	AlmostSlack int `json:"almost_slack,omitempty"`
-	// Window is the stability window (median kind; 0 = default).
-	Window int `json:"window,omitempty"`
-	// Timing is the adversary hook point: "before-round" (default) or
-	// "after-choices" (median kind).
-	Timing string `json:"timing,omitempty"`
-	// Engine selects the simulator by name (median kind; see
-	// consensus.EngineNames); "" and "auto" both mean automatic selection.
-	Engine string `json:"engine,omitempty"`
-	// Workers parallelises the ball engine (median kind; 0/1 = sequential).
-	Workers int `json:"workers,omitempty"`
-	// Gossip configures the gossip engine (ignored otherwise).
-	Gossip *GossipSpec `json:"gossip,omitempty"`
-	// Multidim carries the multidim kind's payload.
-	Multidim *MultidimSpec `json:"multidim,omitempty"`
-	// Robust carries the robust kind's payload (nil normalizes to the
-	// fault-free asynchronous run).
-	Robust *RobustSpec `json:"robust,omitempty"`
-}
+// Spec is the serializable description of one simulation run: the
+// engine.Spec envelope (kind, seed, max_rounds) plus the kind's payload,
+// flattened into one JSON object. See package engine for the codec,
+// normalization, validation and hashing rules.
+type Spec = engine.Spec
 
-// RuleSpec references a registered rule plus its parameters.
-type RuleSpec struct {
-	Name   string       `json:"name"`
-	Params rules.Params `json:"params,omitempty"`
-}
+// Payload aliases engine.Payload: the typed per-kind spec body.
+type Payload = engine.Payload
 
-// AdversarySpec references a registered adversary strategy, its budget
-// family and its parameters.
-type AdversarySpec struct {
-	Name   string               `json:"name"`
-	Budget adversary.BudgetSpec `json:"budget"`
-	Params adversary.Params     `json:"params,omitempty"`
-}
-
-// GossipSpec carries the serializable gossip-engine knobs. The adversarial
-// drop Selector of consensus.GossipConfig is a function value and therefore
-// not spec-addressable; submit such runs through the library API.
-type GossipSpec struct {
-	CapFactor float64 `json:"cap_factor,omitempty"`
-}
-
-// MultidimSpec carries the multidim kind's payload: a point-set generator
-// reference and an optional adversary reference, both resolved through the
-// multidim package's registries.
-type MultidimSpec struct {
-	// Init describes the initial point set (see multidim.InitKinds).
-	Init multidim.InitSpec `json:"init"`
-	// Adversary optionally references a registered strategy (nil = none;
-	// see multidim.AdversaryNames).
-	Adversary *MultidimAdversarySpec `json:"adversary,omitempty"`
-}
-
-// MultidimAdversarySpec references a registered multidim adversary.
-type MultidimAdversarySpec struct {
-	Name   string          `json:"name"`
-	Params multidim.Params `json:"params,omitempty"`
-}
-
-// RobustSpec carries the robust kind's payload. The initial values come
-// from the scalar init registry (Spec.Init).
-type RobustSpec struct {
-	// LossProb is the independent per-sample loss probability in [0,1].
-	LossProb float64 `json:"loss_prob,omitempty"`
-	// Crashes freezes that many uniformly chosen processes before the
-	// first step.
-	Crashes int `json:"crashes,omitempty"`
-	// Mode is the crash fault model: "responsive" (default) or "silent"
-	// (see robust.Modes).
-	Mode string `json:"mode,omitempty"`
-}
-
-// kind resolves the family discriminant ("" means median).
-func (s Spec) kind() string {
-	if s.Kind == "" {
-		return KindMedian
-	}
-	return s.Kind
-}
-
-// Normalize returns a copy with defaulted fields made explicit and empty
-// parameter maps dropped, so equivalent specs share one canonical encoding.
-// Fields belonging to other families pass through untouched — Validate, not
-// Normalize, rejects them.
-func (s Spec) Normalize() Spec {
-	s.Kind = s.kind()
-	switch s.Kind {
-	case KindMultidim:
-		if s.Multidim != nil {
-			m := *s.Multidim
-			m.Init = multidim.NormalizeInit(m.Init)
-			if m.Adversary != nil {
-				a := *m.Adversary
-				if len(a.Params) == 0 {
-					a.Params = nil
-				}
-				m.Adversary = &a
-			}
-			s.Multidim = &m
-		}
-		return s
-	case KindRobust:
-		s.Init = consensus.NormalizeInit(s.Init)
-		r := RobustSpec{}
-		if s.Robust != nil {
-			r = *s.Robust
-		}
-		if r.Mode == "" {
-			r.Mode = robust.ModeResponsive
-		}
-		s.Robust = &r
-		return s
-	}
-	s.Init = consensus.NormalizeInit(s.Init)
-	if s.Engine == "" {
-		s.Engine = "auto"
-	}
-	if s.Timing == "" {
-		s.Timing = "before-round"
-	}
-	if len(s.Rule.Params) == 0 {
-		s.Rule.Params = nil
-	}
-	if s.Adversary != nil {
-		a := *s.Adversary
-		if len(a.Params) == 0 {
-			a.Params = nil
-		}
-		s.Adversary = &a
-	}
-	if s.Gossip != nil && *s.Gossip == (GossipSpec{}) {
-		s.Gossip = nil
-	}
-	if s.Workers == 1 {
-		s.Workers = 0
-	}
-	return s
-}
-
-// Validate checks that every registry reference resolves, the init spec is
-// well-formed and no field of a foreign family is set, without materializing
-// the O(n) initial state — it is safe to call on every API request.
-func (s Spec) Validate() error {
-	if s.MaxRounds < 0 {
-		return fmt.Errorf("service: negative max_rounds")
-	}
-	switch s.kind() {
-	case KindMultidim:
-		return s.validateMultidim()
-	case KindRobust:
-		return s.validateRobust()
-	case KindMedian:
-		if s.Multidim != nil || s.Robust != nil {
-			return fmt.Errorf("service: median specs take no multidim/robust payload")
-		}
-		if err := consensus.CheckInit(s.Init); err != nil {
-			return err
-		}
-		_, err := s.components()
-		return err
-	default:
-		return fmt.Errorf("service: unknown spec kind %q (known: %v)", s.Kind, Kinds())
-	}
-}
-
-// scalarFieldsUnset rejects median-family fields on multidim specs, where
-// they have no meaning and would make equivalent runs hash differently.
-func (s Spec) scalarFieldsUnset() error {
-	i := s.Init
-	if i.Kind != "" || i.N != 0 || i.M != 0 || i.NLow != 0 ||
-		i.Low != 0 || i.High != 0 || i.Seed != 0 || len(i.Counts) != 0 {
-		return fmt.Errorf("service: %s specs take no scalar init (use the family payload)", s.kind())
-	}
-	return s.medianKnobsUnset()
-}
-
-// medianKnobsUnset rejects the knobs only the scalar engines interpret.
-func (s Spec) medianKnobsUnset() error {
-	switch {
-	case s.Rule.Name != "" || len(s.Rule.Params) != 0:
-		return fmt.Errorf("service: %s runs hard-code their rule; leave rule unset", s.kind())
-	case s.Adversary != nil:
-		return fmt.Errorf("service: %s specs reference adversaries through their family payload", s.kind())
-	case s.Gossip != nil, s.Engine != "", s.Timing != "",
-		s.Workers != 0, s.AlmostSlack != 0, s.Window != 0:
-		return fmt.Errorf("service: %s specs take no engine/timing/workers/slack/window/gossip fields", s.kind())
-	}
-	return nil
-}
-
-func (s Spec) validateMultidim() error {
-	if s.Robust != nil {
-		return fmt.Errorf("service: multidim specs take no robust payload")
-	}
-	if err := s.scalarFieldsUnset(); err != nil {
-		return err
-	}
-	if s.Multidim == nil {
-		return fmt.Errorf("service: multidim specs need a multidim payload")
-	}
-	if err := multidim.CheckInit(s.Multidim.Init); err != nil {
-		return err
-	}
-	if a := s.Multidim.Adversary; a != nil {
-		if _, err := multidim.NewAdversary(a.Name, a.Params); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (s Spec) validateRobust() error {
-	if s.Multidim != nil {
-		return fmt.Errorf("service: robust specs take no multidim payload")
-	}
-	if err := s.medianKnobsUnset(); err != nil {
-		return err
-	}
-	if err := consensus.CheckInit(s.Init); err != nil {
-		return err
-	}
-	r := RobustSpec{}
-	if s.Robust != nil {
-		r = *s.Robust
-	}
-	silent, err := robust.ModeByName(r.Mode)
-	if err != nil {
-		return err
-	}
-	// The init size may be unknown (0) for kinds without a Size hook; the
-	// engine's own construction check then catches a bad crash count.
-	n := consensus.InitSize(s.Init)
-	if n > 0 {
-		return robust.Check(int(n), robust.Options{
-			LossProb: r.LossProb, Crashes: r.Crashes, Silent: silent,
-		})
-	}
-	if r.LossProb < 0 || r.LossProb > 1 {
-		return fmt.Errorf("robust: LossProb %v outside [0,1]", r.LossProb)
-	}
-	if r.Crashes < 0 {
-		return fmt.Errorf("robust: negative Crashes %d", r.Crashes)
-	}
-	return nil
-}
-
-// Population reports the population the spec would materialize, for
-// admission control. 0 means unknown.
-func (s Spec) Population() int64 {
-	if s.kind() == KindMultidim {
-		if s.Multidim == nil {
-			return 0
-		}
-		return multidim.InitSize(s.Multidim.Init)
-	}
-	return consensus.InitSize(s.Init)
-}
-
-// Canonical returns the canonical JSON encoding of the normalized spec —
-// the byte string the hash, cache and seed derivation are defined over.
-func (s Spec) Canonical() ([]byte, error) {
-	return json.Marshal(s.Normalize())
-}
-
-// Hash returns the canonical spec hash as a hex string.
-func (s Spec) Hash() (string, error) {
-	c, err := s.Canonical()
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(c)
-	return fmt.Sprintf("%x", sum[:]), nil
-}
+// The built-in kinds' payload and reference types, re-exported so service
+// callers can construct specs without importing every family package.
+type (
+	// MedianSpec is the median kind's payload.
+	MedianSpec = consensus.Spec
+	// GossipSpec is the gossip kind's payload.
+	GossipSpec = gossip.Spec
+	// MultidimSpec is the multidim kind's payload.
+	MultidimSpec = multidim.Spec
+	// MultidimAdversarySpec references a registered multidim adversary.
+	MultidimAdversarySpec = multidim.AdversaryRef
+	// RobustSpec is the robust kind's payload.
+	RobustSpec = robust.Spec
+	// InitSpec is the scalar initial-state description shared by the
+	// median, gossip and robust kinds.
+	InitSpec = consensus.InitSpec
+	// RuleSpec references a registered rule plus its parameters.
+	RuleSpec = rules.Ref
+	// AdversarySpec references a registered adversary strategy, its
+	// budget family and its parameters.
+	AdversarySpec = adversary.Ref
+)
 
 // DeriveSeed maps a canonical spec hash to a run seed via the splitmix64
 // finalizer, so seedless specs get a deterministic, well-mixed seed.
-func DeriveSeed(hash string) uint64 {
-	sum := sha256.Sum256([]byte(hash))
-	return rng.Mix64(binary.LittleEndian.Uint64(sum[:8]))
-}
-
-// EffectiveSeed returns the seed a run of this spec will actually use.
-func (s Spec) EffectiveSeed() (uint64, error) {
-	if s.Seed != 0 {
-		return s.Seed, nil
-	}
-	h, err := s.Hash()
-	if err != nil {
-		return 0, err
-	}
-	return DeriveSeed(h), nil
-}
-
-// Config materializes a median-kind spec into a runnable consensus.Config
-// with a fresh rule and adversary instance (adversaries carry per-run
-// state) and the effective seed filled in. Other kinds run through Execute,
-// which dispatches to their own engines.
-func (s Spec) Config() (consensus.Config, error) {
-	if k := s.kind(); k != KindMedian {
-		return consensus.Config{}, fmt.Errorf("service: %s specs have no consensus.Config; run them through Execute", k)
-	}
-	cfg, err := s.components()
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	cfg.Values, err = consensus.BuildInit(s.Init)
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	cfg.Seed, err = s.EffectiveSeed()
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	return cfg, nil
-}
-
-// components resolves every registry reference except the initial state
-// (Config fills Values; Validate deliberately leaves them empty).
-func (s Spec) components() (consensus.Config, error) {
-	rule, err := rules.New(s.Rule.Name, s.Rule.Params)
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	var adv consensus.Adversary
-	if s.Adversary != nil {
-		adv, err = adversary.New(s.Adversary.Name, s.Adversary.Budget, s.Adversary.Params)
-		if err != nil {
-			return consensus.Config{}, err
-		}
-	}
-	engine, err := consensus.EngineByName(s.Engine)
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	timing, err := consensus.TimingByName(s.Timing)
-	if err != nil {
-		return consensus.Config{}, err
-	}
-	if s.MaxRounds < 0 || s.AlmostSlack < 0 || s.Window < 0 || s.Workers < 0 {
-		return consensus.Config{}, fmt.Errorf("service: negative max_rounds, almost_slack, window or workers")
-	}
-	cfg := consensus.Config{
-		Rule:        rule,
-		Adversary:   adv,
-		MaxRounds:   s.MaxRounds,
-		AlmostSlack: s.AlmostSlack,
-		Window:      s.Window,
-		Timing:      timing,
-		Engine:      engine,
-		Workers:     s.Workers,
-	}
-	if s.Gossip != nil {
-		cfg.Gossip = consensus.GossipConfig{CapFactor: s.Gossip.CapFactor}
-	}
-	return cfg, nil
-}
+func DeriveSeed(hash string) uint64 { return engine.DeriveSeed(hash) }

@@ -3,14 +3,21 @@ package service
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/adversary"
 	"repro/consensus"
+	"repro/engine"
 	"repro/multidim"
 	"repro/robust"
 	"repro/rules"
 )
+
+// medianSpec wraps a median payload in its envelope.
+func medianSpec(seed uint64, p MedianSpec) Spec {
+	return Spec{Kind: KindMedian, Seed: seed, Payload: &p}
+}
 
 // ruleParamsFor supplies the parameters a registered rule needs to build.
 func ruleParamsFor(name string) rules.Params {
@@ -40,11 +47,10 @@ func advParamsFor(name string) adversary.Params {
 // and checks the canonical hash survives the trip.
 func TestSpecRoundTripRules(t *testing.T) {
 	for _, name := range rules.Names() {
-		spec := Spec{
-			Init: consensus.InitSpec{Kind: "uniform", N: 100, M: 4, Seed: 7},
+		spec := medianSpec(3, MedianSpec{
+			Init: InitSpec{Kind: "uniform", N: 100, M: 4, Seed: 7},
 			Rule: RuleSpec{Name: name, Params: ruleParamsFor(name)},
-			Seed: 3,
-		}
+		})
 		roundTrip(t, "rule "+name, spec)
 	}
 }
@@ -52,31 +58,52 @@ func TestSpecRoundTripRules(t *testing.T) {
 // TestSpecRoundTripAdversaries does the same for every registered adversary.
 func TestSpecRoundTripAdversaries(t *testing.T) {
 	for _, name := range adversary.Names() {
-		spec := Spec{
-			Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+		spec := medianSpec(3, MedianSpec{
+			Init: InitSpec{Kind: "twovalue", N: 100},
 			Rule: RuleSpec{Name: "median"},
 			Adversary: &AdversarySpec{
 				Name:   name,
 				Budget: adversary.BudgetSpec{Kind: "sqrt", Factor: 1},
 				Params: advParamsFor(name),
 			},
-			Seed: 3,
-		}
+		})
 		roundTrip(t, "adversary "+name, spec)
 	}
 }
 
-// TestSpecRoundTripEngines does the same for every registered engine name.
+// TestSpecRoundTripEngines does the same for every engine the median kind
+// exposes (gossip is a kind of its own now and is rejected here).
 func TestSpecRoundTripEngines(t *testing.T) {
-	for _, name := range consensus.EngineNames() {
-		spec := Spec{
-			Init:   consensus.InitSpec{Kind: "twovalue", N: 64},
+	for _, name := range []string{"auto", "ball", "count", "twobin"} {
+		spec := medianSpec(3, MedianSpec{
+			Init:   InitSpec{Kind: "twovalue", N: 64},
 			Rule:   RuleSpec{Name: "median"},
 			Engine: name,
-			Seed:   3,
-		}
+		})
 		roundTrip(t, "engine "+name, spec)
 	}
+}
+
+// TestSpecRoundTripGossip round-trips the gossip kind across every named
+// selector form and a non-default rule.
+func TestSpecRoundTripGossip(t *testing.T) {
+	for _, selector := range []string{"", "fair", "drop-value:1", "drop-value:-7"} {
+		spec := Spec{Kind: KindGossip, Seed: 3, Payload: &GossipSpec{
+			Init:     InitSpec{Kind: "twovalue", N: 64},
+			Selector: selector,
+		}}
+		roundTrip(t, "gossip selector "+selector, spec)
+	}
+	spec := Spec{Kind: KindGossip, Seed: 3, Payload: &GossipSpec{
+		Init:      InitSpec{Kind: "uniform", N: 64, M: 4, Seed: 5},
+		Rule:      RuleSpec{Name: "voter"},
+		CapFactor: 2.5,
+		Adversary: &AdversarySpec{Name: "balancer",
+			Budget: adversary.BudgetSpec{Kind: "sqrt", Factor: 1},
+			Params: advParamsFor("balancer")},
+		AlmostSlack: 8,
+	}}
+	roundTrip(t, "gossip full", spec)
 }
 
 func roundTrip(t *testing.T, label string, spec Spec) {
@@ -106,33 +133,31 @@ func roundTrip(t *testing.T, label string, spec Spec) {
 	if h1 != h2 {
 		t.Fatalf("%s: hash changed across JSON round trip: %s != %s", label, h1, h2)
 	}
-	// Only the median kind materializes a consensus.Config; the other
-	// families dispatch through Execute.
-	if k := spec.Normalize().Kind; k == KindMedian {
-		if _, err := back.Config(); err != nil {
-			t.Fatalf("%s: config after round trip: %v", label, err)
-		}
-	}
 }
 
 // TestCanonicalHash pins the normalization rules: defaulted fields do not
 // change the hash, while semantically different specs do.
 func TestCanonicalHash(t *testing.T) {
-	base := Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+	base := medianSpec(5, MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 5,
-	}
-	explicit := base
-	explicit.Engine = "auto"
-	explicit.Timing = "before-round"
-	explicit.Rule.Params = rules.Params{}
-	explicit.Workers = 1 // one worker == sequential == the default
-
+	})
+	explicit := medianSpec(5, MedianSpec{
+		Init:    InitSpec{Kind: "twovalue", N: 100},
+		Rule:    RuleSpec{Name: "median", Params: rules.Params{}},
+		Engine:  "auto",
+		Timing:  "before-round",
+		Workers: 1, // one worker == sequential == the default
+	})
 	h1 := mustHash(t, base)
-	h2 := mustHash(t, explicit)
-	if h1 != h2 {
+	if h2 := mustHash(t, explicit); h1 != h2 {
 		t.Fatalf("defaulted and explicit specs must hash equal: %s != %s", h1, h2)
+	}
+	// The implied kind canonicalizes to the explicit default kind.
+	implied := base
+	implied.Kind = ""
+	if mustHash(t, implied) != h1 {
+		t.Fatal("implied and explicit median kind must hash equal")
 	}
 
 	other := base
@@ -140,21 +165,25 @@ func TestCanonicalHash(t *testing.T) {
 	if mustHash(t, other) == h1 {
 		t.Fatal("different seeds must hash differently")
 	}
-	otherRule := base
-	otherRule.Rule = RuleSpec{Name: "voter"}
+	otherRule := medianSpec(5, MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "voter"},
+	})
 	if mustHash(t, otherRule) == h1 {
 		t.Fatal("different rules must hash differently")
 	}
 
 	// Init defaults canonicalize too: spelling out twovalue's implied
 	// n_low/low/high (or uniform's clamped m) must not change the hash.
-	explicitInit := base
-	explicitInit.Init = consensus.InitSpec{Kind: "twovalue", N: 100, NLow: 50, Low: 1, High: 2}
+	explicitInit := medianSpec(5, MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100, NLow: 50, Low: 1, High: 2},
+		Rule: RuleSpec{Name: "median"},
+	})
 	if mustHash(t, explicitInit) != h1 {
 		t.Fatal("implied and explicit twovalue defaults must hash equal")
 	}
-	u1 := Spec{Init: consensus.InitSpec{Kind: "uniform", N: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}}
-	u2 := Spec{Init: consensus.InitSpec{Kind: "uniform", N: 50, M: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}}
+	u1 := medianSpec(0, MedianSpec{Init: InitSpec{Kind: "uniform", N: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}})
+	u2 := medianSpec(0, MedianSpec{Init: InitSpec{Kind: "uniform", N: 50, M: 50, Seed: 3}, Rule: RuleSpec{Name: "median"}})
 	if mustHash(t, u1) != mustHash(t, u2) {
 		t.Fatal("uniform m=0 and m=n must hash equal")
 	}
@@ -164,22 +193,16 @@ func TestCanonicalHash(t *testing.T) {
 // registered init kind and adversary strategy.
 func TestSpecRoundTripMultidim(t *testing.T) {
 	for _, kind := range multidim.InitKinds() {
-		spec := Spec{
-			Kind:     KindMultidim,
-			Seed:     3,
-			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: kind, N: 64, D: 2, Seed: 7}},
-		}
+		spec := Spec{Kind: KindMultidim, Seed: 3, Payload: &MultidimSpec{
+			Init: multidim.InitSpec{Kind: kind, N: 64, D: 2, Seed: 7},
+		}}
 		roundTrip(t, "multidim init "+kind, spec)
 	}
 	for _, name := range multidim.AdversaryNames() {
-		spec := Spec{
-			Kind: KindMultidim,
-			Seed: 3,
-			Multidim: &MultidimSpec{
-				Init:      multidim.InitSpec{Kind: "distinct", N: 64, D: 3},
-				Adversary: &MultidimAdversarySpec{Name: name, Params: multidim.Params{"t": 2}},
-			},
-		}
+		spec := Spec{Kind: KindMultidim, Seed: 3, Payload: &MultidimSpec{
+			Init:      multidim.InitSpec{Kind: "distinct", N: 64, D: 3},
+			Adversary: &MultidimAdversarySpec{Name: name, Params: multidim.Params{"t": 2}},
+		}}
 		roundTrip(t, "multidim adversary "+name, spec)
 	}
 }
@@ -188,92 +211,169 @@ func TestSpecRoundTripMultidim(t *testing.T) {
 // mode and every scalar init kind.
 func TestSpecRoundTripRobust(t *testing.T) {
 	for _, mode := range robust.Modes() {
-		spec := Spec{
-			Kind:   KindRobust,
-			Init:   consensus.InitSpec{Kind: "twovalue", N: 100},
-			Seed:   3,
-			Robust: &RobustSpec{LossProb: 0.25, Crashes: 5, Mode: mode},
-		}
+		spec := Spec{Kind: KindRobust, Seed: 3, Payload: &RobustSpec{
+			Init:     InitSpec{Kind: "twovalue", N: 100},
+			LossProb: 0.25, Crashes: 5, Mode: mode,
+		}}
 		roundTrip(t, "robust mode "+mode, spec)
 	}
 	for _, kind := range consensus.InitKinds() {
-		init := consensus.InitSpec{Kind: kind, N: 100, Seed: 5}
+		init := InitSpec{Kind: kind, N: 100, Seed: 5}
 		if kind == "blocks" {
-			init = consensus.InitSpec{Kind: kind, Counts: []int64{60, 40}}
+			init = InitSpec{Kind: kind, Counts: []int64{60, 40}}
 		}
-		spec := Spec{Kind: KindRobust, Init: init, Seed: 3}
+		spec := Spec{Kind: KindRobust, Seed: 3, Payload: &RobustSpec{Init: init}}
 		roundTrip(t, "robust init "+kind, spec)
 	}
 }
 
-// TestCanonicalHashKinds pins the union's normalization rules: the implied
-// median kind and the explicit one hash equal, families hash apart, and
-// each family's defaulted payload fields hash like their explicit forms.
+// TestCanonicalHashKinds pins the union's normalization rules: families
+// hash apart, and each family's defaulted payload fields hash like their
+// explicit forms.
 func TestCanonicalHashKinds(t *testing.T) {
-	base := Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+	base := medianSpec(5, MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 5,
-	}
-	explicit := base
-	explicit.Kind = KindMedian
-	if mustHash(t, base) != mustHash(t, explicit) {
-		t.Fatal("implied and explicit median kind must hash equal")
-	}
-
-	robustSpec := Spec{Kind: KindRobust, Init: base.Init, Seed: 5}
+	})
+	robustSpec := Spec{Kind: KindRobust, Seed: 5, Payload: &RobustSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
+	}}
 	if mustHash(t, robustSpec) == mustHash(t, base) {
 		t.Fatal("robust and median specs over the same init must hash differently")
 	}
-	// A nil robust payload and the explicit fault-free responsive payload
-	// describe the same run.
-	explicitRobust := robustSpec
-	explicitRobust.Robust = &RobustSpec{Mode: "responsive"}
+	// A defaulted mode and the explicit responsive mode describe the same
+	// run.
+	explicitRobust := Spec{Kind: KindRobust, Seed: 5, Payload: &RobustSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
+		Mode: "responsive",
+	}}
 	if mustHash(t, robustSpec) != mustHash(t, explicitRobust) {
-		t.Fatal("nil and explicit default robust payloads must hash equal")
+		t.Fatal("implied and explicit default robust payloads must hash equal")
+	}
+
+	// Gossip defaults canonicalize: "" selector means fair, "" rule means
+	// median.
+	g1 := Spec{Kind: KindGossip, Seed: 5, Payload: &GossipSpec{Init: InitSpec{Kind: "twovalue", N: 100}}}
+	g2 := Spec{Kind: KindGossip, Seed: 5, Payload: &GossipSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
+		Rule: RuleSpec{Name: "median"}, Selector: "fair",
+	}}
+	if mustHash(t, g1) != mustHash(t, g2) {
+		t.Fatal("implied and explicit gossip defaults must hash equal")
+	}
+	g3 := Spec{Kind: KindGossip, Seed: 5, Payload: &GossipSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100}, Selector: "drop-value:1",
+	}}
+	if mustHash(t, g3) == mustHash(t, g1) {
+		t.Fatal("different selectors must hash differently")
 	}
 
 	// Multidim init defaults canonicalize: d=0 means 1, m=0 means n.
-	m1 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50}}, Seed: 5}
-	m2 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 1, M: 50}}, Seed: 5}
+	m1 := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50}}}
+	m2 := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 1, M: 50}}}
 	if mustHash(t, m1) != mustHash(t, m2) {
 		t.Fatal("implied and explicit multidim init defaults must hash equal")
 	}
-	m3 := Spec{Kind: KindMultidim, Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 2}}, Seed: 5}
+	m3 := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{Init: multidim.InitSpec{Kind: "random", N: 50, D: 2}}}
 	if mustHash(t, m1) == mustHash(t, m3) {
 		t.Fatal("different dimensions must hash differently")
 	}
 }
 
-// TestValidateKindMixing rejects specs that mix family fields.
+// TestGoldenHashes pins the canonical encoding and hash of one
+// representative spec per kind. The registry-dispatched codec defines the
+// cache key and the derived seed of every submitted run — an accidental
+// codec change would silently invalidate caches and change seedless
+// trajectories, so any diff here must be deliberate (and released with
+// migration notes).
+func TestGoldenHashes(t *testing.T) {
+	cases := []struct {
+		kind      string
+		spec      Spec
+		canonical string
+		hash      string
+	}{
+		{
+			kind: KindMedian,
+			spec: medianSpec(1, MedianSpec{
+				Init: InitSpec{Kind: "twovalue", N: 1000},
+				Rule: RuleSpec{Name: "median"},
+			}),
+			canonical: `{"engine":"auto","init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"median","rule":{"name":"median"},"seed":1,"timing":"before-round"}`,
+			hash:      "17371ec3efe5c68f47d182eef6c389bf057106df870d351b49cfebf91c1921e6",
+		},
+		{
+			kind: KindGossip,
+			spec: Spec{Kind: KindGossip, Seed: 1, Payload: &GossipSpec{
+				Init:     InitSpec{Kind: "twovalue", N: 1000},
+				Selector: "drop-value:2",
+			}},
+			canonical: `{"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"gossip","rule":{"name":"median"},"seed":1,"selector":"drop-value:2"}`,
+			hash:      "073ce1b37b3e8ed1d9e07cc86a78055688b36ecb1c74e924b0db8ddf4872cff5",
+		},
+		{
+			kind: KindMultidim,
+			spec: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
+				Init: multidim.InitSpec{Kind: "random", N: 1000, D: 2, M: 8, Seed: 1},
+			}},
+			canonical: `{"init":{"kind":"random","n":1000,"d":2,"m":8,"seed":1},"kind":"multidim","seed":1}`,
+			hash:      "d2043f60d1aebbe14c41d4d811e8a8ff0e678096283324f5c70f1e89a9b5fd0e",
+		},
+		{
+			kind: KindRobust,
+			spec: Spec{Kind: KindRobust, Seed: 1, Payload: &RobustSpec{
+				Init:     InitSpec{Kind: "twovalue", N: 1000},
+				LossProb: 0.1, Crashes: 10,
+			}},
+			canonical: `{"crashes":10,"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"robust","loss_prob":0.1,"mode":"responsive","seed":1}`,
+			hash:      "ead575f63a7f16699fd4c9e44d9e191ee521fd4d4c9df9612b0576b42242c443",
+		},
+	}
+	for _, c := range cases {
+		canonical, err := c.spec.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", c.kind, err)
+		}
+		if string(canonical) != c.canonical {
+			t.Errorf("%s canonical encoding changed:\n got  %s\n want %s", c.kind, canonical, c.canonical)
+		}
+		h, err := c.spec.Hash()
+		if err != nil {
+			t.Fatalf("%s: hash: %v", c.kind, err)
+		}
+		if h != c.hash {
+			t.Errorf("%s golden hash changed: got %s, want %s", c.kind, h, c.hash)
+		}
+	}
+}
+
+// TestValidateKindMixing rejects specs whose payload belongs to another
+// family — the strict registry-dispatched decode surfaces them as
+// unknown-field errors — plus unknown kinds and the retired engine name.
 func TestValidateKindMixing(t *testing.T) {
 	bad := []Spec{
 		// median spec with a foreign payload
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"},
-			Robust: &RobustSpec{}},
-		// multidim with scalar init / rule / engine
-		{Kind: KindMultidim, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
-			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
-		{Kind: KindMultidim, Rule: RuleSpec{Name: "median"},
-			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
-		{Kind: KindMultidim, Engine: "ball",
-			Multidim: &MultidimSpec{Init: multidim.InitSpec{Kind: "distinct", N: 10}}},
-		// multidim without its payload, or with a bad adversary
+		{Kind: KindMedian, Payload: &RobustSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Crashes: 1}},
+		// multidim with a scalar payload, without its payload entirely, or
+		// with a bad adversary
+		{Kind: KindMultidim, Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}}},
 		{Kind: KindMultidim},
-		{Kind: KindMultidim, Multidim: &MultidimSpec{
+		{Kind: KindMultidim, Payload: &MultidimSpec{
 			Init:      multidim.InitSpec{Kind: "distinct", N: 10},
 			Adversary: &MultidimAdversarySpec{Name: "nope"}}},
 		// robust with median knobs or bad payloads
-		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}},
-		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10}, AlmostSlack: 3},
-		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
-			Robust: &RobustSpec{LossProb: 1.5}},
-		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
-			Robust: &RobustSpec{Crashes: 10}},
-		{Kind: KindRobust, Init: consensus.InitSpec{Kind: "twovalue", N: 10},
-			Robust: &RobustSpec{Mode: "quantum"}},
+		{Kind: KindRobust, Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}}},
+		{Kind: KindRobust, Payload: &RobustSpec{Init: InitSpec{Kind: "twovalue", N: 10}, LossProb: 1.5}},
+		{Kind: KindRobust, Payload: &RobustSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Crashes: 10}},
+		{Kind: KindRobust, Payload: &RobustSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Mode: "quantum"}},
+		// gossip with a bad selector or foreign payload
+		{Kind: KindGossip, Payload: &GossipSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Selector: "warp"}},
+		{Kind: KindGossip, Payload: &GossipSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Selector: "drop-value:x"}},
+		{Kind: KindGossip, Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}, Engine: "ball"}},
+		// the retired median engine name points at the gossip kind
+		{Kind: KindMedian, Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "median"}, Engine: "gossip"}},
 		// unknown kind
-		{Kind: "tetrahedral", Init: consensus.InitSpec{Kind: "twovalue", N: 10}},
+		{Kind: "tetrahedral"},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
@@ -282,16 +382,37 @@ func TestValidateKindMixing(t *testing.T) {
 	}
 }
 
-// TestExecuteMultidimDeterminism: same multidim spec, same result and
-// record stream — the cache-determinism contract for the new kind.
-func TestExecuteMultidimDeterminism(t *testing.T) {
-	spec := Spec{
-		Kind: KindMultidim,
-		Seed: 11,
-		Multidim: &MultidimSpec{
-			Init: multidim.InitSpec{Kind: "random", N: 400, D: 2, M: 8, Seed: 11},
-		},
+// TestSpecDecodeStrict: the codec rejects fields the spec's kind does not
+// define — cross-family payload fields included — instead of dropping them.
+func TestSpecDecodeStrict(t *testing.T) {
+	bad := []string{
+		`{"init":{"kind":"twovalue","n":10},"rule":{"name":"median"},"loss_prob":0.5}`,
+		`{"kind":"robust","init":{"kind":"twovalue","n":10},"rule":{"name":"median"}}`,
+		`{"kind":"multidim","init":{"kind":"distinct","n":10},"selector":"fair"}`,
+		`{"kind":"gossip","init":{"kind":"twovalue","n":10},"engine":"ball"}`,
+		`{"kind":"warp"}`,
+		`{"init":{"kind":"twovalue","n":10},"rule":{"name":"median"},"maxrounds":5}`,
 	}
+	for _, raw := range bad {
+		var spec Spec
+		if err := json.Unmarshal([]byte(raw), &spec); err == nil {
+			t.Errorf("foreign/unknown field decoded silently: %s", raw)
+		}
+	}
+	// The error names the kind whose schema rejected the field.
+	var spec Spec
+	err := json.Unmarshal([]byte(`{"kind":"gossip","engine":"ball"}`), &spec)
+	if err == nil || !strings.Contains(err.Error(), "gossip") {
+		t.Fatalf("decode error must name the kind: %v", err)
+	}
+}
+
+// TestExecuteMultidimDeterminism: same multidim spec, same result and
+// record stream — the cache-determinism contract for the kind.
+func TestExecuteMultidimDeterminism(t *testing.T) {
+	spec := Spec{Kind: KindMultidim, Seed: 11, Payload: &MultidimSpec{
+		Init: multidim.InitSpec{Kind: "random", N: 400, D: 2, M: 8, Seed: 11},
+	}}
 	var recs1, recs2 []RoundRecord
 	res1, err := Execute(spec, func(r RoundRecord) { recs1 = append(recs1, r) }, nil)
 	if err != nil {
@@ -321,12 +442,10 @@ func TestExecuteMultidimDeterminism(t *testing.T) {
 // TestExecuteRobustDeterminism: the robust kind is deterministic too, and
 // reports parallel-time rounds with one record per round.
 func TestExecuteRobustDeterminism(t *testing.T) {
-	spec := Spec{
-		Kind:   KindRobust,
-		Init:   consensus.InitSpec{Kind: "twovalue", N: 600},
-		Seed:   13,
-		Robust: &RobustSpec{LossProb: 0.1, Crashes: 6, Mode: "silent"},
-	}
+	spec := Spec{Kind: KindRobust, Seed: 13, Payload: &RobustSpec{
+		Init:     InitSpec{Kind: "twovalue", N: 600},
+		LossProb: 0.1, Crashes: 6, Mode: "silent",
+	}}
 	var recs []RoundRecord
 	res1, err := Execute(spec, func(r RoundRecord) { recs = append(recs, r) }, nil)
 	if err != nil {
@@ -350,6 +469,57 @@ func TestExecuteRobustDeterminism(t *testing.T) {
 	}
 }
 
+// TestExecuteGossipDeterminism: the first-class gossip kind runs
+// deterministically, reports message telemetry, and an adversarial
+// drop-value selector changes the trajectory while staying deterministic.
+func TestExecuteGossipDeterminism(t *testing.T) {
+	fair := Spec{Kind: KindGossip, Seed: 7, Payload: &GossipSpec{
+		Init:      InitSpec{Kind: "twovalue", N: 400},
+		CapFactor: 0.3, // tight capacity so drops actually happen
+	}}
+	var recs1, recs2 []RoundRecord
+	res1, err := Execute(fair, func(r RoundRecord) { recs1 = append(recs1, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Execute(fair, func(r RoundRecord) { recs2 = append(recs2, r) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) || !reflect.DeepEqual(recs1, recs2) {
+		t.Fatalf("gossip runs diverged: %+v vs %+v", res1, res2)
+	}
+	if res1.Reason != "consensus" || res1.WinnerCount != 400 {
+		t.Fatalf("unexpected gossip result: %+v", res1)
+	}
+	if res1.Messages == nil || res1.Messages.RequestsSent == 0 {
+		t.Fatalf("gossip result must carry message telemetry: %+v", res1)
+	}
+	if len(recs1) != res1.Rounds+1 {
+		t.Fatalf("got %d records, want %d", len(recs1), res1.Rounds+1)
+	}
+
+	adversarial := Spec{Kind: KindGossip, Seed: 7, Payload: &GossipSpec{
+		Init:      InitSpec{Kind: "twovalue", N: 400},
+		CapFactor: 0.3,
+		Selector:  "drop-value:1",
+	}}
+	advRes, err := Execute(adversarial, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advRes.Messages == nil || advRes.Messages.RequestsDropped == 0 {
+		t.Fatalf("tight capacity must drop requests: %+v", advRes.Messages)
+	}
+	again, err := Execute(adversarial, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(advRes, again) {
+		t.Fatal("adversarial gossip run is not deterministic")
+	}
+}
+
 func mustHash(t *testing.T, s Spec) string {
 	t.Helper()
 	h, err := s.Hash()
@@ -362,10 +532,10 @@ func mustHash(t *testing.T, s Spec) string {
 // TestSeedDerivation: seedless specs still run deterministically, with a
 // seed derived from the canonical hash.
 func TestSeedDerivation(t *testing.T) {
-	spec := Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 100},
+	spec := Spec{Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 100},
 		Rule: RuleSpec{Name: "median"},
-	}
+	}}
 	s1, err := spec.EffectiveSeed()
 	if err != nil {
 		t.Fatal(err)
@@ -391,31 +561,35 @@ func TestSeedDerivation(t *testing.T) {
 // TestSpecValidateErrors rejects unknown registry references and bad
 // parameters.
 func TestSpecValidateErrors(t *testing.T) {
+	median := func(p MedianSpec) Spec { return Spec{Payload: &p} }
 	bad := []Spec{
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "nope"}},
-		{Init: consensus.InitSpec{Kind: "nope", N: 100}, Rule: RuleSpec{Name: "median"}},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 0}, Rule: RuleSpec{Name: "median"}},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median", Params: rules.Params{"z": 1}}},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Engine: "warp"},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Timing: "never"},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, MaxRounds: -1},
-		{Init: consensus.InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"},
-			Adversary: &AdversarySpec{Name: "balancer", Budget: adversary.BudgetSpec{Kind: "cubic", Factor: 1}}},
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "nope"}}),
+		median(MedianSpec{Init: InitSpec{Kind: "nope", N: 100}, Rule: RuleSpec{Name: "median"}}),
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 0}, Rule: RuleSpec{Name: "median"}}),
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median", Params: rules.Params{"z": 1}}}),
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Engine: "warp"}),
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}, Timing: "never"}),
+		median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"},
+			Adversary: &AdversarySpec{Name: "balancer", Budget: adversary.BudgetSpec{Kind: "cubic", Factor: 1}}}),
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
 			t.Errorf("bad spec %d validated", i)
 		}
 	}
+	negative := median(MedianSpec{Init: InitSpec{Kind: "twovalue", N: 100}, Rule: RuleSpec{Name: "median"}})
+	negative.MaxRounds = -1
+	if err := negative.Validate(); err == nil {
+		t.Error("negative max_rounds validated")
+	}
 }
 
 // TestExecuteConverges runs a small median-rule spec end to end.
 func TestExecuteConverges(t *testing.T) {
-	spec := Spec{
-		Init: consensus.InitSpec{Kind: "twovalue", N: 1000},
+	spec := medianSpec(1, MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 1000},
 		Rule: RuleSpec{Name: "median"},
-		Seed: 1,
-	}
+	})
 	var rounds []RoundRecord
 	res, err := Execute(spec, func(r RoundRecord) { rounds = append(rounds, r) }, nil)
 	if err != nil {
@@ -452,13 +626,41 @@ func TestExecuteConverges(t *testing.T) {
 // TestExecuteBadEngineCombination: an invalid engine/state pairing must
 // surface as an error, not a panic.
 func TestExecuteBadEngineCombination(t *testing.T) {
-	spec := Spec{
-		Init:   consensus.InitSpec{Kind: "distinct", N: 100}, // 100 distinct values
+	spec := medianSpec(1, MedianSpec{
+		Init:   InitSpec{Kind: "distinct", N: 100}, // 100 distinct values
 		Rule:   RuleSpec{Name: "median"},
 		Engine: "twobin", // needs <= 2 values
-		Seed:   1,
-	}
+	})
 	if _, err := Execute(spec, nil, nil); err == nil {
 		t.Fatal("expected an error for twobin on 100 distinct values")
+	}
+}
+
+// TestEngineDescriptors: the registry serves one self-describing
+// descriptor per kind, sorted by kind and stable across calls (the
+// enum lists come from the live registries, not registration order).
+func TestEngineDescriptors(t *testing.T) {
+	ds := engine.Descriptors()
+	if len(ds) < 4 {
+		t.Fatalf("expected at least 4 registered kinds, got %d", len(ds))
+	}
+	kinds := make([]string, len(ds))
+	for i, d := range ds {
+		kinds[i] = d.Kind
+	}
+	want := []string{KindGossip, KindMedian, KindMultidim, KindRobust}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("descriptor kinds %v, want sorted %v", kinds, want)
+	}
+	if !reflect.DeepEqual(ds, engine.Descriptors()) {
+		t.Fatal("descriptors must be stable across calls")
+	}
+	for _, d := range ds {
+		if d.Summary == "" || len(d.Params) == 0 {
+			t.Fatalf("kind %s descriptor is not self-describing: %+v", d.Kind, d)
+		}
+		if (d.Kind == KindMedian) != d.Default {
+			t.Fatalf("exactly the median kind must be the default, got %+v", d)
+		}
 	}
 }
