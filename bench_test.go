@@ -553,6 +553,33 @@ func BenchmarkMultidimFutureWork(b *testing.B) {
 	}
 }
 
+// BenchmarkMultidimEngines compares per-run cost of the per-process and
+// count-level multidim engines on a small-support workload (the count
+// engine's home regime: few distinct tuples, large n). The count engine's
+// win here is memory (O(k·d) vs O(n·d) state), so wall-clock parity at
+// equal n is the expectation; the CI bench job archives this output to
+// track the trajectory.
+func BenchmarkMultidimEngines(b *testing.B) {
+	const n, d, m = 20_000, 2, 4
+	pts := multidim.RandomPoints(n, d, m, 1)
+	b.Run("process", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res := multidim.NewEngine(pts, nil, uint64(i+1), multidim.Options{}).Run()
+			rounds += int64(res.Rounds)
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+	b.Run("count", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res := multidim.NewCountEngine(pts, uint64(i+1), multidim.CountOptions{}).Run()
+			rounds += int64(res.Rounds)
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+}
+
 // --- E19: exact-chain validation benches -----------------------------------
 
 func BenchmarkExactChain(b *testing.B) {

@@ -24,10 +24,13 @@
 // back into the service. "batch" streams one BatchCellRecord per expanded
 // cell as NDJSON.
 //
-// The per-kind flag surface is validated against the engine registry's
-// descriptors (the same document GET /v1/engines serves): a flag that maps
-// to a parameter the selected kind does not declare is rejected
-// client-side, before anything reaches the server.
+// The per-kind flag surface is validated against engine descriptors: a
+// flag that maps to a parameter the selected kind does not declare, or a
+// value outside the parameter's enum/bounds, is rejected client-side with
+// a descriptor-sourced error before anything reaches the server. The
+// descriptors come from the configured server's GET /v1/engines document
+// when it answers (validation then reflects what that server registered),
+// and from the local registry otherwise.
 package main
 
 import (
@@ -163,7 +166,7 @@ func addSpecFlags(fs *flag.FlagSet) *specFlags {
 		slack:     fs.Int("slack", 0, "almost-stable slack (0 = off)"),
 		window:    fs.Int("window", 0, "stability window (0 = default)"),
 		timing:    fs.String("timing", "", "adversary timing: before-round, after-choices (kind median)"),
-		engine:    fs.String("engine", "", "engine: auto, ball, count, twobin (kind median)"),
+		engine:    fs.String("engine", "", "simulation engine: auto, ball, count, twobin (kind median); auto, process, count (kind multidim)"),
 	}
 }
 
@@ -189,6 +192,15 @@ var flagParams = map[string]string{
 	"mode":          "mode",
 	"cap-factor":    "cap_factor",
 	"selector":      "selector",
+}
+
+// sharedFlagParams maps the flags that are legal for every kind to the
+// descriptor parameter carrying their enum/bounds, so their *values* are
+// still validated (applicability never is — every kind declares them).
+var sharedFlagParams = map[string]string{
+	"n":    "init.n",
+	"m":    "init.m",
+	"init": "init.kind",
 }
 
 // paramsOf indexes a descriptor's parameter names.
@@ -218,17 +230,111 @@ func (f *specFlags) checkKindFlags(d engine.Descriptor) error {
 	return nil
 }
 
-// spec assembles the Spec the flags describe. Kinds that ignore a field
-// never embed it — an irrelevant m (or seed) would change the canonical
-// hash and defeat the result cache.
-func (f *specFlags) spec() (service.Spec, error) {
-	kind := *f.kind
+// checkFlagValues validates explicitly-set flag values against the
+// descriptor's enums and bounds, so a bad value surfaces as a
+// descriptor-sourced client error instead of a server 400 (or, worse, a
+// round-trip to a server that is down).
+func (f *specFlags) checkFlagValues(d engine.Descriptor) error {
+	byName := make(map[string]engine.Param, len(d.Params))
+	for _, p := range d.Params {
+		byName[p.Name] = p
+	}
+	var errs []string
+	f.fs.Visit(func(fl *flag.Flag) {
+		param, owned := flagParams[fl.Name]
+		if !owned {
+			param, owned = sharedFlagParams[fl.Name]
+		}
+		if !owned {
+			return
+		}
+		raw := fl.Value.String()
+		if fl.Name == "adversary" && (raw == "" || raw == "none") {
+			return // "none" is the flag surface's spelling of "no adversary"
+		}
+		p, known := byName[param]
+		if !known {
+			return // checkKindFlags already rejected kind-foreign flags
+		}
+		if err := checkParamValue(p, raw); err != nil {
+			errs = append(errs, fmt.Sprintf("-%s: %v", fl.Name, err))
+		}
+	})
+	if len(errs) > 0 {
+		return fmt.Errorf("per the %s engine descriptor: %s", d.Kind, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// checkParamValue enforces one descriptor parameter's enum and bounds on
+// a raw flag value.
+func checkParamValue(p engine.Param, raw string) error {
+	switch p.Type {
+	case "string":
+		if raw == "" || len(p.Enum) == 0 {
+			return nil
+		}
+		for _, ok := range p.Enum {
+			if raw == ok {
+				return nil
+			}
+		}
+		return fmt.Errorf("value %q for parameter %s not in enum %v", raw, p.Name, p.Enum)
+	case "int", "uint", "float":
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %s needs a %s value, got %q", p.Name, p.Type, raw)
+		}
+		if p.Min != nil && v < *p.Min {
+			return fmt.Errorf("value %v for parameter %s below its minimum %v", v, p.Name, *p.Min)
+		}
+		if p.Max != nil && v > *p.Max {
+			return fmt.Errorf("value %v for parameter %s above its maximum %v", v, p.Name, *p.Max)
+		}
+	}
+	return nil
+}
+
+// descriptorFor resolves the kind's descriptor for client-side
+// validation: from the server's /v1/engines document when a server is
+// configured and answers — so validation reflects what *that* server
+// registered, not what this binary was built with — from the local
+// registry otherwise.
+func descriptorFor(c *client.Client, kind string) (engine.Descriptor, error) {
+	if c != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if ds, err := c.Engines(ctx); err == nil {
+			for _, d := range ds {
+				if d.Kind == kind {
+					return d, nil
+				}
+			}
+			return engine.Descriptor{}, fmt.Errorf("kind %s is not registered on the server (see consensusctl engines)", kind)
+		}
+	}
 	eng, err := engine.Lookup(kind)
+	if err != nil {
+		return engine.Descriptor{}, err
+	}
+	return eng.Descriptor(), nil
+}
+
+// spec assembles the Spec the flags describe, validated (applicability
+// and values) against the kind's descriptor — c's server document when it
+// answers, the local registry otherwise; nil c always validates locally.
+// Kinds that ignore a field never embed it — an irrelevant m (or seed)
+// would change the canonical hash and defeat the result cache.
+func (f *specFlags) spec(c *client.Client) (service.Spec, error) {
+	kind := *f.kind
+	d, err := descriptorFor(c, kind)
 	if err != nil {
 		return service.Spec{}, err
 	}
-	d := eng.Descriptor()
 	if err := f.checkKindFlags(d); err != nil {
+		return service.Spec{}, err
+	}
+	if err := f.checkFlagValues(d); err != nil {
 		return service.Spec{}, err
 	}
 	spec := service.Spec{Kind: d.Kind, Seed: *f.seed, MaxRounds: *f.rounds}
@@ -319,7 +425,7 @@ func (f *specFlags) multidimPayload() *service.MultidimSpec {
 		init.M = *f.m
 		init.Seed = *f.seed
 	}
-	payload := &service.MultidimSpec{Init: init}
+	payload := &service.MultidimSpec{Init: init, Engine: *f.engine}
 	if *f.advName != "" && *f.advName != "none" {
 		adv := &service.MultidimAdversarySpec{Name: *f.advName}
 		if *f.noiseT > 0 {
@@ -359,7 +465,7 @@ func runSubmit(args []string) error {
 			return err
 		}
 	} else {
-		spec, err := sf.spec()
+		spec, err := sf.spec(c)
 		if err != nil {
 			return err
 		}
@@ -443,6 +549,7 @@ func runBatch(args []string) error {
 	sf := addSpecFlags(fs)
 	fs.Parse(args)
 
+	c := newClient(*server)
 	var req service.BatchRequest
 	if *specPath != "" {
 		if err := readJSONFile(*specPath, &req); err != nil {
@@ -452,7 +559,7 @@ func runBatch(args []string) error {
 		if len(axes) == 0 && len(zips) == 0 {
 			return fmt.Errorf("batch needs at least one -axis or -zip (or -spec)")
 		}
-		tmpl, err := sf.spec()
+		tmpl, err := sf.spec(c)
 		if err != nil {
 			return err
 		}
@@ -462,7 +569,7 @@ func runBatch(args []string) error {
 		req = service.BatchRequest{Template: tmpl, Axes: axes, Zip: zips, Reps: *reps}
 	}
 	enc := json.NewEncoder(os.Stdout)
-	return newClient(*server).Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
+	return c.Batch(context.Background(), req, func(rec service.BatchCellRecord) error {
 		return enc.Encode(rec)
 	})
 }

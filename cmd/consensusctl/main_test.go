@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/engine"
 	"repro/service"
 )
 
@@ -127,7 +133,7 @@ func TestSpecFlagKinds(t *testing.T) {
 		if err := fs.Parse([]string{"-kind", kind, "-n", "100"}); err != nil {
 			t.Fatal(err)
 		}
-		spec, err := sf.spec()
+		spec, err := sf.spec(nil)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -140,7 +146,7 @@ func TestSpecFlagKinds(t *testing.T) {
 	if err := fs.Parse([]string{"-kind", "warp"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.spec(); err == nil {
+	if _, err := sf.spec(nil); err == nil {
 		t.Fatal("unknown kind must error")
 	}
 }
@@ -163,7 +169,7 @@ func TestSpecFlagsRejectForeignKindFlags(t *testing.T) {
 		if err := fs.Parse(args); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sf.spec(); err == nil {
+		if _, err := sf.spec(nil); err == nil {
 			t.Errorf("args %v must be rejected", args)
 		}
 	}
@@ -173,7 +179,7 @@ func TestSpecFlagsRejectForeignKindFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-kind", "multidim", "-adversary", "noise", "-t", "2", "-n", "50"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.spec(); err != nil {
+	if _, err := sf.spec(nil); err != nil {
 		t.Fatalf("multidim-owned flags rejected: %v", err)
 	}
 }
@@ -186,7 +192,7 @@ func TestGossipFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-kind", "gossip", "-n", "100", "-selector", "drop-value:2", "-cap-factor", "0.5", "-rule", "median"}); err != nil {
 		t.Fatal(err)
 	}
-	spec, err := sf.spec()
+	spec, err := sf.spec(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +208,7 @@ func TestGossipFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-kind", "gossip", "-engine", "ball"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.spec(); err == nil {
+	if _, err := sf.spec(nil); err == nil {
 		t.Fatal("-engine must be rejected for kind gossip")
 	}
 	fs = flag.NewFlagSet("t", flag.ContinueOnError)
@@ -210,8 +216,160 @@ func TestGossipFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-selector", "fair"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.spec(); err == nil {
+	if _, err := sf.spec(nil); err == nil {
 		t.Fatal("-selector must be rejected for kind median")
+	}
+}
+
+// parseSpecFlags builds a specFlags over freshly parsed args.
+func parseSpecFlags(t *testing.T, args ...string) *specFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sf := addSpecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+func TestFlagValueValidationLocal(t *testing.T) {
+	// With no reachable server, flag values are validated against the
+	// local registry's descriptors: enum and bound violations surface as
+	// descriptor-sourced client errors, never as a server 400.
+	bad := []struct {
+		args []string
+		want string // substring the error must carry
+	}{
+		{[]string{"-kind", "multidim", "-engine", "warp"}, "enum"},
+		{[]string{"-kind", "multidim", "-d", "0"}, "minimum"},
+		{[]string{"-kind", "multidim", "-n", "0"}, "minimum"},
+		{[]string{"-kind", "multidim", "-init", "twovalue"}, "enum"}, // scalar init kind on multidim
+		{[]string{"-kind", "robust", "-mode", "quantum"}, "enum"},
+		{[]string{"-kind", "robust", "-loss", "1.5"}, "maximum"},
+		{[]string{"-kind", "robust", "-crashes", "-1"}, "minimum"},
+		{[]string{"-engine", "warp"}, "enum"}, // median kind default
+		{[]string{"-timing", "sideways"}, "enum"},
+	}
+	for _, c := range bad {
+		sf := parseSpecFlags(t, c.args...)
+		_, err := sf.spec(nil)
+		if err == nil {
+			t.Errorf("args %v must be rejected", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) || !strings.Contains(err.Error(), "descriptor") {
+			t.Errorf("args %v: error %q must name the descriptor and the %s violation", c.args, err, c.want)
+		}
+	}
+	// Legal values (including the "none" adversary spelling and template
+	// selectors with no enum) still pass.
+	good := [][]string{
+		{"-kind", "multidim", "-engine", "count", "-d", "2", "-n", "64"},
+		{"-kind", "multidim", "-engine", "auto"},
+		{"-adversary", "none"},
+		{"-kind", "gossip", "-selector", "drop-value:3"},
+		{"-kind", "robust", "-mode", "silent", "-loss", "0.5"},
+	}
+	for _, args := range good {
+		sf := parseSpecFlags(t, args...)
+		if _, err := sf.spec(nil); err != nil {
+			t.Errorf("args %v: unexpected error %v", args, err)
+		}
+	}
+}
+
+func TestMultidimEngineFlagApplied(t *testing.T) {
+	// The validated -engine value must actually land in the payload: a
+	// dropped field would silently submit engine=auto (and, since the
+	// engine is part of the cache key, alias distinct runs in the cache).
+	sf := parseSpecFlags(t, "-kind", "multidim", "-engine", "count", "-n", "64")
+	spec, err := sf.spec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := spec.Payload.(*service.MultidimSpec); p.Engine != "count" {
+		t.Fatalf("-engine count not applied to the multidim payload: %+v", p)
+	}
+}
+
+// engineDoc serves a /v1/engines document and counts run submissions, so
+// tests can prove validation happened client-side against the *server's*
+// descriptors.
+func engineDoc(t *testing.T, doctor func([]engine.Descriptor) []engine.Descriptor) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var submits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/engines", func(w http.ResponseWriter, r *http.Request) {
+		ds := engine.Descriptors()
+		if doctor != nil {
+			ds = doctor(ds)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"engines": ds})
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"r-1","status":"done"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &submits
+}
+
+func TestFlagValueValidationUsesServerDescriptors(t *testing.T) {
+	// The server's /v1/engines document, not the local registry, is the
+	// validation source when the server answers: a multidim descriptor
+	// doctored to drop "count" from the engine enum must reject -engine
+	// count even though the local registry allows it — and the bad submit
+	// must never reach the server.
+	ts, submits := engineDoc(t, func(ds []engine.Descriptor) []engine.Descriptor {
+		for i := range ds {
+			if ds[i].Kind != "multidim" {
+				continue
+			}
+			for j := range ds[i].Params {
+				if ds[i].Params[j].Name == "engine" {
+					ds[i].Params[j].Enum = []string{"auto", "process"}
+				}
+			}
+		}
+		return ds
+	})
+	err := runSubmit([]string{"-server", ts.URL, "-kind", "multidim", "-engine", "count"})
+	if err == nil || !strings.Contains(err.Error(), "enum") || !strings.Contains(err.Error(), "descriptor") {
+		t.Fatalf("doctored server enum not enforced: %v", err)
+	}
+	if n := submits.Load(); n != 0 {
+		t.Fatalf("invalid spec reached the server (%d submits)", n)
+	}
+	// A value the server's document allows goes through to submission.
+	if err := runSubmit([]string{"-server", ts.URL, "-kind", "multidim", "-engine", "process"}); err != nil {
+		t.Fatalf("valid submit failed: %v", err)
+	}
+	if n := submits.Load(); n != 1 {
+		t.Fatalf("valid spec not submitted (%d submits)", n)
+	}
+}
+
+func TestFlagValueValidationServerUnknownKind(t *testing.T) {
+	// A kind the server does not register is rejected with a pointer at
+	// the discovery document, even when the local registry knows it.
+	ts, submits := engineDoc(t, func(ds []engine.Descriptor) []engine.Descriptor {
+		out := ds[:0]
+		for _, d := range ds {
+			if d.Kind != "multidim" {
+				out = append(out, d)
+			}
+		}
+		return out
+	})
+	err := runSubmit([]string{"-server", ts.URL, "-kind", "multidim"})
+	if err == nil || !strings.Contains(err.Error(), "not registered on the server") {
+		t.Fatalf("server-unknown kind: %v", err)
+	}
+	if n := submits.Load(); n != 0 {
+		t.Fatalf("unknown-kind spec reached the server (%d submits)", n)
 	}
 }
 

@@ -211,6 +211,7 @@ func (medianEngine) Descriptor() engine.Descriptor {
 		Summary: "the paper's scalar dynamics: synchronous rounds of a registry-named update rule under an optional T-bounded adversary",
 		Params:  params,
 		Axes:    []string{"n", "m", "n_low", "k", "almost_slack", "budget_factor"},
+		Example: []byte(`{"init":{"kind":"twovalue","n":48},"rule":{"name":"median"}}`),
 	}
 }
 

@@ -1,0 +1,233 @@
+// Package conformance is the descriptor-driven contract suite for engine
+// plugins: for every registered kind it decodes a spec from the kind's
+// Descriptor Example, then asserts the invariants every part of the
+// service stack leans on — Normalize is idempotent, Validate accepts the
+// normalized spec, the canonical encoding round-trips byte-identically,
+// descriptor defaults really are what omitted fields normalize to, and
+// Execute of the tiny example observes at least one round, is
+// deterministic, and honors mid-run cancellation.
+//
+// The suite discovers kinds through engine.Kinds() at run time, so a new
+// family gets contract coverage by being registered (imported) in the
+// test binary — see conformance_test.go, which imports every built-in
+// family. A registered kind without a Descriptor Example fails the suite:
+// the example is what makes the contract checkable.
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/engine"
+)
+
+// RunAll runs the conformance suite for every registered kind, one
+// subtest per kind.
+func RunAll(t *testing.T) {
+	kinds := engine.Kinds()
+	if len(kinds) == 0 {
+		t.Fatal("conformance: no kinds registered; import the family packages")
+	}
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) { RunKind(t, kind) })
+	}
+}
+
+// RunKind runs the conformance suite for one registered kind.
+func RunKind(t *testing.T, kind string) {
+	e, err := engine.Lookup(kind)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	d := e.Descriptor()
+	if len(d.Example) == 0 {
+		t.Fatalf("kind %s has no Descriptor Example; the conformance suite needs a tiny valid spec", kind)
+	}
+	spec := decodeExample(t, kind, d.Example)
+
+	norm := spec.Normalize()
+	canonical := canonicalOf(t, norm)
+
+	// Normalize is idempotent: normalizing the normalized spec changes
+	// nothing, byte for byte.
+	if again := canonicalOf(t, norm.Normalize()); !bytes.Equal(canonical, again) {
+		t.Errorf("Normalize not idempotent:\n once  %s\n twice %s", canonical, again)
+	}
+
+	// Validate accepts the normalized spec.
+	if err := norm.Validate(); err != nil {
+		t.Errorf("normalized example fails Validate: %v", err)
+	}
+
+	// The canonical encoding round-trips byte-identically through the
+	// codec — decode(canonical) re-encodes to the same canonical bytes.
+	var back engine.Spec
+	if err := json.Unmarshal(canonical, &back); err != nil {
+		t.Fatalf("canonical encoding does not decode: %v", err)
+	}
+	if round := canonicalOf(t, back); !bytes.Equal(canonical, round) {
+		t.Errorf("canonical encoding does not round-trip:\n sent %s\n got  %s", canonical, round)
+	}
+
+	checkDefaults(t, d, spec, norm)
+	checkExecution(t, spec)
+}
+
+// decodeExample merges the kind discriminant into the example payload and
+// decodes it through the strict registry codec.
+func decodeExample(t *testing.T, kind string, example json.RawMessage) engine.Spec {
+	t.Helper()
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(example, &fields); err != nil {
+		t.Fatalf("descriptor Example is not a JSON object: %v", err)
+	}
+	fields["kind"], _ = json.Marshal(kind)
+	raw, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec engine.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		t.Fatalf("descriptor Example does not decode as a %s spec: %v", kind, err)
+	}
+	return spec
+}
+
+func canonicalOf(t *testing.T, s engine.Spec) []byte {
+	t.Helper()
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	return c
+}
+
+// checkDefaults asserts that every descriptor parameter carrying a
+// Default and omitted by the example normalizes to exactly that default:
+// the dotted path must resolve in the canonical JSON to the declared
+// value. Paths absent from the canonical form are skipped — a default
+// that stays at the zero value is simply dropped by omitempty.
+func checkDefaults(t *testing.T, d engine.Descriptor, raw, norm engine.Spec) {
+	t.Helper()
+	var example, canonical map[string]json.RawMessage
+	rawBuf, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawBuf, &example); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(canonicalOf(t, norm), &canonical); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Params {
+		if p.Default == "" {
+			continue
+		}
+		if _, set := resolvePath(example, p.Name); set {
+			continue // the example sets it explicitly; nothing to check
+		}
+		got, ok := resolvePath(canonical, p.Name)
+		if !ok {
+			continue // zero-valued default elided by omitempty
+		}
+		if !defaultMatches(p, got) {
+			t.Errorf("param %s: canonical value %s does not match descriptor default %q", p.Name, got, p.Default)
+		}
+	}
+}
+
+// resolvePath walks a dotted parameter name through nested JSON objects.
+func resolvePath(obj map[string]json.RawMessage, path string) (json.RawMessage, bool) {
+	for {
+		dot := -1
+		for i := 0; i < len(path); i++ {
+			if path[i] == '.' {
+				dot = i
+				break
+			}
+		}
+		if dot < 0 {
+			v, ok := obj[path]
+			return v, ok
+		}
+		raw, ok := obj[path[:dot]]
+		if !ok {
+			return nil, false
+		}
+		var next map[string]json.RawMessage
+		if json.Unmarshal(raw, &next) != nil {
+			return nil, false
+		}
+		obj, path = next, path[dot+1:]
+	}
+}
+
+// defaultMatches compares a canonical JSON value against the descriptor's
+// rendered default, per the parameter's declared type.
+func defaultMatches(p engine.Param, got json.RawMessage) bool {
+	switch p.Type {
+	case "string":
+		var s string
+		return json.Unmarshal(got, &s) == nil && s == p.Default
+	case "int", "uint", "float":
+		want, err := strconv.ParseFloat(p.Default, 64)
+		if err != nil {
+			return false
+		}
+		var v float64
+		return json.Unmarshal(got, &v) == nil && v == want
+	case "bool":
+		var b bool
+		return json.Unmarshal(got, &b) == nil && strconv.FormatBool(b) == p.Default
+	default:
+		// Composite types render their default as raw JSON.
+		return string(got) == p.Default
+	}
+}
+
+// checkExecution runs the example through Execute: the run must observe
+// the initial state plus at least one executed round, repeat identically
+// (determinism is what makes results cacheable), and abort with
+// ErrCancelled when the cancel poll fires mid-run.
+func checkExecution(t *testing.T, spec engine.Spec) {
+	t.Helper()
+	var recs []engine.Record
+	res, err := engine.Execute(spec, func(r engine.Record) { recs = append(recs, r) }, nil)
+	if err != nil {
+		t.Fatalf("example run failed: %v", err)
+	}
+	if res.Rounds < 1 {
+		t.Errorf("example run finished in %d rounds; examples must execute at least one", res.Rounds)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("example run observed %d records; want the initial state plus ≥1 round", len(recs))
+	}
+	if recs[0].Round != 0 {
+		t.Errorf("first record is round %d, want 0 (the initial state)", recs[0].Round)
+	}
+	for i, rec := range recs {
+		if rec.N <= 0 || rec.Support < 1 {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+	}
+
+	var recs2 []engine.Record
+	res2, err := engine.Execute(spec, func(r engine.Record) { recs2 = append(recs2, r) }, nil)
+	if err != nil {
+		t.Fatalf("repeat run failed: %v", err)
+	}
+	if !reflect.DeepEqual(res, res2) || !reflect.DeepEqual(recs, recs2) {
+		t.Errorf("example run is not deterministic:\n first  %+v (%d records)\n second %+v (%d records)",
+			res, len(recs), res2, len(recs2))
+	}
+
+	calls := 0
+	_, err = engine.Execute(spec, nil, func() bool { calls++; return calls > 1 })
+	if err != engine.ErrCancelled {
+		t.Errorf("cancellation mid-run returned %v, want engine.ErrCancelled", err)
+	}
+}

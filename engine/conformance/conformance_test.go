@@ -1,0 +1,22 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"repro/engine/conformance"
+
+	// Registering a family here is what buys it contract coverage: the
+	// suite walks engine.Kinds() at run time, so every kind the service
+	// serves must be imported by this test binary.
+	_ "repro/consensus"       // median (the default kind)
+	_ "repro/internal/gossip" // gossip
+	_ "repro/multidim"        // multidim
+	_ "repro/robust"          // robust
+)
+
+// TestConformance runs the descriptor-driven contract suite over every
+// registered kind. A future `engine.Register` call is covered by adding
+// its package to the import list above — the suite itself never changes.
+func TestConformance(t *testing.T) {
+	conformance.RunAll(t)
+}

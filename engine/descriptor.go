@@ -1,5 +1,7 @@
 package engine
 
+import "encoding/json"
+
 // Descriptor is a simulation family's self-description: the document
 // GET /v1/engines serves so clients can discover kinds, generate per-kind
 // flags and reject unknown parameters before a spec ever reaches the
@@ -19,6 +21,13 @@ type Descriptor struct {
 	// Axes lists the parameter names the family accepts as batch sweep
 	// axes (POST /v1/batches), beyond the shared "seed" and "max_rounds".
 	Axes []string `json:"axes,omitempty"`
+	// Example is a tiny valid spec payload for the kind (the flattened
+	// fields only; no envelope), small enough to execute in milliseconds
+	// and guaranteed to run for at least one round. It is served on
+	// /v1/engines as a copy-paste starting point and drives the
+	// conformance suite (engine/conformance), so every registered kind
+	// should provide one.
+	Example json.RawMessage `json:"example,omitempty"`
 }
 
 // Param documents one payload parameter.

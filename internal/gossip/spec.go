@@ -203,6 +203,7 @@ func (gossipEngine) Descriptor() engine.Descriptor {
 		Summary: "full message-passing simulation of the paper's network model: private peer numberings, per-round request caps, named drop selectors",
 		Params:  params,
 		Axes:    []string{"n", "m", "n_low", "cap_factor"},
+		Example: []byte(`{"init":{"kind":"twovalue","n":48}}`),
 	}
 }
 

@@ -1,0 +1,248 @@
+package multidim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/randx"
+	"repro/internal/rng"
+)
+
+// This file implements the count-level engine for the coordinate-wise
+// median dynamics: the d-dimensional analogue of the scalar
+// consensus.EngineCount. A process's update depends only on its own tuple
+// and the tuple *distribution* (processes are exchangeable), so the
+// population can be represented as counts over distinct tuples — O(k·d)
+// memory for k distinct tuples instead of the per-process engine's O(n·d).
+// For small value ranges (k ≪ n) this unlocks populations the per-process
+// engine cannot hold, which is exactly the regime the paper's Section 5
+// average-case model lives in.
+//
+// Sampling stays hypergeometric-free and statistically identical to the
+// per-process engine: every ball draws its two peers independently and
+// uniformly from the pre-round distribution (with replacement) via an
+// alias table, two draws per ball per round, just as Engine.Step draws two
+// uniform indices. The engines therefore share one trajectory distribution
+// — the differential tests in differential_test.go pin that equivalence.
+
+// CountOptions configures a CountEngine.
+type CountOptions struct {
+	// MaxRounds caps the run; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Observer, when non-nil, receives the tuple distribution after every
+	// round: the distinct tuples in lexicographic order and their counts.
+	// The slices and tuples are only valid during the call (the engine is
+	// free to reuse them); observers must copy what they keep.
+	Observer func(round int, tuples []Point, counts []int64)
+}
+
+// CountEngine runs the coordinate-wise median dynamics on the tuple
+// distribution. It supports no adversary: the Adversary contract rewrites
+// individual processes, which the count representation cannot express
+// (mirroring the scalar engines, where only count-aware adversaries run
+// at count level; multidim has none registered).
+type CountEngine struct {
+	tuples  []Point // distinct live tuples, lexicographically sorted
+	counts  []int64 // counts[i] processes hold tuples[i]; all > 0
+	n       int64
+	dim     int
+	initial []Point // distinct initial tuples, for validity accounting
+	g       *rng.Xoshiro256
+	opts    CountOptions
+	round   int
+	scratch Point
+	keyBuf  []byte
+}
+
+// NewCountEngine builds a count-level engine over the distribution of the
+// given points (the per-process population the spec describes; the engine
+// only stores its distinct tuples).
+func NewCountEngine(points []Point, seed uint64, opts CountOptions) *CountEngine {
+	if len(points) == 0 {
+		panic("multidim: empty population")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		panic("multidim: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			panic(fmt.Sprintf("multidim: point %d has dimension %d, want %d", i, len(p), dim))
+		}
+	}
+	tuples, counts := distOf(points, dim)
+	return newCountEngineFromDist(tuples, counts, int64(len(points)), seed, opts)
+}
+
+// newCountEngineFromDist builds the engine directly over an
+// already-bucketed sorted distribution, taking ownership of tuples and
+// counts — the spec layer's auto-selection path computes the distribution
+// anyway, so it must not be rebuilt here.
+func newCountEngineFromDist(tuples []Point, counts []int64, n int64, seed uint64, opts CountOptions) *CountEngine {
+	dim := len(tuples[0])
+	initial := make([]Point, len(tuples))
+	for i, p := range tuples {
+		initial[i] = p.Clone()
+	}
+	return &CountEngine{
+		tuples:  tuples,
+		counts:  counts,
+		n:       n,
+		dim:     dim,
+		initial: initial,
+		g:       rng.NewXoshiro256(seed),
+		opts:    opts,
+		scratch: make(Point, dim),
+		keyBuf:  make([]byte, 0, 8*dim),
+	}
+}
+
+// centry is one accumulator bin: a representative tuple and its count.
+type centry struct {
+	rep   Point
+	count int64
+}
+
+// distOf buckets points into a sorted (tuples, counts) distribution.
+func distOf(points []Point, dim int) ([]Point, []int64) {
+	entries := make(map[string]*centry, 16)
+	buf := make([]byte, 0, 8*dim)
+	for _, p := range points {
+		buf = appendPointKey(buf[:0], p)
+		e := entries[string(buf)]
+		if e == nil {
+			e = &centry{rep: p.Clone()}
+			entries[string(buf)] = e
+		}
+		e.count++
+	}
+	return sortedDist(entries)
+}
+
+// sortedDist flattens an accumulator map into the lexicographically
+// sorted (tuples, counts) pair — shared by the initial bucketing and the
+// per-round rebuild.
+func sortedDist(entries map[string]*centry) ([]Point, []int64) {
+	bins := make([]*centry, 0, len(entries))
+	for _, e := range entries {
+		bins = append(bins, e)
+	}
+	sort.Slice(bins, func(i, j int) bool { return pointLess(bins[i].rep, bins[j].rep) })
+	tuples := make([]Point, len(bins))
+	counts := make([]int64, len(bins))
+	for i, e := range bins {
+		tuples[i] = e.rep
+		counts[i] = e.count
+	}
+	return tuples, counts
+}
+
+// pointLess is the lexicographic coordinate order — the deterministic
+// tuple order the observer stream and plurality tie-break use.
+func pointLess(p, q Point) bool {
+	for i := range p {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return false
+}
+
+// N returns the population size.
+func (e *CountEngine) N() int64 { return e.n }
+
+// Dim returns the common dimension.
+func (e *CountEngine) Dim() int { return e.dim }
+
+// Round returns the number of executed rounds.
+func (e *CountEngine) Round() int { return e.round }
+
+// Dist returns the live distribution; callers must not modify it.
+func (e *CountEngine) Dist() ([]Point, []int64) { return e.tuples, e.counts }
+
+// Support returns the number of distinct live tuples.
+func (e *CountEngine) Support() int { return len(e.tuples) }
+
+// Step executes one synchronous round: every process applies the
+// coordinate-wise median of its own tuple and two tuples drawn
+// independently and uniformly from the pre-round distribution.
+func (e *CountEngine) Step() {
+	e.stepSampled()
+	e.round++
+}
+
+func (e *CountEngine) stepSampled() {
+	if len(e.tuples) == 1 {
+		return // consensus is a fixed point of the median dynamics
+	}
+	weights := make([]float64, len(e.counts))
+	for i, k := range e.counts {
+		weights[i] = float64(k)
+	}
+	alias := randx.NewAlias(weights)
+	acc := make(map[string]*centry, len(e.tuples))
+	for bi, cnt := range e.counts {
+		own := e.tuples[bi]
+		for b := int64(0); b < cnt; b++ {
+			a := e.tuples[alias.Draw(e.g)]
+			c := e.tuples[alias.Draw(e.g)]
+			CoordMedian(e.scratch, own, a, c)
+			e.keyBuf = appendPointKey(e.keyBuf[:0], e.scratch)
+			ent := acc[string(e.keyBuf)]
+			if ent == nil {
+				ent = &centry{rep: e.scratch.Clone()}
+				acc[string(e.keyBuf)] = ent
+			}
+			ent.count++
+		}
+	}
+	e.tuples, e.counts = sortedDist(acc)
+}
+
+// Run steps until consensus or the round cap and returns the Result,
+// mirroring the per-process Engine.Run loop (observer after every executed
+// round, stop at the single-tuple fixed point).
+func (e *CountEngine) Run() Result {
+	maxRounds := e.opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	for e.round < maxRounds {
+		e.Step()
+		if e.opts.Observer != nil {
+			e.opts.Observer(e.round, e.tuples, e.counts)
+		}
+		if len(e.tuples) == 1 {
+			break
+		}
+	}
+	return e.result()
+}
+
+func (e *CountEngine) result() Result {
+	winner, count := DistPlurality(e.tuples, e.counts)
+	return Result{
+		Rounds:      e.round,
+		Consensus:   count == e.n,
+		Winner:      winner.Clone(),
+		WinnerCount: int(count),
+		TupleValid:  containsPoint(e.initial, winner),
+		CoordValid:  coordsValid(e.initial, winner),
+	}
+}
+
+// DistPlurality returns the most frequent tuple of a (tuples, counts)
+// distribution and its count. With lexicographically sorted tuples the
+// first maximal count wins, so ties resolve to the smallest tuple —
+// deterministic, like Plurality's state-order tie-break. The winner
+// aliases a tuple in the slice.
+func DistPlurality(tuples []Point, counts []int64) (Point, int64) {
+	var winner Point
+	var best int64 = -1
+	for i, c := range counts {
+		if c > best {
+			winner, best = tuples[i], c
+		}
+	}
+	return winner, best
+}

@@ -1,0 +1,161 @@
+package multidim
+
+// Differential tests: the per-process Engine and the count-level
+// CountEngine implement one protocol, so every invariant the model gives
+// — population conservation, coordinate containment in the initial
+// coordinate sets, convergence — must hold for both, and their round
+// counts must agree in distribution. These tests are the contract that
+// lets "engine": "auto" switch between them without changing what a spec
+// means.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// coordSets collects, per dimension, the set of initial coordinate values.
+func coordSets(pts []Point) []map[int64]bool {
+	d := len(pts[0])
+	sets := make([]map[int64]bool, d)
+	for j := range sets {
+		sets[j] = make(map[int64]bool)
+	}
+	for _, p := range pts {
+		for j, v := range p {
+			sets[j][v] = true
+		}
+	}
+	return sets
+}
+
+func TestDifferentialConservationAndCoordContainment(t *testing.T) {
+	const n, d, m = 400, 2, 4
+	pts := RandomPoints(n, d, m, 11)
+	sets := coordSets(pts)
+
+	checkPoint := func(t *testing.T, round int, p Point) {
+		t.Helper()
+		for j, v := range p {
+			if !sets[j][v] {
+				t.Fatalf("round %d: coordinate %d value %d not in the initial coordinate set", round, j, v)
+			}
+		}
+	}
+
+	// Count engine: every round must conserve the total population and
+	// keep every live tuple's coordinates inside the initial per-dimension
+	// value sets.
+	ce := NewCountEngine(pts, 21, CountOptions{
+		MaxRounds: 2000,
+		Observer: func(round int, tuples []Point, counts []int64) {
+			var total int64
+			for i, c := range counts {
+				if c <= 0 {
+					t.Fatalf("round %d: non-positive count %d", round, c)
+				}
+				total += c
+				checkPoint(t, round, tuples[i])
+			}
+			if total != n {
+				t.Fatalf("round %d: population %d, want %d", round, total, n)
+			}
+		},
+	})
+	if res := ce.Run(); !res.Consensus {
+		t.Fatalf("count engine did not converge: %+v", res)
+	}
+
+	// Per-process engine: same invariants over the state vector.
+	pe := NewEngine(pts, nil, 22, Options{
+		MaxRounds: 2000,
+		Observer: func(round int, state []Point) {
+			if len(state) != n {
+				t.Fatalf("round %d: %d processes, want %d", round, len(state), n)
+			}
+			for _, p := range state {
+				checkPoint(t, round, p)
+			}
+		},
+	})
+	if res := pe.Run(); !res.Consensus {
+		t.Fatalf("per-process engine did not converge: %+v", res)
+	}
+}
+
+func TestDifferentialSingleTupleState(t *testing.T) {
+	// A single-tuple start is deterministic: both engines must stop after
+	// one (no-op) round at consensus on exactly that tuple.
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{5, -3, 8}
+	}
+	pres := NewEngine(pts, nil, 7, Options{}).Run()
+	cres := NewCountEngine(pts, 7, CountOptions{}).Run()
+	for name, res := range map[string]Result{"process": pres, "count": cres} {
+		if !res.Consensus || res.Rounds != 1 || !res.Winner.Equal(Point{5, -3, 8}) ||
+			res.WinnerCount != 64 || !res.TupleValid || !res.CoordValid {
+			t.Fatalf("%s engine on single-tuple state: %+v", name, res)
+		}
+	}
+}
+
+func TestDifferentialTwoTupleState(t *testing.T) {
+	// Two-tuple starts: each coordinate runs the scalar two-value median
+	// dynamics, so both engines must reach consensus, with every winner
+	// coordinate drawn from the two initial tuples.
+	a, b := Point{1, 10}, Point{4, 2}
+	pts := make([]Point, 120)
+	for i := range pts {
+		if i < 60 {
+			pts[i] = a.Clone()
+		} else {
+			pts[i] = b.Clone()
+		}
+	}
+	sets := coordSets(pts)
+	for seed := uint64(1); seed <= 5; seed++ {
+		pres := NewEngine(pts, nil, seed, Options{MaxRounds: 4000}).Run()
+		cres := NewCountEngine(pts, seed, CountOptions{MaxRounds: 4000}).Run()
+		for name, res := range map[string]Result{"process": pres, "count": cres} {
+			if !res.Consensus {
+				t.Fatalf("seed %d: %s engine did not converge: %+v", seed, name, res)
+			}
+			if !res.CoordValid {
+				t.Fatalf("seed %d: %s engine lost coordinate validity: %+v", seed, name, res)
+			}
+			for j, v := range res.Winner {
+				if !sets[j][v] {
+					t.Fatalf("seed %d: %s winner coordinate %d = %d outside {%d, %d}",
+						seed, name, j, v, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialMeanRoundsAgree(t *testing.T) {
+	// Statistical equivalence: over ≥30 seeds the engines' mean
+	// convergence rounds must agree within the same tolerance the scalar
+	// ball/count equivalence tests use. Different engines consume
+	// randomness differently, so per-seed trajectories differ; the
+	// distribution must not.
+	const n, d, m, seeds = 600, 2, 4, 30
+	var process, count []float64
+	for seed := uint64(1); seed <= seeds; seed++ {
+		pts := RandomPoints(n, d, m, seed)
+		pr := NewEngine(pts, nil, seed, Options{MaxRounds: 4000}).Run()
+		cr := NewCountEngine(pts, seed+1000, CountOptions{MaxRounds: 4000}).Run()
+		if !pr.Consensus || !cr.Consensus {
+			t.Fatalf("seed %d: convergence disagreement: process %+v vs count %+v", seed, pr, cr)
+		}
+		process = append(process, float64(pr.Rounds))
+		count = append(count, float64(cr.Rounds))
+	}
+	mp, mc := stats.Mean(process), stats.Mean(count)
+	if math.Abs(mp-mc) > 0.35*(mp+mc)/2+2 {
+		t.Fatalf("process %.2f vs count %.2f mean rounds", mp, mc)
+	}
+	t.Logf("mean rounds: process %.2f, count %.2f", mp, mc)
+}

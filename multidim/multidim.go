@@ -242,6 +242,16 @@ func plurality(state []Point) (Point, int) {
 	return w, c
 }
 
+// appendPointKey appends p's raw coordinate bytes to buf — the map key
+// both Plurality and the count engine bucket tuples under. The encoding is
+// injective for a fixed dimension, which is all a hash key needs.
+func appendPointKey(buf []byte, p Point) []byte {
+	for _, v := range p {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
 // Plurality returns the most frequent point, its count and the number of
 // distinct points in state. Ties resolve to the point whose holder appears
 // first, so the result is deterministic in state order — the property the
@@ -262,10 +272,7 @@ func Plurality(state []Point) (winner Point, count, support int) {
 	buf := make([]byte, 0, 8*len(state[0]))
 	best := -1
 	for _, p := range state {
-		buf = buf[:0]
-		for _, v := range p {
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-		}
+		buf = appendPointKey(buf[:0], p)
 		// The string(buf) lookup does not allocate; only a first-seen
 		// point materializes a durable key.
 		e := entries[string(buf)]

@@ -11,14 +11,53 @@ import (
 // "multidim" spec kind of the engine plugin API (package engine).
 
 // Spec is the multidim kind's spec payload: a point-set generator
-// reference and an optional adversary reference, both resolved through
-// this package's registries.
+// reference, an optional adversary reference — both resolved through this
+// package's registries — and the engine selector.
 type Spec struct {
 	// Init describes the initial point set (see InitKinds).
 	Init InitSpec `json:"init,omitzero"`
 	// Adversary optionally references a registered strategy (nil = none;
 	// see AdversaryNames).
 	Adversary *AdversaryRef `json:"adversary,omitempty"`
+	// Engine selects the simulator by name: auto (the default), process
+	// (exact per-process, every adversary) or count (distribution over
+	// distinct tuples, O(k·d) memory, no adversary). "auto" stays "auto"
+	// in the canonical encoding — the cache key must not depend on which
+	// engine auto resolves to.
+	Engine string `json:"engine,omitempty"`
+}
+
+// Engine names of the multidim kind (see EngineNames).
+const (
+	// EngineAuto picks count when the distinct-tuple support is small
+	// relative to n and no adversary is configured, process otherwise.
+	EngineAuto = "auto"
+	// EngineProcess is the exact per-process engine (multidim.Engine).
+	EngineProcess = "process"
+	// EngineCount is the count-level engine (multidim.CountEngine).
+	EngineCount = "count"
+)
+
+// EngineNames returns the multidim engine names in sorted order.
+func EngineNames() []string { return []string{EngineAuto, EngineCount, EngineProcess} }
+
+// CountSupportFactor is auto-selection's support threshold: the count
+// engine wins once each distinct tuple is shared by CountSupportFactor
+// processes on average (its per-round accumulator then stays well below
+// the per-process engine's O(n·d) state).
+const CountSupportFactor = 16
+
+// PickEngine resolves "auto" for a population of n processes over support
+// distinct tuples: count when the support is small relative to n
+// (support·CountSupportFactor ≤ n) and no adversary is configured — the
+// Adversary contract rewrites individual processes, which the count
+// representation cannot express — process otherwise. Deterministic in its
+// inputs, so every run of one spec picks the same engine.
+func PickEngine(n, support int, hasAdversary bool) string {
+	if !hasAdversary && support*CountSupportFactor <= n {
+		return EngineCount
+	}
+	return EngineProcess
 }
 
 // AdversaryRef is the serializable reference to a registered multidim
@@ -34,6 +73,9 @@ func (s *Spec) Normalize() {
 	if s.Adversary != nil && len(s.Adversary.Params) == 0 {
 		s.Adversary.Params = nil
 	}
+	if s.Engine == "" {
+		s.Engine = EngineAuto
+	}
 }
 
 // Validate implements engine.Payload.
@@ -46,13 +88,25 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	switch s.Engine {
+	case "", EngineAuto, EngineProcess:
+	case EngineCount:
+		if s.Adversary != nil {
+			return fmt.Errorf("multidim: engine %q supports no adversary (the per-process contract rewrites individual processes); use engine %q or %q", EngineCount, EngineProcess, EngineAuto)
+		}
+	default:
+		return fmt.Errorf("multidim: unknown engine %q (known: %v)", s.Engine, EngineNames())
+	}
 	return nil
 }
 
 // Population implements engine.Payload.
 func (s *Spec) Population() int64 { return InitSize(s.Init) }
 
-// Run implements engine.Payload.
+// Run implements engine.Payload. The engine selector resolves here:
+// "auto" picks through PickEngine on the materialized point set, which is
+// deterministic in the spec, so a cached result and a fresh run of the
+// same spec always took the same engine.
 func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 	pts, err := BuildInit(s.Init)
 	if err != nil {
@@ -65,6 +119,48 @@ func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 			return engine.Result{}, err
 		}
 	}
+	// Auto-selection needs the distinct-tuple support, which is the count
+	// engine's own start state — bucket once, share both ways.
+	var tuples []Point
+	var counts []int64
+	selected := s.Engine
+	if selected == "" || selected == EngineAuto {
+		tuples, counts = distOf(pts, len(pts[0]))
+		selected = PickEngine(len(pts), len(tuples), adv != nil)
+	}
+	var out Result
+	switch selected {
+	case EngineCount:
+		if adv != nil {
+			return engine.Result{}, fmt.Errorf("multidim: engine %q supports no adversary", EngineCount)
+		}
+		if tuples == nil {
+			tuples, counts = distOf(pts, len(pts[0]))
+		}
+		out = s.runCount(ctx, int64(len(pts)), tuples, counts)
+	case EngineProcess:
+		out = s.runProcess(ctx, pts, adv)
+	default:
+		return engine.Result{}, fmt.Errorf("multidim: unknown engine %q (known: %v)", selected, EngineNames())
+	}
+	reason := model.StopMaxRounds
+	if out.Consensus {
+		reason = model.StopConsensus
+	}
+	tv, cv := out.TupleValid, out.CoordValid
+	return engine.Result{
+		Rounds:      out.Rounds,
+		Reason:      reason.String(),
+		WinnerCount: int64(out.WinnerCount),
+		WinnerPoint: append([]int64(nil), out.Winner...),
+		TupleValid:  &tv,
+		CoordValid:  &cv,
+	}, nil
+}
+
+// runProcess executes the per-process engine, reporting per-round state
+// summaries through the RunContext observer (the cancellation point).
+func (s *Spec) runProcess(ctx engine.RunContext, pts []Point, adv Adversary) Result {
 	n := int64(len(pts))
 	emit := func(round int, state []Point) {
 		winner, count, support := Plurality(state)
@@ -79,20 +175,29 @@ func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 		Observer:  emit,
 	})
 	emit(0, eng.State())
-	out := eng.Run()
-	reason := model.StopMaxRounds
-	if out.Consensus {
-		reason = model.StopConsensus
+	return eng.Run()
+}
+
+// runCount executes the count-level engine over the pre-bucketed
+// distribution. Round records are built straight from the tuple counts —
+// O(support) per round, never rematerializing per-process state — and the
+// observer still fires every round, so mid-run cancellation
+// (DELETE /v1/runs) keeps working.
+func (s *Spec) runCount(ctx engine.RunContext, n int64, tuples []Point, counts []int64) Result {
+	emit := func(round int, tuples []Point, counts []int64) {
+		winner, count := DistPlurality(tuples, counts)
+		ctx.Observe(engine.Record{
+			Round: round, N: n, Support: len(tuples),
+			LeaderCount: count,
+			LeaderPoint: append([]int64(nil), winner...),
+		})
 	}
-	tv, cv := out.TupleValid, out.CoordValid
-	return engine.Result{
-		Rounds:      out.Rounds,
-		Reason:      reason.String(),
-		WinnerCount: int64(out.WinnerCount),
-		WinnerPoint: append([]int64(nil), out.Winner...),
-		TupleValid:  &tv,
-		CoordValid:  &cv,
-	}, nil
+	eng := newCountEngineFromDist(tuples, counts, n, ctx.Seed, CountOptions{
+		MaxRounds: ctx.MaxRounds,
+		Observer:  emit,
+	})
+	emit(0, tuples, counts)
+	return eng.Run()
 }
 
 // ApplyAxis implements engine.AxisApplier.
@@ -139,8 +244,10 @@ func (multidimEngine) Descriptor() engine.Descriptor {
 			{Name: "adversary.name", Type: "string", Enum: AdversaryNames(), Doc: "adversary strategy (omit the block for none)"},
 			{Name: "adversary.params", Type: "object", Doc: "strategy parameters (numeric, strategy-specific)"},
 			{Name: "adversary.params.t", Type: "int", Min: engine.Bound(0), Doc: "per-round budget of the noise strategy"},
+			{Name: "engine", Type: "string", Default: EngineAuto, Enum: EngineNames(), Doc: "simulator: process (exact per-process), count (distribution over distinct tuples, O(k·d) memory, no adversary) or auto (count when the distinct-tuple support is small relative to n)"},
 		},
-		Axes: []string{"n", "m", "d"},
+		Axes:    []string{"n", "m", "d"},
+		Example: []byte(`{"init":{"kind":"random","n":64,"d":2,"m":2,"seed":3}}`),
 	}
 }
 

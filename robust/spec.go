@@ -157,6 +157,7 @@ func (robustEngine) Descriptor() engine.Descriptor {
 		Summary: "asynchronous execution of the median rule under message loss and crash faults",
 		Params:  params,
 		Axes:    []string{"n", "m", "n_low", "loss_prob", "crashes"},
+		Example: []byte(`{"init":{"kind":"twovalue","n":48},"loss_prob":0.1}`),
 	}
 }
 

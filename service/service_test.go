@@ -172,6 +172,60 @@ func TestCancelGossipMidRun(t *testing.T) {
 	}
 }
 
+// TestCancelMultidimCountMidRun: the count-level multidim engine reports
+// every round through the shared observer hook — with distribution-level
+// records built straight from the tuple counts — so DELETE /v1/runs stops
+// it mid-simulation exactly like the per-process path.
+func TestCancelMultidimCountMidRun(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	// A population far past what the per-process path is pleasant at, over
+	// ≤4 distinct tuples: auto resolves to the count engine, and the run
+	// is long enough (Θ(n) sampling per round for ~log n rounds) to be
+	// caught mid-flight.
+	spec := Spec{Kind: KindMultidim, Seed: 2, MaxRounds: 1 << 20, Payload: &MultidimSpec{
+		Init:   multidim.InitSpec{Kind: "random", N: 1_000_000, D: 2, M: 2, Seed: 2},
+		Engine: multidim.EngineAuto,
+	}}
+	view, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var recs []RoundRecord
+	for {
+		var terminal bool
+		recs, terminal, _, err = s.Records(view.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal {
+			t.Fatal("count run finished before it could be cancelled")
+		}
+		if len(recs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("count run never produced a record")
+		}
+	}
+	// The streamed records are distribution-level: tuple support and the
+	// plurality tuple, with the population conserved.
+	for _, rec := range recs {
+		if rec.N != 1_000_000 || rec.Support < 1 || rec.Support > 4 ||
+			len(rec.LeaderPoint) != 2 || rec.LeaderCount < 1 {
+			t.Fatalf("malformed count-path record: %+v", rec)
+		}
+	}
+	if _, err := s.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, s, view.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("status = %s, want cancelled (mid-run)", final.Status)
+	}
+}
+
 // TestCacheHitNewKinds: the cache-determinism guarantee extends to the
 // multidim and robust kinds.
 func TestCacheHitNewKinds(t *testing.T) {

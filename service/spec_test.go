@@ -312,12 +312,27 @@ func TestGoldenHashes(t *testing.T) {
 			hash:      "073ce1b37b3e8ed1d9e07cc86a78055688b36ecb1c74e924b0db8ddf4872cff5",
 		},
 		{
+			// The engine selector is canonical since PR 4 ("" → "auto",
+			// never resolved to a concrete engine), so this encoding —
+			// and the hash-derived seed — changed deliberately there.
 			kind: KindMultidim,
 			spec: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
 				Init: multidim.InitSpec{Kind: "random", N: 1000, D: 2, M: 8, Seed: 1},
 			}},
-			canonical: `{"init":{"kind":"random","n":1000,"d":2,"m":8,"seed":1},"kind":"multidim","seed":1}`,
-			hash:      "d2043f60d1aebbe14c41d4d811e8a8ff0e678096283324f5c70f1e89a9b5fd0e",
+			canonical: `{"engine":"auto","init":{"kind":"random","n":1000,"d":2,"m":8,"seed":1},"kind":"multidim","seed":1}`,
+			hash:      "e42ecfcf3234a1fa6692260918d5e1849aca342fa3d5ead27c2a9cbac6e1b4b8",
+		},
+		{
+			// An explicit count-level engine is part of the cache key: a
+			// count-engine run and a process-engine run of the same init
+			// are different runs.
+			kind: KindMultidim + "/count",
+			spec: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
+				Init:   multidim.InitSpec{Kind: "random", N: 100000, D: 2, M: 4, Seed: 1},
+				Engine: multidim.EngineCount,
+			}},
+			canonical: `{"engine":"count","init":{"kind":"random","n":100000,"d":2,"m":4,"seed":1},"kind":"multidim","seed":1}`,
+			hash:      "f2bcbf855296c4b9a8682eee9a93ae480931e957108c58e0b1d6924543d1f26a",
 		},
 		{
 			kind: KindRobust,
@@ -343,6 +358,36 @@ func TestGoldenHashes(t *testing.T) {
 		}
 		if h != c.hash {
 			t.Errorf("%s golden hash changed: got %s, want %s", c.kind, h, c.hash)
+		}
+	}
+}
+
+// TestMultidimEngineAutoCanonical: "engine": "auto" is itself the
+// canonical form — Normalize makes it explicit but never resolves it to
+// the concrete engine auto will pick, so the cache key of an auto spec is
+// independent of the selection rule (tightening PickEngine later must not
+// invalidate cached results), while an explicit engine choice is a
+// different run with a different key.
+func TestMultidimEngineAutoCanonical(t *testing.T) {
+	implied := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{
+		Init: multidim.InitSpec{Kind: "random", N: 50}}}
+	explicit := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{
+		Init: multidim.InitSpec{Kind: "random", N: 50}, Engine: multidim.EngineAuto}}
+	if mustHash(t, implied) != mustHash(t, explicit) {
+		t.Fatal("implied and explicit auto engines must hash equal")
+	}
+	c, err := explicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(c), `"engine":"auto"`) {
+		t.Fatalf("canonical form must keep engine auto symbolic, got %s", c)
+	}
+	for _, resolved := range []string{multidim.EngineCount, multidim.EngineProcess} {
+		s := Spec{Kind: KindMultidim, Seed: 5, Payload: &MultidimSpec{
+			Init: multidim.InitSpec{Kind: "random", N: 50}, Engine: resolved}}
+		if mustHash(t, s) == mustHash(t, explicit) {
+			t.Fatalf("engine %q must hash differently from auto", resolved)
 		}
 	}
 }
