@@ -1,0 +1,134 @@
+// Command benchdiff compares two `go test -bench` outputs and flags
+// regressions. CI uses it to diff the current BenchmarkMultidim* run
+// against the previous run's bench-multidim artifact:
+//
+//	benchdiff -old prev/bench-multidim.txt -new bench-multidim.txt -warn-pct 20
+//
+// Benchmarks are matched by name with the trailing -GOMAXPROCS suffix
+// stripped, so runs on machines with different core counts still pair
+// up. A benchmark whose ns/op grew by more than -warn-pct percent is
+// reported as a regression — as a plain line and as a GitHub Actions
+// ::warning:: annotation — but the exit code stays 0 unless -fail is set:
+// CI benchmarks on shared runners are too noisy to gate merges on, so
+// the default mode surfaces regressions without blocking them.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "previous bench output file")
+	newPath := flag.String("new", "", "current bench output file")
+	warnPct := flag.Float64("warn-pct", 20, "warn when ns/op grew by more than this percentage")
+	failOnRegress := flag.Bool("fail", false, "exit 1 when a regression beyond -warn-pct is found")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
+		os.Exit(2)
+	}
+	oldBench, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newBench, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions := report(os.Stdout, oldBench, newBench, *warnPct)
+	if *failOnRegress && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-8   	     100	  12345678 ns/op	 ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// procSuffix is the trailing -GOMAXPROCS tag go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads bench output into name → ns/op. A name that appears more
+// than once (e.g. -count > 1) keeps the minimum, the conventional
+// noise-resistant summary of repeated runs.
+func parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, dup := out[name]; !dup || v < prev {
+			out[name] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return b, nil
+}
+
+// report prints a per-benchmark comparison and returns the number of
+// regressions beyond warnPct. New and vanished benchmarks are noted but
+// never counted as regressions.
+func report(w io.Writer, oldBench, newBench map[string]float64, warnPct float64) int {
+	names := make([]string, 0, len(newBench))
+	for name := range newBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		nv := newBench[name]
+		ov, ok := oldBench[name]
+		if !ok {
+			fmt.Fprintf(w, "%s: new benchmark (%.1f ns/op), nothing to compare\n", name, nv)
+			continue
+		}
+		pct := (nv - ov) / ov * 100
+		switch {
+		case pct > warnPct:
+			regressions++
+			fmt.Fprintf(w, "%s: REGRESSION %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov, nv)
+			fmt.Fprintf(w, "::warning title=bench regression::%s ns/op %+.1f%% (%.1f -> %.1f)\n", name, pct, ov, nv)
+		default:
+			fmt.Fprintf(w, "%s: %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov, nv)
+		}
+	}
+	for name := range oldBench {
+		if _, ok := newBench[name]; !ok {
+			fmt.Fprintf(w, "%s: vanished (was %.1f ns/op)\n", name, oldBench[name])
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldOut = `goos: linux
+BenchmarkMultidimEngines/process/n=4096-8    	     100	   1000000 ns/op	  120 B/op
+BenchmarkMultidimEngines/count/n=4096-8      	    1000	    100000 ns/op
+BenchmarkMultidimEngines/gone/n=1-8          	    1000	     50000 ns/op
+PASS
+`
+
+const newOut = `goos: linux
+BenchmarkMultidimEngines/process/n=4096-16   	     100	   1300000 ns/op
+BenchmarkMultidimEngines/count/n=4096-16     	    1000	    105000 ns/op
+BenchmarkMultidimEngines/fresh/n=2-16        	    1000	      9000 ns/op
+PASS
+`
+
+// TestParse: bench lines parse to name→ns/op with the -GOMAXPROCS suffix
+// stripped, so differently-sized machines still pair up.
+func TestParse(t *testing.T) {
+	b, err := parse(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(b), b)
+	}
+	if v := b["BenchmarkMultidimEngines/process/n=4096"]; v != 1e6 {
+		t.Fatalf("process ns/op = %v, want 1e6 (proc suffix must be stripped)", v)
+	}
+}
+
+// TestParseKeepsMinimum: repeated names (e.g. -count=3) keep the fastest
+// run.
+func TestParseKeepsMinimum(t *testing.T) {
+	out := `BenchmarkX-8 10 300 ns/op
+BenchmarkX-8 10 100 ns/op
+BenchmarkX-8 10 200 ns/op
+`
+	b, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := b["BenchmarkX"]; v != 100 {
+		t.Fatalf("repeated benchmark kept %v, want the minimum 100", v)
+	}
+}
+
+// TestReport: a >20% ns/op growth is a regression with a ::warning::
+// annotation; small drift, new and vanished benchmarks are not.
+func TestReport(t *testing.T) {
+	oldBench, err := parse(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBench, err := parse(strings.NewReader(newOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	regressions := report(&buf, oldBench, newBench, 20)
+	out := buf.String()
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (process +30%%):\n%s", regressions, out)
+	}
+	if !strings.Contains(out, "::warning title=bench regression::BenchmarkMultidimEngines/process/n=4096") {
+		t.Fatalf("missing GitHub warning annotation:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") && strings.Contains(out, "count/n=4096: REGRESSION") {
+		t.Fatalf("5%% drift must not be a regression:\n%s", out)
+	}
+	if !strings.Contains(out, "fresh/n=2: new benchmark") || !strings.Contains(out, "gone/n=1: vanished") {
+		t.Fatalf("new/vanished benchmarks must be noted:\n%s", out)
+	}
+
+	// A looser threshold clears it.
+	if r := report(&strings.Builder{}, oldBench, newBench, 50); r != 0 {
+		t.Fatalf("50%% threshold: regressions = %d, want 0", r)
+	}
+}

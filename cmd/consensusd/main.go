@@ -4,6 +4,12 @@
 //
 //	consensusd -addr :8645 -service-workers 8
 //	consensusd -addr :8645 -auth-token s3cret   # 401 on unauthenticated writes
+//	consensusd -addr :8645 -store /var/lib/consensusd/runs.store
+//
+// With -store, completed runs are committed to the file-backed store
+// (package service/store) and reloaded on startup, so a restarted daemon
+// serves previously computed results as cache hits without re-running
+// them.
 //
 // Endpoints (see package service for details):
 //
@@ -47,9 +53,10 @@ func main() {
 	submitRate := flag.Float64("submit-rate", 0, "submit requests per second admitted (0 = unlimited; 429 beyond)")
 	submitBurst := flag.Int("submit-burst", 0, "submit rate limiter burst (0 = default)")
 	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints ('' = no auth)")
+	storePath := flag.String("store", "", "path of the persistent job/result store; completed runs survive restarts ('' = in-memory only)")
 	flag.Parse()
 
-	svc := service.New(service.Options{
+	svc, err := service.New(service.Options{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		CacheSize:     *cacheSize,
@@ -61,7 +68,17 @@ func main() {
 		SubmitRate:    *submitRate,
 		SubmitBurst:   *submitBurst,
 		AuthToken:     *authToken,
+		StorePath:     *storePath,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consensusd:", err)
+		os.Exit(1)
+	}
+	if *storePath != "" {
+		m := svc.Metrics()
+		fmt.Fprintf(os.Stderr, "consensusd: store %s: %d records reloaded (%d dropped, %d compactions)\n",
+			*storePath, m.StoreRecordsLoaded, m.StoreRecordsDropped, m.StoreCompactions)
+	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

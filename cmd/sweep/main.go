@@ -151,7 +151,7 @@ func runLocal(req service.BatchRequest, workers int) ([]service.RunRecord, error
 	if workers < 1 {
 		workers = 1
 	}
-	svc := service.New(service.Options{
+	svc, err := service.New(service.Options{
 		Workers: workers,
 		// Sweeps only need results, not round streams, and the CLI has no
 		// server to protect: keep per-job record storage minimal and do
@@ -159,6 +159,9 @@ func runLocal(req service.BatchRequest, workers int) ([]service.RunRecord, error
 		MaxRecords: 1,
 		MaxN:       1 << 62,
 	})
+	if err != nil {
+		return nil, err
+	}
 	defer svc.Close()
 	records := make([]service.RunRecord, 0, len(cells))
 	err = svc.RunBatch(context.Background(), cells, func(rec service.BatchCellRecord) error {

@@ -3,9 +3,11 @@
 // Descriptor Example, then asserts the invariants every part of the
 // service stack leans on — Normalize is idempotent, Validate accepts the
 // normalized spec, the canonical encoding round-trips byte-identically,
-// descriptor defaults really are what omitted fields normalize to, and
+// descriptor defaults really are what omitted fields normalize to,
 // Execute of the tiny example observes at least one round, is
-// deterministic, and honors mid-run cancellation.
+// deterministic, and honors mid-run cancellation — and the run's outcome
+// survives the persistent store codec (service/store) byte-identically,
+// so every kind's results are safe to write through to disk and reload.
 //
 // The suite discovers kinds through engine.Kinds() at run time, so a new
 // family gets contract coverage by being registered (imported) in the
@@ -22,6 +24,7 @@ import (
 	"testing"
 
 	"repro/engine"
+	"repro/service/store"
 )
 
 // RunAll runs the conformance suite for every registered kind, one
@@ -73,7 +76,8 @@ func RunKind(t *testing.T, kind string) {
 	}
 
 	checkDefaults(t, d, spec, norm)
-	checkExecution(t, spec)
+	res, recs := checkExecution(t, spec)
+	checkPersistence(t, norm, res, recs)
 }
 
 // decodeExample merges the kind discriminant into the example payload and
@@ -192,8 +196,9 @@ func defaultMatches(p engine.Param, got json.RawMessage) bool {
 // checkExecution runs the example through Execute: the run must observe
 // the initial state plus at least one executed round, repeat identically
 // (determinism is what makes results cacheable), and abort with
-// ErrCancelled when the cancel poll fires mid-run.
-func checkExecution(t *testing.T, spec engine.Spec) {
+// ErrCancelled when the cancel poll fires mid-run. It returns the result
+// and records for the persistence check.
+func checkExecution(t *testing.T, spec engine.Spec) (engine.Result, []engine.Record) {
 	t.Helper()
 	var recs []engine.Record
 	res, err := engine.Execute(spec, func(r engine.Record) { recs = append(recs, r) }, nil)
@@ -229,5 +234,48 @@ func checkExecution(t *testing.T, spec engine.Spec) {
 	_, err = engine.Execute(spec, nil, func() bool { calls++; return calls > 1 })
 	if err != engine.ErrCancelled {
 		t.Errorf("cancellation mid-run returned %v, want engine.ErrCancelled", err)
+	}
+	return res, recs
+}
+
+// checkPersistence runs the example's outcome through the persistent
+// store codec (service/store): the framed Run payload must decode back
+// and re-encode byte-identically, and the decoded result and records must
+// deep-equal the originals. This is the contract the durable service
+// state leans on — a kind whose Result or Record payloads carry
+// non-serializable state (NaN floats, unexported or lossy fields) would
+// silently corrupt the cache it is reloaded into, and fails here instead.
+func checkPersistence(t *testing.T, norm engine.Spec, res engine.Result, recs []engine.Record) {
+	t.Helper()
+	hash, err := norm.Hash()
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	run := store.Run{ID: "r-1", SpecHash: hash, Spec: norm, Result: res, Records: recs}
+	buf, err := store.EncodeRun(run)
+	if err != nil {
+		t.Fatalf("result does not persist: %v", err)
+	}
+	back, err := store.DecodeRun(buf)
+	if err != nil {
+		t.Fatalf("persisted run does not decode: %v", err)
+	}
+	again, err := store.EncodeRun(back)
+	if err != nil {
+		t.Fatalf("decoded run does not re-encode: %v", err)
+	}
+	if !bytes.Equal(buf, again) {
+		t.Errorf("store codec round-trip not byte-identical:\n first  %s\n second %s", buf, again)
+	}
+	if !reflect.DeepEqual(back.Result, res) {
+		t.Errorf("result changed through the store codec:\n got  %+v\n want %+v", back.Result, res)
+	}
+	if !reflect.DeepEqual(back.Records, recs) {
+		t.Errorf("records changed through the store codec (%d vs %d)", len(back.Records), len(recs))
+	}
+	if canonical, err := back.Spec.Canonical(); err != nil {
+		t.Errorf("reloaded spec lost its canonical form: %v", err)
+	} else if reloadedHash := engine.HashBytes(canonical); reloadedHash != hash {
+		t.Errorf("reloaded spec hashes to %s, stored under %s — the cache key would dangle", reloadedHash, hash)
 	}
 }

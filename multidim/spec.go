@@ -120,13 +120,19 @@ func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 		}
 	}
 	// Auto-selection needs the distinct-tuple support, which is the count
-	// engine's own start state — bucket once, share both ways.
+	// engine's own start state — bucket once, share both ways. An
+	// adversary forces the per-process engine outright (PickEngine can
+	// never answer count then), so the O(n·d) bucketing pass is skipped.
 	var tuples []Point
 	var counts []int64
 	selected := s.Engine
 	if selected == "" || selected == EngineAuto {
-		tuples, counts = distOf(pts, len(pts[0]))
-		selected = PickEngine(len(pts), len(tuples), adv != nil)
+		if adv != nil {
+			selected = EngineProcess
+		} else {
+			tuples, counts = distOf(pts, len(pts[0]))
+			selected = PickEngine(len(pts), len(tuples), false)
+		}
 	}
 	var out Result
 	switch selected {

@@ -341,7 +341,7 @@ func TestExpandBatchErrors(t *testing.T) {
 // TestRunBatchDedupes: identical cells coalesce in flight and the second
 // identical batch is served entirely from the cache.
 func TestRunBatchDedupes(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s := newTestService(t, Options{Workers: 2})
 	defer s.Close()
 	req := BatchRequest{
 		Template: medianTemplate(),

@@ -29,7 +29,10 @@ import (
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/metrics          MetricsSnapshot counters (JSON by default;
 //	                            Prometheus text format when the Accept
-//	                            header asks for text/plain or OpenMetrics)
+//	                            header asks for text/plain or OpenMetrics),
+//	                            persistent-store counters included when a
+//	                            Store is configured (records loaded/
+//	                            appended, bytes, compactions)
 //
 // Errors are returned as {"error": "..."} with conventional status codes
 // (400 invalid spec, 401 missing/bad bearer token on mutating endpoints

@@ -16,11 +16,21 @@ import (
 	"repro/service/client"
 )
 
+// newHTTPService is service.New for tests without a failing store path.
+func newHTTPService(t *testing.T, opts service.Options) *service.Service {
+	t.Helper()
+	s, err := service.New(opts)
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	return s
+}
+
 // TestEndToEndHTTP drives the full acceptance flow over httptest: submit a
 // two-value median run with n=1e5 via the typed client, poll to completion,
 // stream the NDJSON records, verify the cache-hit counter on resubmission.
 func TestEndToEndHTTP(t *testing.T) {
-	s := service.New(service.Options{Workers: 2})
+	s := newHTTPService(t, service.Options{Workers: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -106,7 +116,7 @@ func TestEndToEndHTTP(t *testing.T) {
 // 2-axis grid is expanded server-side, streamed cell by cell, and a second
 // identical submission is served entirely from the cache.
 func TestBatchEndToEndHTTP(t *testing.T) {
-	s := service.New(service.Options{Workers: 2})
+	s := newHTTPService(t, service.Options{Workers: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -175,7 +185,7 @@ func TestBatchEndToEndHTTP(t *testing.T) {
 // TestBodySizeCap: submissions beyond MaxBodyBytes get 413 on both submit
 // endpoints.
 func TestBodySizeCap(t *testing.T) {
-	s := service.New(service.Options{Workers: 1, MaxBodyBytes: 256})
+	s := newHTTPService(t, service.Options{Workers: 1, MaxBodyBytes: 256})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -208,7 +218,7 @@ func TestBodySizeCap(t *testing.T) {
 // TestSubmitRateLimit: the token bucket sheds excess submit requests with
 // 429 and a Retry-After hint, and counts them in the metrics.
 func TestSubmitRateLimit(t *testing.T) {
-	s := service.New(service.Options{Workers: 1, SubmitRate: 0.001, SubmitBurst: 2})
+	s := newHTTPService(t, service.Options{Workers: 1, SubmitRate: 0.001, SubmitBurst: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -253,7 +263,7 @@ func TestSubmitRateLimit(t *testing.T) {
 // TestMetricsContentNegotiation: JSON by default, Prometheus text format
 // for scrapers that ask for text/plain or OpenMetrics.
 func TestMetricsContentNegotiation(t *testing.T) {
-	s := service.New(service.Options{Workers: 1})
+	s := newHTTPService(t, service.Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -295,7 +305,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 // TestStreamFollowsLiveRun starts streaming before the run finishes and
 // must still see every record exactly once.
 func TestStreamFollowsLiveRun(t *testing.T) {
-	s := service.New(service.Options{Workers: 1})
+	s := newHTTPService(t, service.Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -340,7 +350,7 @@ func TestStreamFollowsLiveRun(t *testing.T) {
 // descriptor, sorted by kind, independent of registration order, and the
 // content matches the in-process registry exactly.
 func TestEnginesEndpoint(t *testing.T) {
-	s := service.New(service.Options{Workers: 1})
+	s := newHTTPService(t, service.Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -381,7 +391,7 @@ func TestEnginesEndpoint(t *testing.T) {
 // submits, streams round records, and a long one cancels mid-run over
 // DELETE — the acceptance flow for the first-class gossip kind.
 func TestGossipEndToEndHTTP(t *testing.T) {
-	s := service.New(service.Options{Workers: 1})
+	s := newHTTPService(t, service.Options{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -463,7 +473,7 @@ func TestGossipEndToEndHTTP(t *testing.T) {
 // TestBearerTokenAuth: with Options.AuthToken set, mutating endpoints
 // demand the token (401 otherwise) while read-only endpoints stay open.
 func TestBearerTokenAuth(t *testing.T) {
-	s := service.New(service.Options{Workers: 1, AuthToken: "s3cret"})
+	s := newHTTPService(t, service.Options{Workers: 1, AuthToken: "s3cret"})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/service/store"
 )
 
 // Metrics holds the service's monotonic counters and gauges. All fields are
@@ -23,9 +25,11 @@ type Metrics struct {
 	batchCellsExpanded  atomic.Int64
 	batchCellsCached    atomic.Int64
 	batchCellsCoalesced atomic.Int64
+	storeAppendErrors   atomic.Int64
 	workersBusy         atomic.Int64
 	workers             int
 	queueDepth          func() int
+	storeStats          func() store.Stats
 }
 
 // MetricsSnapshot is the JSON body of GET /v1/metrics.
@@ -52,6 +56,18 @@ type MetricsSnapshot struct {
 	BatchCellsExpanded  int64 `json:"batch_cells_expanded"`
 	BatchCellsCached    int64 `json:"batch_cells_cached"`
 	BatchCellsCoalesced int64 `json:"batch_cells_coalesced"`
+	// Store* report the persistent store (all zero when running in-memory
+	// only): records recovered by the last open, records dropped during
+	// recovery (corrupt tail or superseded duplicates), records appended
+	// by this process, the current file size, compacting rewrites, and
+	// write-through failures.
+	StoreRecordsLoaded   int64 `json:"store_records_loaded"`
+	StoreRecordsDropped  int64 `json:"store_records_dropped"`
+	StoreRecordsUnknown  int64 `json:"store_records_unknown"`
+	StoreRecordsAppended int64 `json:"store_records_appended"`
+	StoreBytes           int64 `json:"store_bytes"`
+	StoreCompactions     int64 `json:"store_compactions"`
+	StoreAppendErrors    int64 `json:"store_append_errors"`
 	// Workers is the pool size; WorkersBusy the number currently running a
 	// job; QueueDepth the number of jobs waiting for a worker.
 	Workers     int   `json:"workers"`
@@ -82,6 +98,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
 	}
+	if m.storeStats != nil {
+		st := m.storeStats()
+		s.StoreRecordsLoaded = st.RecordsLoaded
+		s.StoreRecordsDropped = st.RecordsDropped
+		s.StoreRecordsUnknown = st.RecordsUnknown
+		s.StoreRecordsAppended = st.RecordsAppended
+		s.StoreBytes = st.Bytes
+		s.StoreCompactions = st.Compactions
+	}
+	s.StoreAppendErrors = m.storeAppendErrors.Load()
 	if s.Workers > 0 {
 		s.WorkerUtilization = float64(s.WorkersBusy) / float64(s.Workers)
 	}
@@ -110,6 +136,13 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("consensusd_batch_cells_expanded_total", "Cells expanded from batch requests.", s.BatchCellsExpanded)
 	counter("consensusd_batch_cells_cached_total", "Batch cells answered from the result cache.", s.BatchCellsCached)
 	counter("consensusd_batch_cells_coalesced_total", "Batch cells absorbed by an identical earlier cell.", s.BatchCellsCoalesced)
+	counter("consensusd_store_records_loaded_total", "Records recovered from the persistent store at startup.", s.StoreRecordsLoaded)
+	counter("consensusd_store_records_dropped_total", "Store records dropped during recovery (corrupt or superseded).", s.StoreRecordsDropped)
+	counter("consensusd_store_records_unknown_total", "Intact store records this binary cannot decode (preserved, not loaded).", s.StoreRecordsUnknown)
+	counter("consensusd_store_records_appended_total", "Records written through to the persistent store.", s.StoreRecordsAppended)
+	counter("consensusd_store_compactions_total", "Compacting rewrites of the persistent store.", s.StoreCompactions)
+	counter("consensusd_store_append_errors_total", "Failed store write-throughs (job still completed).", s.StoreAppendErrors)
+	gauge("consensusd_store_bytes", "Persistent store file size in bytes.", float64(s.StoreBytes))
 	gauge("consensusd_workers", "Worker pool size.", float64(s.Workers))
 	gauge("consensusd_workers_busy", "Workers currently running a job.", float64(s.WorkersBusy))
 	gauge("consensusd_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))

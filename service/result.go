@@ -1,6 +1,9 @@
 package service
 
-import "repro/engine"
+import (
+	"repro/engine"
+	"repro/service/store"
+)
 
 // RunResult is the serializable outcome of a run of any spec kind, plus
 // the effective seed the run used, so any cached result can be reproduced.
@@ -26,6 +29,13 @@ type RunRecord struct {
 	SpecHash string    `json:"spec_hash"`
 	Result   RunResult `json:"result"`
 }
+
+// StoredRun is the persisted form of one completed run — the record the
+// Store backend commits on finish and replays on startup (an alias of
+// store.Run, the unit of the file store's CRC-framed log). It carries the
+// cache entry (spec hash, result, round records) plus the job metadata
+// needed to resurrect the run in the history.
+type StoredRun = store.Run
 
 // ErrCancelled is returned by Execute when the cancelled callback fired.
 var ErrCancelled = engine.ErrCancelled

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/engine"
+	"repro/service/store"
 )
 
 // Status is a job's lifecycle state.
@@ -71,6 +72,15 @@ type Options struct {
 	// must carry "Authorization: Bearer <token>" or they get 401.
 	// Read-only endpoints stay open ("" = no auth).
 	AuthToken string
+	// StorePath, when non-empty, backs the result cache and job history
+	// with the file store at that path (package service/store): completed
+	// runs are written through on finish and reloaded by New, so cache
+	// hits survive restarts. "" = in-memory only.
+	StorePath string
+	// Store injects a persistence backend directly; it takes precedence
+	// over StorePath. New closes it on failure and Service.Close closes
+	// it on shutdown. nil (with StorePath empty) = in-memory only.
+	Store Store
 }
 
 func (o Options) withDefaults() Options {
@@ -221,6 +231,7 @@ type Service struct {
 	opts    Options
 	metrics *Metrics
 	cache   *resultCache
+	store   Store
 	limiter *tokenBucket
 	queue   chan *Job
 
@@ -234,24 +245,46 @@ type Service struct {
 	wg sync.WaitGroup
 }
 
-// New starts a Service with opts.Workers workers.
-func New(opts Options) *Service {
+// New starts a Service with opts.Workers workers. With a persistence
+// backend configured (Options.StorePath or Options.Store), it reloads
+// the persisted runs into the result cache and job history before
+// accepting work; opening or replaying a corrupt-beyond-recovery store
+// is the only error path.
+func New(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
+	st := opts.Store
+	if st == nil && opts.StorePath != "" {
+		l, err := store.Open(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		st = l
+	}
+	if st == nil {
+		st = nullStore{}
+	}
 	s := &Service{
 		opts:    opts,
 		metrics: &Metrics{workers: opts.Workers},
 		cache:   newResultCache(opts.CacheSize),
+		store:   st,
 		limiter: newTokenBucket(opts.SubmitRate, float64(opts.SubmitBurst)),
 		queue:   make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]*Job),
 	}
 	s.metrics.queueDepth = func() int { return len(s.queue) }
+	s.metrics.storeStats = st.Stats
+	if err := s.reload(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	s.evictLocked() // reloaded history still honors the MaxJobs bound
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops accepting jobs, cancels everything still queued and waits
@@ -276,6 +309,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	_ = s.store.Close()
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -510,6 +544,7 @@ func (s *Service) finish(j *Job, st Status, res *RunResult, errMsg string) {
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	records, truncated := j.records, j.truncated
+	started, finished := j.started, j.finished
 	j.wake()
 	j.mu.Unlock()
 	switch st {
@@ -518,6 +553,16 @@ func (s *Service) finish(j *Job, st Status, res *RunResult, errMsg string) {
 		// that misses the pending map must then hit the cache.
 		s.cache.put(j.hash, &cacheEntry{result: *res, records: records, truncated: truncated})
 		s.metrics.jobsCompleted.Add(1)
+		// Write through to the persistent store. A write failure must not
+		// fail the job — the result is correct and cached — so it is only
+		// counted (store_append_errors in /v1/metrics).
+		if err := s.store.Append(StoredRun{
+			ID: j.id, SpecHash: j.hash, Spec: j.spec,
+			Result: *res, Records: records, Truncated: truncated,
+			Created: j.created, Started: started, Finished: finished,
+		}); err != nil {
+			s.metrics.storeAppendErrors.Add(1)
+		}
 	case StatusFailed:
 		s.metrics.jobsFailed.Add(1)
 	case StatusCancelled:

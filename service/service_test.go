@@ -8,6 +8,16 @@ import (
 	"repro/multidim"
 )
 
+// newTestService is New for tests without a failing store path.
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func waitDone(t *testing.T, s *Service, id string) JobView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -28,7 +38,7 @@ func waitDone(t *testing.T, s *Service, id string) JobView {
 // TestCacheHitDeterminism: a second identical submission is answered from
 // the cache with the identical result and records, without re-running.
 func TestCacheHitDeterminism(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s := newTestService(t, Options{Workers: 2})
 	defer s.Close()
 	spec := Spec{Seed: 9, Payload: &MedianSpec{
 		Init: InitSpec{Kind: "twovalue", N: 2000},
@@ -83,7 +93,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 
 // TestCancelRunning cancels a long run mid-flight via the observer hook.
 func TestCancelRunning(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	// A voter run large enough to take a while under MaxRounds pressure.
 	spec := Spec{Seed: 2, MaxRounds: 1 << 20, Payload: &MedianSpec{
@@ -131,7 +141,7 @@ func TestCancelRunning(t *testing.T) {
 // shared observer hook, so DELETE /v1/runs stops a gossip run
 // mid-simulation, not just between runs.
 func TestCancelGossipMidRun(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	// voter over the message-passing simulator converges in Θ(n) rounds of
 	// Θ(n) work each — slow enough to be caught mid-flight.
@@ -177,7 +187,7 @@ func TestCancelGossipMidRun(t *testing.T) {
 // records built straight from the tuple counts — so DELETE /v1/runs stops
 // it mid-simulation exactly like the per-process path.
 func TestCancelMultidimCountMidRun(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	// A population far past what the per-process path is pleasant at, over
 	// ≤4 distinct tuples: auto resolves to the count engine, and the run
@@ -229,7 +239,7 @@ func TestCancelMultidimCountMidRun(t *testing.T) {
 // TestCacheHitNewKinds: the cache-determinism guarantee extends to the
 // multidim and robust kinds.
 func TestCacheHitNewKinds(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s := newTestService(t, Options{Workers: 2})
 	defer s.Close()
 	specs := []Spec{
 		{Kind: KindMultidim, Seed: 4, Payload: &MultidimSpec{
@@ -263,7 +273,7 @@ func TestCacheHitNewKinds(t *testing.T) {
 
 // TestCancelQueued cancels a job before a worker picks it up.
 func TestCancelQueued(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	blocker := Spec{Seed: 4, MaxRounds: 1 << 20, Payload: &MedianSpec{
 		Init: InitSpec{Kind: "twovalue", N: 4000},
@@ -295,7 +305,7 @@ func TestCancelQueued(t *testing.T) {
 
 // TestCloseCancelsQueued: Close must not run the backlog to completion.
 func TestCloseCancelsQueued(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	blocker := Spec{Seed: 6, MaxRounds: 1 << 20, Payload: &MedianSpec{
 		Init: InitSpec{Kind: "twovalue", N: 4000},
 		Rule: RuleSpec{Name: "voter"},
@@ -329,7 +339,7 @@ func TestCloseCancelsQueued(t *testing.T) {
 // TestJobEviction: the job history is bounded; oldest terminal jobs are
 // evicted while their cached results stay servable.
 func TestJobEviction(t *testing.T) {
-	s := New(Options{Workers: 2, MaxJobs: 3})
+	s := newTestService(t, Options{Workers: 2, MaxJobs: 3})
 	defer s.Close()
 	var ids []string
 	for seed := uint64(1); seed <= 6; seed++ {
@@ -368,7 +378,7 @@ func TestJobEviction(t *testing.T) {
 // TestCoalesceInFlight: an identical spec submitted while the first run is
 // still queued/running returns the existing job instead of re-executing.
 func TestCoalesceInFlight(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	spec := Spec{Seed: 8, MaxRounds: 1 << 20, Payload: &MedianSpec{
 		Init: InitSpec{Kind: "twovalue", N: 4000},
@@ -411,7 +421,7 @@ func TestCoalesceInFlight(t *testing.T) {
 
 // TestSubmitPopulationLimit rejects specs beyond the MaxN admission bound.
 func TestSubmitPopulationLimit(t *testing.T) {
-	s := New(Options{Workers: 1, MaxN: 1000})
+	s := newTestService(t, Options{Workers: 1, MaxN: 1000})
 	defer s.Close()
 	if _, err := s.Submit(Spec{Payload: &MedianSpec{
 		Init: InitSpec{Kind: "distinct", N: 1001},
@@ -435,7 +445,7 @@ func TestSubmitPopulationLimit(t *testing.T) {
 
 // TestSubmitInvalidSpec surfaces validation errors at submit time.
 func TestSubmitInvalidSpec(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	if _, err := s.Submit(Spec{Payload: &MedianSpec{Init: InitSpec{Kind: "twovalue", N: 10}, Rule: RuleSpec{Name: "nope"}}}); err == nil {
 		t.Fatal("invalid spec must be rejected")

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the on-disk format golden file")
+
+// TestGoldenFormat pins the version-1 on-disk format byte for byte: the
+// 16-byte header ("consensus-store" + the format version byte 0x01) and
+// one CRC-framed record. Any change to the magic, the version byte, the
+// frame layout or the Run JSON codec fails here — if the change is
+// intentional, bump FormatVersion (readers refuse unknown versions, which
+// is the upgrade path: a store written under one codec is never misread
+// under another) and regenerate with
+//
+//	go test ./service/store -run TestGoldenFormat -update
+func TestGoldenFormat(t *testing.T) {
+	golden := filepath.Join("testdata", "store_format_v1.golden")
+
+	path := filepath.Join(t.TempDir(), "golden.store")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRun(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("on-disk format changed without a FormatVersion bump:\n got  %d bytes: %q\n want %d bytes: %q",
+			len(got), got, len(want), want)
+	}
+
+	// Structural pins, so a failure says what moved.
+	if string(got[:15]) != magic {
+		t.Fatalf("magic = %q, want %q", got[:15], magic)
+	}
+	if got[15] != FormatVersion {
+		t.Fatalf("format version byte = %d, want %d", got[15], FormatVersion)
+	}
+
+	// The golden file itself must still load: the pinned bytes are a real
+	// store, not just a byte string.
+	goldenCopy := filepath.Join(t.TempDir(), "golden-copy.store")
+	if err := os.WriteFile(goldenCopy, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(goldenCopy)
+	if err != nil {
+		t.Fatalf("golden file does not open: %v", err)
+	}
+	runs := loadAll(t, l2)
+	st := l2.Stats()
+	l2.Close()
+	if len(runs) != 1 || st.RecordsDropped != 0 || st.Compactions != 0 {
+		t.Fatalf("golden file recovery: %d runs, stats %+v; want 1 clean record", len(runs), st)
+	}
+	if wantRun := testRun(t, 0); runs[0].SpecHash != wantRun.SpecHash ||
+		!reflect.DeepEqual(runs[0].Result, wantRun.Result) ||
+		!reflect.DeepEqual(runs[0].Records, wantRun.Records) {
+		t.Fatalf("golden record decoded differently:\n got  %+v\n want %+v", runs[0], wantRun)
+	}
+}

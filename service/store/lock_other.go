@@ -1,0 +1,7 @@
+//go:build !unix
+
+package store
+
+// lockFile is a no-op where flock does not exist; single-writer use is
+// then the operator's responsibility.
+func lockFile(uintptr) error { return nil }

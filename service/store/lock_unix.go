@@ -1,0 +1,13 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// lockFile takes an exclusive, non-blocking advisory lock on the store
+// file, so two processes pointed at one path fail fast at startup instead
+// of interleaving appends into CRC soup. The lock lives on the inode and
+// is released by the kernel when the descriptor closes — crash included.
+func lockFile(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}

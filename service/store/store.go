@@ -1,0 +1,494 @@
+// Package store is the file-backed persistence layer behind the service's
+// result cache and job history: an append-only log of CRC-framed JSON
+// records, one per completed run, fsynced on every commit and compacted on
+// open. It has no dependencies beyond the standard library and package
+// engine, and no knowledge of the service's locking or HTTP layers — the
+// service package adapts *Log to its Store interface.
+//
+// # On-disk format (version 1)
+//
+// A store file is a 16-byte header followed by zero or more frames:
+//
+//	header  = "consensus-store" (15 bytes) || version (1 byte, 0x01)
+//	frame   = length (4 bytes LE) || crc (4 bytes LE) || payload
+//	payload = the JSON encoding of one Run (see EncodeRun)
+//
+// The crc is the CRC-32 (Castagnoli) of the payload bytes. The final
+// header byte is the format version: readers refuse files whose version
+// they do not know, and any change to the framing or the Run codec that
+// is not purely additive must bump FormatVersion. Cache keys are
+// canonical spec hashes, which may change from release to release — the
+// version byte is what lets a reader reject a store written under an
+// incompatible codec instead of serving stale entries under new keys.
+//
+// # Recovery and compaction
+//
+// Open scans the whole file, streaming frame by frame. A truncated tail
+// (a partial frame, e.g. from a crash mid-append) or a frame whose CRC
+// does not match ends the scan: everything from the bad frame on is
+// dropped, everything before it is kept — append-only framing means
+// bytes after a corrupt frame cannot be trusted to be frame-aligned. A
+// frame whose CRC matches but whose payload this binary cannot decode
+// (e.g. a run of a kind it does not register) is preserved opaquely: not
+// loaded, but never destroyed, so a fuller binary can still read it
+// later. When records were dropped, or the same spec hash appears more
+// than once (later records win), Open rewrites the file compacted —
+// survivors plus opaque frames — through an fsynced temp file renamed
+// into place, so a crash during compaction leaves either the old or the
+// new file, never a mix.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/engine"
+)
+
+// FormatVersion is the store format version byte, the final byte of the
+// file header. Version 1: CRC-32C framed JSON Run records.
+const FormatVersion = 1
+
+// magic is the header prefix identifying a store file.
+const magic = "consensus-store"
+
+const (
+	headerSize      = len(magic) + 1
+	frameHeaderSize = 8
+	// maxPayload bounds a frame's declared payload length; anything larger
+	// is treated as corruption (a flipped length byte must not make the
+	// reader attempt a multi-gigabyte allocation).
+	maxPayload = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("store: log is closed")
+
+// Header returns the version-1 file header: the magic followed by the
+// format version byte.
+func Header() []byte {
+	return append([]byte(magic), FormatVersion)
+}
+
+// Run is the persisted form of one completed run: the job metadata, the
+// spec, its canonical hash (the cache key), the result and the captured
+// round records. Decoding resolves the spec's kind through the engine
+// registry, so a binary can only reload runs of kinds it has registered.
+type Run struct {
+	// ID is the job id the run completed under ("" for runs persisted
+	// outside the job lifecycle).
+	ID string `json:"id,omitempty"`
+	// SpecHash is the canonical spec hash — the result-cache key.
+	SpecHash string `json:"spec_hash"`
+	// Spec is the normalized spec the run executed.
+	Spec engine.Spec `json:"spec"`
+	// Result is the run's outcome, effective seed included.
+	Result engine.Result `json:"result"`
+	// Records is the captured round-by-round stream; Truncated counts
+	// rounds beyond the service's per-job record bound.
+	Records   []engine.Record `json:"records,omitempty"`
+	Truncated int             `json:"truncated,omitempty"`
+	// Created, Started and Finished are the job's lifecycle timestamps.
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// EncodeRun renders a Run as its frame payload — deterministic for a
+// normalized spec (the spec codec sorts keys), so encode∘decode∘encode is
+// byte-identical.
+func EncodeRun(r Run) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeRun parses a frame payload. The spec's kind must be registered.
+func DecodeRun(payload []byte) (Run, error) {
+	var r Run
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Run{}, err
+	}
+	return r, nil
+}
+
+// Stats reports a log's lifetime counters, surfaced on /v1/metrics.
+type Stats struct {
+	// RecordsLoaded is the number of records the last Open recovered;
+	// RecordsDropped the number it discarded (corrupt tail, CRC mismatch,
+	// or superseded by a later record for the same spec hash);
+	// RecordsUnknown the number of intact records this binary cannot
+	// decode (e.g. a kind it does not register) — preserved on disk
+	// through compactions, but not loaded.
+	RecordsLoaded  int64 `json:"records_loaded"`
+	RecordsDropped int64 `json:"records_dropped"`
+	RecordsUnknown int64 `json:"records_unknown"`
+	// RecordsAppended counts successful Append calls on this handle.
+	RecordsAppended int64 `json:"records_appended"`
+	// Bytes is the current file size, header included.
+	Bytes int64 `json:"bytes"`
+	// Compactions counts rewrites (1 when Open compacted, 0 otherwise).
+	Compactions int64 `json:"compactions"`
+}
+
+// Log is an open store file. Open recovers and compacts it; Append
+// commits one record with an fsync; Load replays what Open recovered.
+// Append and Stats are safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	stats  Stats
+	loaded []Run
+}
+
+// Open opens (or creates) the store file at path, recovering every intact
+// record and compacting the file when anything was dropped or superseded.
+// The recovered records are replayed by Load, in append order. Recovery
+// streams the file frame by frame, so transient memory is one frame plus
+// the decoded records — never a second, raw copy of the whole file.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := lockFile(f.Fd()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{f: f, path: path}
+	if info.Size() == 0 {
+		if err := l.writeAndSync(Header()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.stats.Bytes = int64(headerSize)
+		return l, nil
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	hdr := make([]byte, headerSize)
+	if n, err := io.ReadFull(br, hdr); err != nil {
+		// A short file that prefix-matches our header is our own
+		// interrupted creation (crash before the header write was
+		// durable), not a foreign file: reinitialize it instead of
+		// bricking the path.
+		if err == io.ErrUnexpectedEOF && bytes.Equal(hdr[:n], Header()[:n]) {
+			if err := l.reinit(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			return l, nil
+		}
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a store file", path)
+	}
+	if !bytes.HasPrefix(hdr, []byte(magic)) {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a store file", path)
+	}
+	if v := hdr[len(magic)]; v != FormatVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has format version %d, this binary reads version %d", path, v, FormatVersion)
+	}
+	frames, dropped, dirty, err := scanReader(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, fr := range frames {
+		if fr.decoded {
+			l.loaded = append(l.loaded, fr.run)
+		} else {
+			l.stats.RecordsUnknown++
+		}
+	}
+	l.stats.RecordsLoaded = int64(len(l.loaded))
+	l.stats.RecordsDropped = dropped
+	if dirty {
+		if err := l.compact(frames); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.stats.Compactions++
+	} else {
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.stats.Bytes = info.Size()
+	}
+	return l, nil
+}
+
+// frameRec is one CRC-valid frame as scanned. Frames this binary can
+// decode carry their Run (the payload is re-encoded at compaction time,
+// deterministically); frames it cannot — e.g. a run of a kind not
+// registered here — keep their raw payload so a compaction carries them
+// through opaquely instead of destroying intact data.
+type frameRec struct {
+	run     Run
+	payload []byte
+	decoded bool
+}
+
+// scanReader walks the framed region of a store file. It returns the
+// surviving frames in append order (later records for the same spec hash
+// replace earlier ones in place), the number of records dropped, and
+// whether the file needs a compacting rewrite — only actual corruption
+// (truncated or CRC-failing tail) or superseded duplicates count as
+// dropped and dirty; undecodable-but-intact frames are preserved. err is
+// only a genuine read failure, which must abort the open rather than
+// compact surviving records over unreadable ones.
+func scanReader(r io.Reader) (frames []frameRec, dropped int64, dirty bool, err error) {
+	index := map[string]int{}
+	hdr := make([]byte, frameHeaderSize)
+	for {
+		if _, e := io.ReadFull(r, hdr); e != nil {
+			switch e {
+			case io.EOF: // clean end on a frame boundary
+				return frames, dropped, dirty, nil
+			case io.ErrUnexpectedEOF: // partial frame header: crash mid-append
+				return frames, dropped, true, nil
+			default:
+				return frames, dropped, dirty, e
+			}
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxPayload {
+			return frames, dropped + 1, true, nil
+		}
+		payload := make([]byte, length)
+		if _, e := io.ReadFull(r, payload); e != nil {
+			if e == io.EOF || e == io.ErrUnexpectedEOF { // truncated payload
+				return frames, dropped + 1, true, nil
+			}
+			return frames, dropped, dirty, e
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			// A frame that fails its CRC poisons everything after it:
+			// if the corrupt byte was in the length field, the rest of
+			// the file is not frame-aligned.
+			return frames, dropped + 1, true, nil
+		}
+		run, e := DecodeRun(payload)
+		if e != nil || run.SpecHash == "" {
+			// CRC-intact but not decodable by this binary (a kind it does
+			// not register, or a record without a cache key): preserved
+			// opaquely, not loaded. Compaction must never destroy intact
+			// data a fuller binary could still read.
+			frames = append(frames, frameRec{payload: payload})
+			continue
+		}
+		if i, dup := index[run.SpecHash]; dup {
+			frames[i] = frameRec{run: run, decoded: true} // later write wins
+			dropped++
+			dirty = true
+			continue
+		}
+		index[run.SpecHash] = len(frames)
+		frames = append(frames, frameRec{run: run, decoded: true})
+	}
+}
+
+// scan is scanReader over an in-memory framed region, returning only the
+// decoded runs (tests and fuzzing; a bytes.Reader cannot fail).
+func scan(data []byte) ([]Run, int64, bool) {
+	frames, dropped, dirty, _ := scanReader(bytes.NewReader(data))
+	var runs []Run
+	for _, fr := range frames {
+		if fr.decoded {
+			runs = append(runs, fr.run)
+		}
+	}
+	return runs, dropped, dirty
+}
+
+// compact rewrites the store as header + the surviving frames (decoded
+// runs re-encoded, unknown-kind frames carried through verbatim), via a
+// temp file in the same directory renamed over the original.
+func (l *Log) compact(frames []frameRec) error {
+	dir, base := filepath.Split(l.path)
+	tmp, err := os.CreateTemp(dir, base+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	size := int64(headerSize)
+	if _, err := tmp.Write(Header()); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, fr := range frames {
+		payload := fr.payload
+		if fr.decoded {
+			if payload, err = EncodeRun(fr.run); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+		n, err := tmp.Write(frame(payload))
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		size += int64(n)
+	}
+	// CreateTemp's 0600 must not leak onto the store: keep the original
+	// file's mode so sidecar readers (backups, monitoring) survive the
+	// rewrite.
+	if info, err := l.f.Stat(); err == nil {
+		_ = tmp.Chmod(info.Mode().Perm())
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	// Reopen the renamed file for appending and lock it before dropping
+	// the old descriptor — the flock lives on the inode, and the rename
+	// just created a new one.
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := lockFile(f.Fd()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s is locked by another process: %w", l.path, err)
+	}
+	l.f.Close()
+	l.f = f
+	l.stats.Bytes = size
+	return nil
+}
+
+// reinit rewrites the file as a fresh, empty store (header only).
+func (l *Log) reinit() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.writeAndSync(Header()); err != nil {
+		return err
+	}
+	l.stats.Bytes = int64(headerSize)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash; on
+// platforms where directories cannot be fsynced the rename is still
+// atomic, so errors are ignored.
+func syncDir(dir string) {
+	if dir == "" {
+		dir = "."
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// frame wraps a payload in the length+CRC frame header.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderSize:], payload)
+	return buf
+}
+
+// Load replays the records Open recovered, in append order, then releases
+// them. A second call is a no-op. apply returning an error stops the
+// replay and returns that error (already-applied records stay applied).
+func (l *Log) Load(apply func(Run) error) error {
+	l.mu.Lock()
+	runs := l.loaded
+	l.loaded = nil
+	l.mu.Unlock()
+	for _, r := range runs {
+		if err := apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append commits one record: a single frame write followed by an fsync,
+// so a record either survives a crash whole or is dropped by the next
+// Open's tail recovery.
+func (l *Log) Append(r Run) error {
+	payload, err := EncodeRun(r)
+	if err != nil {
+		return err
+	}
+	// A frame the reader would refuse must never be written: an oversized
+	// record would not just be lost itself, it would end the recovery
+	// scan and take every record appended after it along.
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxPayload)
+	}
+	buf := frame(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	if err := l.writeAndSync(buf); err != nil {
+		return err
+	}
+	l.stats.RecordsAppended++
+	l.stats.Bytes += int64(len(buf))
+	return nil
+}
+
+// writeAndSync writes buf and fsyncs; callers hold l.mu (or own l
+// exclusively during Open).
+func (l *Log) writeAndSync(buf []byte) error {
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close fsyncs and closes the file. Further Appends return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

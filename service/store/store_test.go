@@ -1,0 +1,532 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/engine"
+
+	_ "repro/consensus" // register the median kind for Run spec decoding
+)
+
+// testRun builds a deterministic Run around a real median spec; i varies
+// the seed so hashes differ.
+func testRun(t *testing.T, i int) Run {
+	t.Helper()
+	r, err := makeRun(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func makeRun(i int) (Run, error) {
+	var spec engine.Spec
+	raw := fmt.Sprintf(`{"kind":"median","seed":%d,"init":{"kind":"twovalue","n":100},"rule":{"name":"median"}}`, i+1)
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return Run{}, err
+	}
+	spec = spec.Normalize()
+	hash, err := spec.Hash()
+	if err != nil {
+		return Run{}, err
+	}
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return Run{
+		ID:       fmt.Sprintf("r-%d", i+1),
+		SpecHash: hash,
+		Spec:     spec,
+		Result: engine.Result{
+			Rounds: i + 2, Reason: "consensus",
+			Winner: 2, WinnerCount: 100, StableSince: i + 1, Seed: uint64(i + 1),
+		},
+		Records: []engine.Record{
+			{Round: 0, N: 100, Support: 2, Leader: 1, LeaderCount: 50},
+			{Round: 1, N: 100, Support: 1, Leader: 2, LeaderCount: 100},
+		},
+		Created:  base,
+		Started:  base.Add(time.Second),
+		Finished: base.Add(2 * time.Second),
+	}, nil
+}
+
+// writeRuns creates a store at path with n runs and returns the file size
+// after each append (the frame boundaries truncation tests cut at).
+func writeRuns(t *testing.T, path string, n int) []int64 {
+	t.Helper()
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := []int64{l.Stats().Bytes}
+	for i := 0; i < n; i++ {
+		if err := l.Append(testRun(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, l.Stats().Bytes)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != boundaries[len(boundaries)-1] {
+		t.Fatalf("stats bytes %d != file size %d", boundaries[len(boundaries)-1], info.Size())
+	}
+	return boundaries
+}
+
+func loadAll(t *testing.T, l *Log) []Run {
+	t.Helper()
+	var runs []Run
+	if err := l.Load(func(r Run) error { runs = append(runs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+// TestRunCodecRoundTrip: encode∘decode∘encode is byte-identical and the
+// decoded Run is deeply equal to the original.
+func TestRunCodecRoundTrip(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		run := testRun(t, i)
+		buf, err := EncodeRun(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeRun(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := EncodeRun(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("codec not byte-stable:\n first  %s\n second %s", buf, again)
+		}
+		if !reflect.DeepEqual(run.Result, back.Result) || !reflect.DeepEqual(run.Records, back.Records) {
+			t.Fatalf("decoded run differs: %+v vs %+v", run, back)
+		}
+		if c, _ := run.Spec.Canonical(); true {
+			c2, _ := back.Spec.Canonical()
+			if !bytes.Equal(c, c2) {
+				t.Fatalf("spec canonical changed through the codec: %s vs %s", c, c2)
+			}
+		}
+	}
+}
+
+// TestAppendReopenLoad: an append-close-open cycle replays every record,
+// in order, without a compaction.
+func TestAppendReopenLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.store")
+	writeRuns(t, path, 3)
+
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if st.RecordsLoaded != 3 || st.RecordsDropped != 0 || st.Compactions != 0 {
+		t.Fatalf("clean reopen stats: %+v", st)
+	}
+	runs := loadAll(t, l)
+	if len(runs) != 3 {
+		t.Fatalf("loaded %d runs, want 3", len(runs))
+	}
+	for i, r := range runs {
+		want := testRun(t, i)
+		if r.ID != want.ID || r.SpecHash != want.SpecHash ||
+			!reflect.DeepEqual(r.Result, want.Result) || !reflect.DeepEqual(r.Records, want.Records) ||
+			!r.Created.Equal(want.Created) || !r.Finished.Equal(want.Finished) {
+			t.Fatalf("run %d does not round-trip:\n got  %+v\n want %+v", i, r, want)
+		}
+	}
+	// Load is one-shot: a second replay is empty.
+	if again := loadAll(t, l); len(again) != 0 {
+		t.Fatalf("second Load replayed %d runs, want 0", len(again))
+	}
+	// The handle still appends.
+	if err := l.Append(testRun(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedTailRecovery cuts the file at every byte offset: Open must
+// recover exactly the records whose frames lie fully before the cut, drop
+// the partial tail, and heal the file so the next open is clean.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.store")
+	boundaries := writeRuns(t, full, 3)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	complete := func(cut int64) int {
+		n := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+
+	path := filepath.Join(dir, "cut.store")
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Cuts inside the header (a crash during creation) reinitialize
+		// to an empty store; complete() already answers 0 for them.
+		want := complete(cut)
+		runs := loadAll(t, l)
+		if len(runs) != want {
+			l.Close()
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(runs), want)
+		}
+		for i, r := range runs {
+			if wantRun := testRun(t, i); r.SpecHash != wantRun.SpecHash || !reflect.DeepEqual(r.Result, wantRun.Result) {
+				l.Close()
+				t.Fatalf("cut %d: surviving record %d corrupted: %+v", cut, i, r)
+			}
+		}
+		st := l.Stats()
+		if cut > int64(headerSize) && boundaries[complete(cut)] != cut && st.Compactions != 1 {
+			l.Close()
+			t.Fatalf("cut %d severs a frame but no compaction ran: %+v", cut, st)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The recovered file reopens clean, with nothing further dropped.
+		l2, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", cut, err)
+		}
+		if st2 := l2.Stats(); st2.RecordsLoaded != int64(want) || st2.RecordsDropped != 0 || st2.Compactions != 0 {
+			l2.Close()
+			t.Fatalf("cut %d: healed file not clean: %+v", cut, st2)
+		}
+		l2.Close()
+	}
+}
+
+// TestBitFlippedCRC flips every bit of the middle record's CRC field: the
+// records before it must survive, it and everything after must be
+// dropped (a corrupt frame cannot vouch for the alignment that follows).
+func TestBitFlippedCRC(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.store")
+	boundaries := writeRuns(t, full, 3)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crcStart := boundaries[1] + 4 // second frame: length(4) then crc(4)
+	path := filepath.Join(dir, "flip.store")
+	for off := crcStart; off < crcStart+4; off++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := bytes.Clone(data)
+			corrupted[off] ^= 1 << bit
+			if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := Open(path)
+			if err != nil {
+				t.Fatalf("flip %d/%d: %v", off, bit, err)
+			}
+			runs := loadAll(t, l)
+			st := l.Stats()
+			l.Close()
+			if len(runs) != 1 {
+				t.Fatalf("flip %d/%d: recovered %d records, want 1 (before the corrupt frame)", off, bit, len(runs))
+			}
+			if want := testRun(t, 0); runs[0].SpecHash != want.SpecHash || !reflect.DeepEqual(runs[0].Result, want.Result) {
+				t.Fatalf("flip %d/%d: surviving record corrupted: %+v", off, bit, runs[0])
+			}
+			if st.RecordsDropped == 0 || st.Compactions != 1 {
+				t.Fatalf("flip %d/%d: corruption not surfaced in stats: %+v", off, bit, st)
+			}
+		}
+	}
+
+	// A flip in the last record's payload drops only that record.
+	payloadOff := boundaries[2] + frameHeaderSize + 3
+	corrupted := bytes.Clone(data)
+	corrupted[payloadOff] ^= 0x10
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := loadAll(t, l)
+	l.Close()
+	if len(runs) != 2 {
+		t.Fatalf("payload flip in last record: recovered %d, want 2", len(runs))
+	}
+}
+
+// TestCompactionDedupes: a later record for the same spec hash supersedes
+// the earlier one at open, and the rewrite drops the dead bytes.
+func TestCompactionDedupes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.store")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := testRun(t, 0)
+	updated := old
+	updated.Result.Rounds = 99
+	for _, r := range []Run{old, testRun(t, 1), updated} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := l.Stats().Bytes
+	l.Close()
+
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := loadAll(t, l)
+	st := l.Stats()
+	l.Close()
+	if len(runs) != 2 {
+		t.Fatalf("loaded %d runs, want 2 after dedupe", len(runs))
+	}
+	if runs[0].Result.Rounds != 99 {
+		t.Fatalf("dedupe must keep the later record, got rounds %d", runs[0].Result.Rounds)
+	}
+	if st.RecordsDropped != 1 || st.Compactions != 1 {
+		t.Fatalf("dedupe stats: %+v", st)
+	}
+	if st.Bytes >= sizeBefore {
+		t.Fatalf("compaction did not shrink the file: %d -> %d", sizeBefore, st.Bytes)
+	}
+	// The compacting rewrite must not narrow the file's permissions to
+	// CreateTemp's 0600.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got == 0o600 {
+		t.Fatalf("compaction narrowed the store's mode to %v", got)
+	}
+}
+
+// TestOpenLocked: a second handle on the same live store path must fail
+// fast instead of interleaving appends with the first.
+func TestOpenLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.store")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second open of a live store: %v, want locked error", err)
+	}
+	// Closing releases the lock.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestHeaderRejection: foreign files and unknown format versions refuse
+// to open instead of being clobbered or misread; only our own partially
+// written header (crash during creation) is reinitialized.
+func TestHeaderRejection(t *testing.T) {
+	dir := t.TempDir()
+
+	foreign := filepath.Join(dir, "foreign")
+	if err := os.WriteFile(foreign, []byte("definitely not a store file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(foreign); err == nil || !strings.Contains(err.Error(), "not a store file") {
+		t.Fatalf("foreign file: %v, want not-a-store-file error", err)
+	}
+
+	shortForeign := filepath.Join(dir, "short-foreign")
+	if err := os.WriteFile(shortForeign, []byte("xyz"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(shortForeign); err == nil || !strings.Contains(err.Error(), "not a store file") {
+		t.Fatalf("short foreign file: %v, want not-a-store-file error", err)
+	}
+
+	// A partial header that prefix-matches ours is an interrupted
+	// creation: reinitialized, fully usable.
+	partial := filepath.Join(dir, "partial")
+	if err := os.WriteFile(partial, Header()[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(partial)
+	if err != nil {
+		t.Fatalf("partial header must reinitialize, got: %v", err)
+	}
+	if err := l.Append(testRun(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, err = Open(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.RecordsLoaded != 1 || st.RecordsDropped != 0 {
+		l.Close()
+		t.Fatalf("reinitialized store: %+v, want 1 clean record", st)
+	}
+	l.Close()
+
+	future := filepath.Join(dir, "future")
+	h := Header()
+	h[len(h)-1] = FormatVersion + 1
+	if err := os.WriteFile(future, h, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(future); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: %v, want version error", err)
+	}
+}
+
+// TestUnknownKindPreserved: a CRC-valid record this binary cannot decode
+// (a kind missing from its registry) is not loaded but survives on disk
+// — including through a compaction — so a fuller binary can still read
+// it. Compaction must never destroy intact data.
+func TestUnknownKindPreserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.store")
+	unknownPayload := []byte(`{"spec_hash":"feedface","spec":{"kind":"from-the-future","n":8}}`)
+
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRun(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.writeAndSync(frame(unknownPayload)); err != nil { // a foreign binary's append
+		t.Fatal(err)
+	}
+	if err := l.Append(testRun(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Clean reopen: 2 loaded, 1 unknown, nothing dropped, no rewrite.
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.RecordsLoaded != 2 || st.RecordsUnknown != 1 || st.RecordsDropped != 0 || st.Compactions != 0 {
+		l.Close()
+		t.Fatalf("reopen with unknown record: %+v", st)
+	}
+	// Force a compaction: a duplicate of run 0 makes the file dirty.
+	if err := l.Append(testRun(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	runs := loadAll(t, l)
+	l.Close()
+	if st.Compactions != 1 || st.RecordsUnknown != 1 || len(runs) != 2 {
+		t.Fatalf("compacting reopen: %d runs, stats %+v; want 2 runs, 1 unknown, 1 compaction", len(runs), st)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, unknownPayload) {
+		t.Fatal("compaction destroyed the unknown-kind record")
+	}
+	// And the healed file is stable: one more open changes nothing.
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.RecordsLoaded != 2 || st.RecordsUnknown != 1 || st.Compactions != 0 {
+		l.Close()
+		t.Fatalf("post-compaction reopen: %+v", st)
+	}
+	l.Close()
+}
+
+// TestAppendRejectsOversizedRecord: a record whose frame the reader would
+// refuse (payload > maxPayload) is rejected at append time — writing it
+// would poison the log for every record after it.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.store")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	big := testRun(t, 0)
+	big.ID = strings.Repeat("x", maxPayload) // encodes past the frame limit
+	if err := l.Append(big); err == nil || !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("oversized append: %v, want frame-limit error", err)
+	}
+	// The refused append left no partial frame behind.
+	if err := l.Append(testRun(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l2.Stats()
+	l2.Close()
+	if st.RecordsLoaded != 1 || st.RecordsDropped != 0 {
+		t.Fatalf("after refused append: %+v, want 1 clean record", st)
+	}
+}
+
+// TestAppendAfterClose returns ErrClosed.
+func TestAppendAfterClose(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "runs.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRun(t, 0)); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
