@@ -12,7 +12,10 @@
 //	consensusctl batch -spec batch.json
 //	consensusctl engines
 //	consensusctl get r-1
-//	consensusctl watch r-1
+//	consensusctl watch r-1        # one run's round records
+//	consensusctl watch            # the service-wide live event stream
+//	consensusctl watch -replay 50 # ... preceded by recent history
+//	consensusctl top -interval 2s # live polling metrics view
 //	consensusctl cancel r-1
 //	consensusctl metrics
 //
@@ -47,7 +50,9 @@ import (
 
 	"repro/adversary"
 	"repro/engine"
+	"repro/internal/buildinfo"
 	"repro/multidim"
+	"repro/obs"
 	"repro/rules"
 	"repro/service"
 	"repro/service/client"
@@ -61,6 +66,9 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
+	case "version", "-version", "--version":
+		fmt.Println("consensusctl", buildinfo.String())
+		return
 	case "submit":
 		err = runSubmit(args)
 	case "batch":
@@ -73,6 +81,8 @@ func main() {
 		err = runWatch(args)
 	case "cancel":
 		err = runCancel(args)
+	case "top":
+		err = runTop(args)
 	case "metrics":
 		err = runMetrics(args)
 	case "health":
@@ -95,10 +105,13 @@ commands:
   batch     submit a batch grid and stream per-cell records
   engines   list the server's registered engines and their parameters
   get       print a run's state
-  watch     stream a run's per-round records, then print the result
+  watch     with a run id: stream its per-round records, then print the
+            result; without: tail the service's live event stream (NDJSON)
+  top       live metrics view, refreshed every -interval
   cancel    request cancellation of a run
   metrics   print service counters
-  health    probe the server`)
+  health    probe the server
+  version   print version and exit`)
 }
 
 // serverFlag registers the shared -server flag on a flag set.
@@ -686,13 +699,22 @@ func runGet(args []string) error {
 func runWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	server := serverFlag(fs)
+	replay := fs.Int("replay", 0, "events to replay from the server's ring buffer before following (event-stream form)")
 	fs.Parse(args)
+	c := newClient(*server)
+	ctx := context.Background()
+	if fs.NArg() == 0 {
+		// No run id: tail the service-wide event stream until the server
+		// goes away or we are interrupted.
+		enc := json.NewEncoder(os.Stdout)
+		return c.Events(ctx, *replay, func(ev obs.Event) error {
+			return enc.Encode(ev)
+		})
+	}
 	id, err := oneArg(fs, "watch")
 	if err != nil {
 		return err
 	}
-	c := newClient(*server)
-	ctx := context.Background()
 	if err := streamRun(ctx, c, id); err != nil {
 		return err
 	}
@@ -725,6 +747,56 @@ func runCancel(args []string) error {
 	}
 	printJSON(view)
 	return nil
+}
+
+// runTop polls /v1/metrics and renders a compact live view — enough to
+// see pool saturation, cache behavior and event-stream health at a glance
+// without a Prometheus stack.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	server := serverFlag(fs)
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	iterations := fs.Int("n", 0, "refreshes before exiting (0 = until interrupted)")
+	fs.Parse(args)
+	c := newClient(*server)
+	ctx := context.Background()
+	clear := false
+	if st, err := os.Stdout.Stat(); err == nil {
+		clear = st.Mode()&os.ModeCharDevice != 0
+	}
+	for i := 0; ; i++ {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		if clear {
+			fmt.Print("\033[H\033[2J")
+		}
+		printTop(m)
+		if *iterations > 0 && i+1 >= *iterations {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func printTop(m service.MetricsSnapshot) {
+	util := 0.0
+	if m.Workers > 0 {
+		util = 100 * float64(m.WorkersBusy) / float64(m.Workers)
+	}
+	fmt.Printf("consensusd  up %s  workers %d/%d (%.0f%%)  queue %d\n",
+		(time.Duration(m.UptimeSeconds) * time.Second).String(), m.WorkersBusy, m.Workers, util, m.QueueDepth)
+	fmt.Printf("jobs    submitted %-8d done %-8d failed %-6d cancelled %-6d coalesced %d\n",
+		m.JobsSubmitted, m.JobsCompleted, m.JobsFailed, m.JobsCancelled, m.JobsCoalesced)
+	fmt.Printf("cache   hits %-8d misses %-8d rate-limited %d\n",
+		m.CacheHits, m.CacheMisses, m.RateLimited)
+	fmt.Printf("batch   run %-8d cells %-8d cached %-6d coalesced %d\n",
+		m.BatchesRun, m.BatchCellsExpanded, m.BatchCellsCached, m.BatchCellsCoalesced)
+	fmt.Printf("store   loaded %-8d appended %-8d bytes %-10d errors %d\n",
+		m.StoreRecordsLoaded, m.StoreRecordsAppended, m.StoreBytes, m.StoreAppendErrors)
+	fmt.Printf("events  published %-8d dropped %-8d subscribers %d\n",
+		m.EventsPublished, m.EventsDropped, m.EventSubscribers)
 }
 
 func runMetrics(args []string) error {

@@ -22,21 +22,33 @@
 //	POST   /v1/batches          expand + run a grid (cartesian + zipped
 //	                            axes, derived fields), NDJSON per cell
 //	GET    /v1/engines          registered spec kinds + param schemas
+//	GET    /v1/events           live job/store lifecycle events (NDJSON)
 //	GET    /v1/healthz          liveness
-//	GET    /v1/metrics          job/cache/worker/batch counters (JSON, or
-//	                            Prometheus text via Accept negotiation)
+//	GET    /v1/metrics          job/cache/worker/batch counters plus
+//	                            latency histograms (JSON, or Prometheus
+//	                            text via Accept negotiation)
+//
+// With -debug-addr, a second listener off the public mux serves
+// net/http/pprof under /debug/pprof/ and the Prometheus text exposition
+// under /debug/metrics, so profiling and scraping can be firewalled
+// separately from the API. Every response carries an X-Request-Id
+// (propagated or generated) that also appears in the structured access
+// log on stderr and on job events.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/service"
 )
 
@@ -54,7 +66,21 @@ func main() {
 	submitBurst := flag.Int("submit-burst", 0, "submit rate limiter burst (0 = default)")
 	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints ('' = no auth)")
 	storePath := flag.String("store", "", "path of the persistent job/result store; completed runs survive restarts ('' = in-memory only)")
+	debugAddr := flag.String("debug-addr", "", "separate debug listener serving net/http/pprof and /debug/metrics ('' = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("consensusd", buildinfo.String())
+		return
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "consensusd: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc, err := service.New(service.Options{
 		Workers:       *workers,
@@ -69,33 +95,62 @@ func main() {
 		SubmitBurst:   *submitBurst,
 		AuthToken:     *authToken,
 		StorePath:     *storePath,
+		Logger:        logger,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "consensusd:", err)
+		logger.Error("startup failed", "error", err)
 		os.Exit(1)
 	}
 	if *storePath != "" {
 		m := svc.Metrics()
-		fmt.Fprintf(os.Stderr, "consensusd: store %s: %d records reloaded (%d dropped, %d compactions)\n",
-			*storePath, m.StoreRecordsLoaded, m.StoreRecordsDropped, m.StoreCompactions)
+		logger.Info("store reloaded", "path", *storePath,
+			"records", m.StoreRecordsLoaded, "dropped", m.StoreRecordsDropped,
+			"compactions", m.StoreCompactions)
 	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	// The debug listener is deliberately a separate mux on a separate
+	// port: pprof handlers and the raw metric exposition never appear on
+	// the public API surface.
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			svc.WriteMetricsText(w)
+		})
+		debugServer = &http.Server{Addr: *debugAddr, Handler: dbg}
+		go func() {
+			if err := debugServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		logger.Info("debug listener started", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "consensusd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "version", buildinfo.Version)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "consensusd:", err)
+		logger.Error("server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "consensusd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = server.Shutdown(shutdownCtx)
+	if debugServer != nil {
+		_ = debugServer.Shutdown(shutdownCtx)
+	}
 	svc.Close()
 }

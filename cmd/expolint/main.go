@@ -1,0 +1,29 @@
+// Command expolint reads a Prometheus text exposition (format 0.0.4) on
+// stdin and lints it: every metric family must have paired HELP/TYPE
+// lines before its samples, names and label syntax must be valid, no
+// family or sample may repeat, and histograms must be coherent (sorted
+// cumulative le buckets ending in +Inf, _count matching the +Inf
+// bucket). Exit status is 1 when any finding is reported, so it can
+// gate a scrape in CI:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8645/v1/metrics | expolint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/obs"
+)
+
+func main() {
+	errs := obs.Lint(os.Stdin)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "expolint:", err)
+	}
+	if n := len(errs); n > 0 {
+		fmt.Fprintf(os.Stderr, "expolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "expolint: ok")
+}

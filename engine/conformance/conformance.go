@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"repro/engine"
+	"repro/obs"
 	"repro/service/store"
 )
 
@@ -77,6 +78,7 @@ func RunKind(t *testing.T, kind string) {
 
 	checkDefaults(t, d, spec, norm)
 	res, recs := checkExecution(t, spec)
+	checkInstrumented(t, spec, res, recs)
 	checkPersistence(t, norm, res, recs)
 }
 
@@ -236,6 +238,54 @@ func checkExecution(t *testing.T, spec engine.Spec) (engine.Result, []engine.Rec
 		t.Errorf("cancellation mid-run returned %v, want engine.ErrCancelled", err)
 	}
 	return res, recs
+}
+
+// checkInstrumented re-runs the example under the exact per-round
+// instrumentation the service wraps around every job's observer — an
+// obs.RunTracker with a per-kind rounds counter and a live event bus with
+// an attached subscriber (the worst case: throttled progress events are
+// actually constructed and published). The instrumented run must produce a
+// deep-equal result and byte-identical record JSON: observation may meter
+// the hot loop but never perturb it. The tracker must also have seen every
+// record, so the rounds-executed metrics the service exports are exact.
+func checkInstrumented(t *testing.T, spec engine.Spec, res engine.Result, recs []engine.Record) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rounds := reg.Counter("rounds_total", "rounds", "rounds observed")
+	bus := obs.NewBus(16, nil, nil)
+	defer bus.Close()
+	sub := bus.Subscribe(16, 0)
+	defer sub.Close()
+	tracker := obs.NewRunTracker(rounds, bus, 2,
+		obs.Event{Type: "job.progress", Job: "conformance", Kind: spec.Kind})
+	var got []engine.Record
+	res2, err := engine.Execute(spec, func(r engine.Record) {
+		tracker.Tick(r.Round)
+		got = append(got, r)
+	}, nil)
+	if err != nil {
+		t.Fatalf("instrumented run failed: %v", err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Errorf("instrumentation changed the result:\n bare         %+v\n instrumented %+v", res, res2)
+	}
+	want, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gotJSON) {
+		t.Errorf("instrumentation changed the records:\n bare         %s\n instrumented %s", want, gotJSON)
+	}
+	if tracker.Ticks() != uint64(len(got)) {
+		t.Errorf("tracker observed %d ticks, want %d (one per record)", tracker.Ticks(), len(got))
+	}
+	if rounds.Value() != int64(len(got)) {
+		t.Errorf("rounds counter = %d, want %d", rounds.Value(), len(got))
+	}
 }
 
 // checkPersistence runs the example's outcome through the persistent

@@ -77,6 +77,31 @@ type Result struct {
 	// Dissenters counts processes (crashed included) not holding Winner
 	// at the end of a robust run.
 	Dissenters int `json:"dissenters,omitempty"`
+	// Timing is the service-side lifecycle breakdown of the run. It is
+	// set by the service layer after a job finishes, never by an engine:
+	// Run output must stay deterministic in (payload, seed), and wall
+	// clocks are not.
+	Timing *RunTiming `json:"timing,omitempty"`
+}
+
+// RunTiming is the wall-clock breakdown of one job's lifecycle (accepted →
+// queued → started → done) plus the derived throughput, recorded by the
+// service when the job reaches a terminal state and persisted with the
+// result.
+type RunTiming struct {
+	// QueueWaitSeconds is the time between acceptance and a worker
+	// picking the job up.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	// RunSeconds is the time spent executing the engine.
+	RunSeconds float64 `json:"run_seconds"`
+	// TotalSeconds is acceptance to finish.
+	TotalSeconds float64 `json:"total_seconds"`
+	// RecordsEmitted is the number of round records captured;
+	// RecordsTruncated the rounds beyond the server's record bound.
+	RecordsEmitted   int `json:"records_emitted"`
+	RecordsTruncated int `json:"records_truncated,omitempty"`
+	// RoundsPerSec is Rounds/RunSeconds (0 for immeasurably fast runs).
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 }
 
 // MessageStats is the gossip kind's message-level telemetry.

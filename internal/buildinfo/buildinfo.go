@@ -1,0 +1,57 @@
+// Package buildinfo pins down the binary's identity for -version flags and
+// the consensusd_build_info metric. Version is overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// and the VCS revision is read from the build metadata the Go toolchain
+// embeds, so even an unstamped build reports something traceable.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing release version, "dev" unless stamped via
+// -ldflags.
+var Version = "dev"
+
+// Revision returns the short VCS revision the binary was built from, with
+// a "+dirty" suffix for builds with uncommitted changes. "" when the build
+// carries no VCS metadata (e.g. go test binaries).
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the Go runtime version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the full identity line -version flags print.
+func String() string {
+	rev := Revision()
+	if rev == "" {
+		rev = "unknown"
+	}
+	return fmt.Sprintf("%s (revision %s, %s, %s/%s)", Version, rev, GoVersion(), runtime.GOOS, runtime.GOARCH)
+}

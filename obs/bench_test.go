@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsHistogram measures the histogram's hot path: Observe must
+// stay a few atomic adds with zero allocations, since the service calls
+// it on every completed run and HTTP request. Tracked by cmd/benchdiff in
+// CI so instrumentation-overhead regressions surface as bench warnings.
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench_seconds", "help", 1e-9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkObsHistogramDuration includes the time.Since call the service
+// pays per observation.
+func BenchmarkObsHistogramDuration(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_dur_seconds", "bench_dur_seconds", "help", 1e-9)
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+// BenchmarkObsTrackerTick is the per-round instrumentation cost of a run:
+// one counter add plus the throttle check, with no subscribers attached.
+func BenchmarkObsTrackerTick(b *testing.B) {
+	r := NewRegistry()
+	rounds := r.Counter("rounds_total", "rounds", "help")
+	bus := NewBus(256, nil, nil)
+	tr := NewRunTracker(rounds, bus, 256, Event{Type: "job.progress", Job: "r-1"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Tick(i)
+	}
+}

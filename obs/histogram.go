@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the number of log2 buckets a histogram carries. Bucket 0
+// holds the value 0; bucket i (i >= 1) holds values v with
+// 2^(i-1) <= v < 2^i; everything at or beyond 2^(numBuckets-1) lands in
+// the last bucket (rendered only under +Inf). 40 buckets cover about 18
+// minutes at nanosecond resolution — and 2^39 rounds — before overflow.
+const numBuckets = 40
+
+// Histogram is a lock-free log2-bucketed histogram over non-negative
+// int64 values. Observe is three atomic adds and zero allocations, safe
+// for hot paths. Values are raw integers (nanoseconds for durations,
+// plain counts for things like rounds per run); the configured scale is
+// applied only at exposition time, so a duration histogram scrapes in
+// seconds while observing in nanoseconds.
+type Histogram struct {
+	desc    Desc
+	scale   float64
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// ObserveDuration records a duration in nanoseconds; pair it with scale
+// 1e-9 so the exposition reads in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the scaled sum of observations.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) * h.scale }
+
+// data snapshots the histogram into sparse cumulative buckets. The last
+// bucket (overflow) is intentionally folded into +Inf only.
+func (h *Histogram) data() *HistogramData {
+	d := &HistogramData{Count: h.count.Load(), Sum: float64(h.sum.Load()) * h.scale}
+	cum := uint64(0)
+	for i := 0; i < numBuckets-1; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Upper bound of bucket i is 2^i - 1 (inclusive), scaled.
+		d.Buckets = append(d.Buckets, Bucket{
+			UpperBound: float64(uint64(1)<<uint(i)-1) * h.scale,
+			Count:      cum,
+		})
+	}
+	return d
+}
+
+func (h *Histogram) Describe() Desc { return h.desc }
+func (h *Histogram) Collect() []Sample {
+	return []Sample{{Hist: h.data()}}
+}
+
+// Histogram creates and registers an unlabeled histogram. scale converts
+// raw observed values to the exposed unit (1e-9 for ns→s; 1 for counts).
+func (r *Registry) Histogram(name, jsonName, help string, scale float64) *Histogram {
+	h := &Histogram{desc: Desc{Name: name, JSONName: jsonName, Help: help, Type: "histogram"}, scale: scale}
+	r.Register(h)
+	return h
+}
+
+// HistogramVec is a labeled histogram family. Resolve a child with With
+// once per run/request, then Observe lock-free.
+type HistogramVec struct {
+	desc  Desc
+	scale float64
+	vec   vec[Histogram]
+}
+
+// With returns the child histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.vec.with(labelValues)
+}
+
+func (v *HistogramVec) Describe() Desc { return v.desc }
+func (v *HistogramVec) Collect() []Sample {
+	_, children, values := v.vec.snapshot()
+	out := make([]Sample, len(children))
+	for i, h := range children {
+		out[i] = Sample{LabelValues: values[i], Hist: h.data()}
+	}
+	return out
+}
+
+// HistogramVec creates and registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, jsonName, help string, scale float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{
+		desc:  Desc{Name: name, JSONName: jsonName, Help: help, Type: "histogram", Labels: labels},
+		scale: scale,
+		vec:   newVec(func() *Histogram { return &Histogram{scale: scale} }),
+	}
+	r.Register(v)
+	return v
+}

@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint parses a Prometheus text exposition (format 0.0.4) and returns
+// every violation found: samples without a paired # HELP/# TYPE, duplicate
+// metric or sample names, invalid metric/label syntax, unparseable values,
+// and histograms whose cumulative buckets decrease, miss the +Inf bound or
+// disagree with their _count. A nil return means the exposition is valid.
+//
+// It is the checker behind the service's exposition-validity test and
+// cmd/expolint (which CI runs against a live daemon's /v1/metrics).
+func Lint(r io.Reader) []error {
+	l := &linter{
+		help:    map[string]string{},
+		types:   map[string]string{},
+		seen:    map[string]bool{},
+		sampled: map[string]bool{},
+		hists:   map[string]map[string]*histCheck{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	n := 0
+	for sc.Scan() {
+		n++
+		l.line(n, strings.TrimRight(sc.Text(), " \t"))
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+type histCheck struct {
+	bounds []float64
+	counts []uint64
+	hasInf bool
+	inf    uint64
+	count  *uint64
+}
+
+type linter struct {
+	errs    []error
+	help    map[string]string
+	types   map[string]string
+	seen    map[string]bool // full sample identity (name + sorted labels)
+	sampled map[string]bool // family has at least one sample
+	hists   map[string]map[string]*histCheck
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, s string) {
+	switch {
+	case s == "":
+		return
+	case strings.HasPrefix(s, "# HELP "):
+		rest := s[len("# HELP "):]
+		name, _, _ := strings.Cut(rest, " ")
+		if !validMetricName(name) {
+			l.errf(n, "invalid metric name %q in HELP", name)
+			return
+		}
+		if _, dup := l.help[name]; dup {
+			l.errf(n, "duplicate # HELP for %s", name)
+			return
+		}
+		l.help[name] = rest
+	case strings.HasPrefix(s, "# TYPE "):
+		fields := strings.Fields(s[len("# TYPE "):])
+		if len(fields) != 2 {
+			l.errf(n, "malformed TYPE line %q", s)
+			return
+		}
+		name, typ := fields[0], fields[1]
+		if !validMetricName(name) {
+			l.errf(n, "invalid metric name %q in TYPE", name)
+			return
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := l.types[name]; dup {
+			l.errf(n, "duplicate # TYPE for %s", name)
+			return
+		}
+		if l.sampled[name] {
+			l.errf(n, "# TYPE for %s appears after its samples", name)
+		}
+		l.types[name] = typ
+	case strings.HasPrefix(s, "#"):
+		return // other comments are legal and unchecked
+	default:
+		l.sample(n, s)
+	}
+}
+
+// family maps a sample name to the family its HELP/TYPE pair is declared
+// under: histogram (and summary) samples use suffixed series names.
+func (l *linter) family(sampleName string) (string, bool) {
+	if _, ok := l.types[sampleName]; ok {
+		return sampleName, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suffix); ok {
+			if t := l.types[base]; t == "histogram" || t == "summary" {
+				return base, true
+			}
+		}
+	}
+	return sampleName, false
+}
+
+func (l *linter) sample(n int, s string) {
+	name, labels, value, err := parseSample(s)
+	if err != nil {
+		l.errf(n, "%v", err)
+		return
+	}
+	fam, known := l.family(name)
+	if !known {
+		l.errf(n, "sample %s has no preceding # TYPE", name)
+	} else {
+		if _, ok := l.help[fam]; !ok {
+			l.errf(n, "sample %s has # TYPE but no # HELP for %s", name, fam)
+		}
+	}
+	l.sampled[fam] = true
+
+	identity := name + "|" + canonicalLabels(labels)
+	if l.seen[identity] {
+		l.errf(n, "duplicate sample %s{%s}", name, canonicalLabels(labels))
+	}
+	l.seen[identity] = true
+
+	if l.types[fam] == "histogram" {
+		l.histSample(n, fam, name, labels, value)
+	}
+}
+
+// histSample accumulates histogram series for the cross-line checks run
+// in finish().
+func (l *linter) histSample(n int, fam, name string, labels map[string]string, value float64) {
+	// Key the histogram instance by its labels minus le.
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	key := canonicalLabels(rest)
+	if l.hists[fam] == nil {
+		l.hists[fam] = map[string]*histCheck{}
+	}
+	h := l.hists[fam][key]
+	if h == nil {
+		h = &histCheck{}
+		l.hists[fam][key] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le, ok := labels["le"]
+		if !ok {
+			l.errf(n, "%s_bucket sample without an le label", fam)
+			return
+		}
+		if le == "+Inf" {
+			h.hasInf = true
+			h.inf = uint64(value)
+			return
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			l.errf(n, "%s_bucket le=%q is not a number", fam, le)
+			return
+		}
+		h.bounds = append(h.bounds, bound)
+		h.counts = append(h.counts, uint64(value))
+	case strings.HasSuffix(name, "_count"):
+		c := uint64(value)
+		h.count = &c
+	}
+}
+
+func (l *linter) finish() {
+	// Paired HELP/TYPE: every declared family must have both.
+	var names []string
+	for name := range l.help {
+		names = append(names, name)
+	}
+	for name := range l.types {
+		if _, ok := l.help[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := l.help[name]; !ok {
+			l.errs = append(l.errs, fmt.Errorf("family %s has # TYPE but no # HELP", name))
+		}
+		if _, ok := l.types[name]; !ok {
+			l.errs = append(l.errs, fmt.Errorf("family %s has # HELP but no # TYPE", name))
+		}
+	}
+	// Histogram coherence.
+	var fams []string
+	for fam := range l.hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		var keys []string
+		for key := range l.hists[fam] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			h := l.hists[fam][key]
+			at := fam
+			if key != "" {
+				at = fam + "{" + key + "}"
+			}
+			if !h.hasInf {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", at))
+			}
+			prev := uint64(0)
+			prevBound := math.Inf(-1)
+			for i, b := range h.bounds {
+				if b <= prevBound {
+					l.errs = append(l.errs, fmt.Errorf("histogram %s buckets not sorted by le", at))
+					break
+				}
+				if h.counts[i] < prev {
+					l.errs = append(l.errs, fmt.Errorf("histogram %s cumulative counts decrease at le=%g", at, b))
+					break
+				}
+				prev, prevBound = h.counts[i], b
+			}
+			if h.hasInf && h.inf < prev {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s +Inf bucket below its last finite bucket", at))
+			}
+			if h.count == nil {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s has no _count series", at))
+			} else if h.hasInf && *h.count != h.inf {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s _count %d != +Inf bucket %d", at, *h.count, h.inf))
+			}
+		}
+	}
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(s string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(s) && isNameChar(s[i], i == 0) {
+		i++
+	}
+	name = s[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name at %q", s)
+	}
+	labels = map[string]string{}
+	if i < len(s) && s[i] == '{' {
+		rest, err2 := parseLabels(s[i+1:], labels)
+		if err2 != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: %w", name, err2)
+		}
+		i = len(s) - len(rest)
+	}
+	rest := strings.TrimLeft(s[i:], " \t")
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("sample %s has no value", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %s has trailing garbage %q", name, rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s value %q: %w", name, fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s timestamp %q is not an integer", name, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `k="v",...}` and returns what follows the brace.
+func parseLabels(s string, out map[string]string) (rest string, err error) {
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		i := 0
+		for i < len(s) && isNameChar(s[i], i == 0) {
+			i++
+		}
+		key := s[:i]
+		if !validLabelName(key) {
+			return "", fmt.Errorf("invalid label name at %q", s)
+		}
+		s = s[i:]
+		if !strings.HasPrefix(s, `="`) {
+			return "", fmt.Errorf("label %s not followed by =\"", key)
+		}
+		s = s[2:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated value for label %s", key)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return "", fmt.Errorf("dangling escape in label %s", key)
+				}
+				switch s[1] {
+				case '\\', '"':
+					val.WriteByte(s[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("invalid escape \\%c in label %s", s[1], key)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		if _, dup := out[key]; dup {
+			return "", fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		return "", fmt.Errorf("expected , or } after label %s", key)
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + `="` + labels[k] + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validMetricName(s)
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}

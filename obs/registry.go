@@ -1,0 +1,308 @@
+// Package obs is the service's observability toolkit: a metric registry
+// whose JSON and Prometheus text expositions are both rendered from one
+// registry walk (a metric cannot appear in one format and not the other),
+// lock-free log-bucketed latency histograms, labeled counter and gauge
+// vectors, a subscribable ring-buffer event bus for live NDJSON streams,
+// an allocation-free per-run observer tracker, request-id helpers, and a
+// Prometheus exposition linter. It depends only on the standard library
+// and carries no knowledge of the service's job model — the service
+// package composes these pieces.
+//
+// The design constraint throughout is that observation may not perturb
+// the hot loop: every per-round code path (Counter.Inc, Histogram.Observe,
+// RunTracker.Tick) is a handful of atomic operations with zero
+// allocations; map lookups, label resolution and locking happen once per
+// run or once per scrape, never once per round.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Desc describes one metric family: its Prometheus family name, the key it
+// appears under in the JSON exposition, its help text, its type and its
+// label names (nil for unlabeled metrics).
+type Desc struct {
+	Name     string
+	JSONName string
+	Help     string
+	Type     string // "counter", "gauge" or "histogram"
+	Labels   []string
+}
+
+// Sample is one measured point of a family: the label values (aligned with
+// Desc.Labels) and either a scalar value or histogram data.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+	Hist        *HistogramData
+}
+
+// HistogramData is a histogram sample's state: total count, scaled sum and
+// the sparse cumulative buckets (sorted by ascending upper bound, only
+// boundaries with direct hits included — cumulative counts stay valid).
+type HistogramData struct {
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations at
+// or below UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Family is one metric family with its current samples — the unit of a
+// registry walk. Both expositions render from the same []Family.
+type Family struct {
+	Desc
+	Samples []Sample
+}
+
+// Collector is anything the registry can walk: it describes one family and
+// reports its current samples.
+type Collector interface {
+	Describe() Desc
+	Collect() []Sample
+}
+
+// Registry holds the registered metric families. The zero value is not
+// usable; create with NewRegistry. Registration is typically done once at
+// startup; Gather may be called concurrently with metric updates.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]Collector
+	byJSON map[string]Collector
+	order  []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]Collector),
+		byJSON: make(map[string]Collector),
+	}
+}
+
+// Register adds a collector. It panics on a duplicate family or JSON name:
+// duplicates are a programming error that would corrupt both expositions.
+func (r *Registry) Register(c Collector) {
+	d := c.Describe()
+	if d.Name == "" || d.JSONName == "" {
+		panic("obs: metric registered without a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.Name]; dup {
+		panic("obs: duplicate metric name " + d.Name)
+	}
+	if _, dup := r.byJSON[d.JSONName]; dup {
+		panic("obs: duplicate metric JSON name " + d.JSONName)
+	}
+	r.byName[d.Name] = c
+	r.byJSON[d.JSONName] = c
+	r.order = append(r.order, c)
+}
+
+// Gather walks every registered collector and returns the families sorted
+// by name — the single source both expositions render from.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	collectors := make([]Collector, len(r.order))
+	copy(collectors, r.order)
+	r.mu.Unlock()
+	out := make([]Family, 0, len(collectors))
+	for _, c := range collectors {
+		out = append(out, Family{Desc: c.Describe(), Samples: c.Collect()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HistogramJSON is the JSON exposition of one histogram sample.
+type HistogramJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Buckets maps each upper bound (formatted like the Prometheus le
+	// label) to its cumulative count.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// JSONMap renders one registry walk as the JSON exposition: every family
+// keyed by its JSON name. Unlabeled scalars become numbers; labeled
+// scalars become objects keyed by "label=value[,label2=value2]"; histograms
+// become HistogramJSON objects (nested one level for labeled histograms).
+// Families with no samples yet still appear (scalars as 0, vectors as
+// empty objects), so the JSON view always lists the full catalogue.
+func (r *Registry) JSONMap() map[string]any {
+	return familiesJSON(r.Gather())
+}
+
+func familiesJSON(families []Family) map[string]any {
+	out := make(map[string]any, len(families))
+	for _, f := range families {
+		if len(f.Labels) == 0 {
+			if f.Type == "histogram" {
+				var h HistogramData
+				if len(f.Samples) > 0 && f.Samples[0].Hist != nil {
+					h = *f.Samples[0].Hist
+				}
+				out[f.JSONName] = histJSON(h)
+				continue
+			}
+			var v float64
+			if len(f.Samples) > 0 {
+				v = f.Samples[0].Value
+			}
+			out[f.JSONName] = v
+			continue
+		}
+		m := make(map[string]any, len(f.Samples))
+		for _, s := range f.Samples {
+			key := labelKey(f.Labels, s.LabelValues)
+			if s.Hist != nil {
+				m[key] = histJSON(*s.Hist)
+			} else {
+				m[key] = s.Value
+			}
+		}
+		out[f.JSONName] = m
+	}
+	return out
+}
+
+func histJSON(h HistogramData) HistogramJSON {
+	j := HistogramJSON{Count: h.Count, Sum: h.Sum}
+	if len(h.Buckets) > 0 {
+		j.Buckets = make(map[string]uint64, len(h.Buckets))
+		for _, b := range h.Buckets {
+			j.Buckets[formatBound(b.UpperBound)] = b.Count
+		}
+	}
+	return j
+}
+
+// labelKey renders label values as "k=v,k2=v2" — the JSON exposition's
+// sample key.
+func labelKey(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		if i < len(values) {
+			b.WriteString(values[i])
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders one registry walk in the Prometheus text
+// exposition format (version 0.0.4): every family gets exactly one
+// # HELP/# TYPE pair followed by its samples; histograms expand to
+// _bucket{le=...}, _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	WriteFamilies(w, r.Gather())
+}
+
+// WriteFamilies renders pre-gathered families as Prometheus text — split
+// out so a snapshot can be rendered without a second walk.
+func WriteFamilies(w io.Writer, families []Family) {
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type)
+		if f.Type == "histogram" {
+			for _, s := range f.Samples {
+				writeHistSample(w, f, s)
+			}
+			continue
+		}
+		if len(f.Labels) == 0 && len(f.Samples) == 0 {
+			// An unlabeled scalar always has a current value.
+			fmt.Fprintf(w, "%s 0\n", f.Name)
+			continue
+		}
+		for _, s := range f.Samples {
+			fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(f.Labels, s.LabelValues, "", 0), formatValue(s.Value))
+		}
+	}
+}
+
+func writeHistSample(w io.Writer, f Family, s Sample) {
+	if s.Hist == nil {
+		return
+	}
+	h := s.Hist
+	for _, b := range h.Buckets {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(f.Labels, s.LabelValues, "le", b.UpperBound), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(f.Labels, s.LabelValues, "le", infBound), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(f.Labels, s.LabelValues, "", 0), formatValue(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(f.Labels, s.LabelValues, "", 0), h.Count)
+}
+
+// infBound marks the +Inf bucket for labelString.
+const infBound = -1
+
+// labelString renders {k="v",...}, appending an le label when leName is
+// non-empty. Empty label sets render as "" (no braces).
+func labelString(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		if i < len(values) {
+			b.WriteString(escapeLabel(values[i]))
+		}
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		if le == infBound {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatBound(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatValue(v float64) string {
+	return strings.TrimSpace(fmt.Sprintf("%g", v))
+}
+
+func formatBound(v float64) string {
+	return strings.TrimSpace(fmt.Sprintf("%g", v))
+}

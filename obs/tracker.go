@@ -1,0 +1,43 @@
+package obs
+
+// RunTracker instruments one run's per-round observer hot loop. Tick is
+// allocation-free: one counter add, one modulo, and — only when the
+// throttle window elapses AND someone is subscribed to the bus — one
+// event publish. The event prototype (type, job id, kind, request id) is
+// assembled once at construction, never per round, so observation cannot
+// perturb the loop it measures (see BenchmarkObservedRun).
+type RunTracker struct {
+	rounds *Counter // per-kind rounds counter, resolved once per run; may be nil
+	bus    *Bus     // may be nil
+	every  uint64
+	ticks  uint64
+	proto  Event
+}
+
+// NewRunTracker returns a tracker that adds every tick to rounds and
+// publishes a copy of proto (with Round filled in) on bus every `every`
+// ticks (every <= 0 defaults to 256). rounds and bus may be nil.
+func NewRunTracker(rounds *Counter, bus *Bus, every int, proto Event) *RunTracker {
+	if every <= 0 {
+		every = 256
+	}
+	return &RunTracker{rounds: rounds, bus: bus, every: uint64(every), proto: proto}
+}
+
+// Tick records one observed round. round is the engine-reported round
+// number carried on throttled progress events.
+func (t *RunTracker) Tick(round int) {
+	if t.rounds != nil {
+		t.rounds.Inc()
+	}
+	t.ticks++
+	if t.bus == nil || t.ticks%t.every != 0 || !t.bus.HasSubscribers() {
+		return
+	}
+	ev := t.proto
+	ev.Round = round
+	t.bus.Publish(ev)
+}
+
+// Ticks returns the number of rounds observed so far.
+func (t *RunTracker) Ticks() uint64 { return t.ticks }

@@ -11,6 +11,7 @@ import (
 	"repro/adversary"
 	"repro/engine"
 	"repro/internal/rng"
+	"repro/obs"
 )
 
 // BatchRequest is the wire form of a parameter sweep: either a template
@@ -377,6 +378,12 @@ func (s *Service) ExpandBatch(req BatchRequest) ([]BatchCell, error) {
 func (s *Service) RunBatch(ctx context.Context, cells []BatchCell, emit func(BatchCellRecord) error) error {
 	s.metrics.batchesRun.Add(1)
 	s.metrics.batchCellsExpanded.Add(int64(len(cells)))
+	reqID := obs.RequestIDFrom(ctx)
+	batchStart := time.Now()
+	s.bus.Publish(obs.Event{
+		Type: "batch.started", RequestID: reqID,
+		Detail: fmt.Sprintf("%d cells", len(cells)),
+	})
 	type outcome struct {
 		cell BatchCell
 		job  *Job
@@ -400,7 +407,7 @@ func (s *Service) RunBatch(ctx context.Context, cells []BatchCell, emit func(Bat
 			if ctx.Err() != nil {
 				return
 			}
-			j, view, err := s.submitWithRetry(ctx, c.Spec)
+			j, view, err := s.submitWithRetry(ctx, c.Spec, reqID)
 			ch <- outcome{cell: c, job: j, view: view, err: err}
 			if err != nil && (errors.Is(err, ErrClosed) || ctx.Err() != nil) {
 				return
@@ -444,14 +451,19 @@ func (s *Service) RunBatch(ctx context.Context, cells []BatchCell, emit func(Bat
 	if emitted < len(cells) {
 		return ctx.Err()
 	}
+	s.bus.Publish(obs.Event{
+		Type: "batch.done", RequestID: reqID,
+		Elapsed: time.Since(batchStart).Seconds(),
+		Detail:  fmt.Sprintf("%d cells", len(cells)),
+	})
 	return nil
 }
 
 // submitWithRetry submits a cell, waiting out a full queue instead of
 // shedding it — batches are deliberate bulk work, not interactive load.
-func (s *Service) submitWithRetry(ctx context.Context, spec Spec) (*Job, JobView, error) {
+func (s *Service) submitWithRetry(ctx context.Context, spec Spec, reqID string) (*Job, JobView, error) {
 	for {
-		j, view, err := s.submit(spec)
+		j, view, err := s.submit(spec, reqID)
 		if !errors.Is(err, ErrQueueFull) {
 			return j, view, err
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/engine"
+	"repro/obs"
 	"repro/service"
 )
 
@@ -185,6 +186,47 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.RoundRec
 			return fmt.Errorf("bad stream line: %w", err)
 		}
 		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Events follows the server's live event stream (GET /v1/events),
+// invoking fn per event until the stream ends (server shutdown), the
+// context is cancelled, or fn returns an error. replay > 0 asks the
+// server to prepend up to that many recent events from its ring buffer.
+// Gaps in Event.Seq mean the client was too slow and events were dropped
+// server-side.
+func (c *Client) Events(ctx context.Context, replay int, fn func(obs.Event) error) error {
+	path := "/v1/events"
+	if replay > 0 {
+		path += "?replay=" + strconv.Itoa(replay)
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad event line: %w", err)
+		}
+		if err := fn(ev); err != nil {
 			return err
 		}
 	}

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/engine"
+	"repro/obs"
 )
 
 // Handler returns the service's HTTP JSON API:
@@ -26,13 +28,22 @@ import (
 //	GET    /v1/engines          discovery: every registered spec kind's
 //	                            engine.Descriptor (param schema, batch
 //	                            axes), sorted by kind
+//	GET    /v1/events           live job/store lifecycle events as NDJSON
+//	                            (obs.Event lines); ?replay=N prepends up
+//	                            to N recent events from the ring buffer
 //	GET    /v1/healthz          liveness probe
-//	GET    /v1/metrics          MetricsSnapshot counters (JSON by default;
+//	GET    /v1/metrics          the metric catalogue (JSON by default;
 //	                            Prometheus text format when the Accept
-//	                            header asks for text/plain or OpenMetrics),
+//	                            header asks for text/plain or OpenMetrics
+//	                            — both render from one registry walk),
 //	                            persistent-store counters included when a
 //	                            Store is configured (records loaded/
 //	                            appended, bytes, compactions)
+//
+// Every response carries an X-Request-Id header — propagated from the
+// request's own X-Request-Id when present, generated otherwise — and the
+// same id is recorded on submitted jobs, their events and the structured
+// access log (Options.Logger).
 //
 // Errors are returned as {"error": "..."} with conventional status codes
 // (400 invalid spec, 401 missing/bad bearer token on mutating endpoints
@@ -49,11 +60,74 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/batches", s.requireAuth(s.handleBatch))
 	mux.HandleFunc("GET /v1/engines", handleEngines)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// instrument is the middleware in front of the mux: it assigns or
+// propagates the X-Request-Id (echoed on the response and carried in the
+// request context for SubmitCtx), captures the response status, observes
+// the request in the route/status-labeled latency histogram and writes
+// one structured access-log line.
+func (s *Service) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		// ServeMux.ServeHTTP records the matched pattern on the request
+		// itself (Go 1.23+), so the route label is read after dispatch.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.metrics.httpDuration.With(route, strconv.Itoa(status)).ObserveDuration(elapsed)
+		s.logger.Info("http request", "method", r.Method, "route", route,
+			"path", r.URL.Path, "status", status,
+			"duration_ms", float64(elapsed.Microseconds())/1000, "request_id", reqID)
+	})
+}
+
+// statusWriter captures the response status for the access log and the
+// latency histogram. It passes Flush through so the NDJSON streaming
+// endpoints keep flushing per line through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleEngines serves the engine registry's descriptors — the discovery
@@ -123,7 +197,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Errorf("invalid spec JSON: %w", err))
 		return
 	}
-	view, err := s.Submit(spec)
+	view, err := s.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, submitStatus(err), err)
 		return
@@ -165,15 +239,68 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves both metric representations from the same registry
+// walk (obs.Registry.Gather), so the JSON and Prometheus views cannot
+// drift apart.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.Metrics()
 	if wantsPrometheus(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		snap.WritePrometheus(w)
+		s.WriteMetricsText(w)
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, s.MetricsJSON())
+}
+
+// handleEvents streams the live event bus as NDJSON: one obs.Event per
+// line, flushed per event, until the client disconnects or the service
+// closes. ?replay=N prepends up to N buffered events from the ring so a
+// follower can catch up on recent history. A consumer that cannot keep up
+// has events dropped rather than slowing the service; sequence-number gaps
+// reveal the loss.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	replay := 0
+	if v := r.URL.Query().Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid replay %q", v))
+			return
+		}
+		replay = n
+	}
+	buf := 256
+	if replay > buf {
+		buf = replay
+	}
+	sub := s.Events(buf, replay)
+	if sub == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrClosed)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // wantsPrometheus negotiates the metrics representation: JSON stays the

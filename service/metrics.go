@@ -1,38 +1,138 @@
 package service
 
 import (
-	"fmt"
+	"encoding/json"
 	"io"
-	"sync/atomic"
+	"time"
 
+	"repro/internal/buildinfo"
+	"repro/obs"
 	"repro/service/store"
 )
 
-// Metrics holds the service's monotonic counters and gauges. All fields are
-// updated atomically; Snapshot returns a consistent-enough JSON view (the
-// counters are independent, so exact cross-counter consistency is not
-// needed for monitoring).
+// Metrics is the service's metric surface, built on one obs.Registry so
+// the JSON and Prometheus expositions of GET /v1/metrics are rendered from
+// the same registry walk — a metric cannot exist in one format and be
+// missing (or stale-named) in the other. The named fields are the handles
+// the service's hot paths update; derived gauges (queue depth, utilization,
+// store stats, uptime) are registered as collect-time functions.
 type Metrics struct {
-	jobsSubmitted       atomic.Int64
-	jobsCompleted       atomic.Int64
-	jobsFailed          atomic.Int64
-	jobsCancelled       atomic.Int64
-	jobsCoalesced       atomic.Int64
-	cacheHits           atomic.Int64
-	cacheMisses         atomic.Int64
-	rateLimited         atomic.Int64
-	batchesRun          atomic.Int64
-	batchCellsExpanded  atomic.Int64
-	batchCellsCached    atomic.Int64
-	batchCellsCoalesced atomic.Int64
-	storeAppendErrors   atomic.Int64
-	workersBusy         atomic.Int64
-	workers             int
-	queueDepth          func() int
-	storeStats          func() store.Stats
+	reg *obs.Registry
+
+	jobsSubmitted       *obs.Counter
+	jobsCompleted       *obs.Counter
+	jobsFailed          *obs.Counter
+	jobsCancelled       *obs.Counter
+	jobsCoalesced       *obs.Counter
+	cacheHits           *obs.Counter
+	cacheMisses         *obs.Counter
+	rateLimited         *obs.Counter
+	batchesRun          *obs.Counter
+	batchCellsExpanded  *obs.Counter
+	batchCellsCached    *obs.Counter
+	batchCellsCoalesced *obs.Counter
+	storeAppendErrors   *obs.Counter
+	workersBusy         *obs.Gauge
+
+	// Run-lifecycle latency breakdown (seconds, log2 buckets).
+	runDuration  *obs.HistogramVec // by kind
+	queueWait    *obs.Histogram
+	roundsPerRun *obs.HistogramVec // by kind, unit: rounds
+	roundsTotal  *obs.CounterVec   // by kind
+
+	httpDuration *obs.HistogramVec // by route, status
+
+	eventsPublished *obs.Counter
+	eventsDropped   *obs.Counter
+
+	start time.Time
 }
 
-// MetricsSnapshot is the JSON body of GET /v1/metrics.
+// newMetrics builds the registry and registers the full metric catalogue.
+// queueDepth and storeStats are read at every scrape.
+func newMetrics(workers int, queueDepth func() int, storeStats func() store.Stats) *Metrics {
+	r := obs.NewRegistry()
+	m := &Metrics{
+		reg:   r,
+		start: time.Now(),
+
+		jobsSubmitted:       r.Counter("consensusd_jobs_submitted_total", "jobs_submitted", "Accepted run submissions."),
+		jobsCompleted:       r.Counter("consensusd_jobs_completed_total", "jobs_completed", "Jobs that reached done (cache hits included)."),
+		jobsFailed:          r.Counter("consensusd_jobs_failed_total", "jobs_failed", "Jobs that failed."),
+		jobsCancelled:       r.Counter("consensusd_jobs_cancelled_total", "jobs_cancelled", "Jobs cancelled."),
+		jobsCoalesced:       r.Counter("consensusd_jobs_coalesced_total", "jobs_coalesced", "Submissions absorbed by an identical in-flight job."),
+		cacheHits:           r.Counter("consensusd_cache_hits_total", "cache_hits", "Result-cache hits at submit time."),
+		cacheMisses:         r.Counter("consensusd_cache_misses_total", "cache_misses", "Result-cache misses at submit time."),
+		rateLimited:         r.Counter("consensusd_rate_limited_total", "rate_limited", "Submit requests shed with 429."),
+		batchesRun:          r.Counter("consensusd_batches_run_total", "batches_run", "Batch requests that started running."),
+		batchCellsExpanded:  r.Counter("consensusd_batch_cells_expanded_total", "batch_cells_expanded", "Cells expanded from batch requests."),
+		batchCellsCached:    r.Counter("consensusd_batch_cells_cached_total", "batch_cells_cached", "Batch cells answered from the result cache."),
+		batchCellsCoalesced: r.Counter("consensusd_batch_cells_coalesced_total", "batch_cells_coalesced", "Batch cells absorbed by an identical earlier cell."),
+		storeAppendErrors:   r.Counter("consensusd_store_append_errors_total", "store_append_errors", "Failed store write-throughs (job still completed)."),
+		workersBusy:         r.Gauge("consensusd_workers_busy", "workers_busy", "Workers currently running a job."),
+
+		runDuration: r.HistogramVec("consensusd_run_duration_seconds", "run_duration_seconds",
+			"Engine execution time of completed runs.", 1e-9, "kind"),
+		queueWait: r.Histogram("consensusd_run_queue_wait_seconds", "run_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", 1e-9),
+		roundsPerRun: r.HistogramVec("consensusd_rounds_per_run", "rounds_per_run",
+			"Rounds executed per completed run.", 1, "kind"),
+		roundsTotal: r.CounterVec("consensusd_rounds_total", "rounds_total",
+			"Rounds executed across all runs.", "kind"),
+
+		httpDuration: r.HistogramVec("consensusd_http_request_duration_seconds", "http_request_duration_seconds",
+			"HTTP request latency by matched route and status.", 1e-9, "route", "status"),
+
+		eventsPublished: r.Counter("consensusd_events_published_total", "events_published", "Events published on the live event bus."),
+		eventsDropped:   r.Counter("consensusd_events_dropped_total", "events_dropped", "Events dropped on subscribers too slow to keep up."),
+	}
+
+	r.GaugeFunc("consensusd_workers", "workers", "Worker pool size.",
+		func() float64 { return float64(workers) })
+	r.GaugeFunc("consensusd_queue_depth", "queue_depth", "Jobs waiting for a worker.",
+		func() float64 { return float64(queueDepth()) })
+	r.GaugeFunc("consensusd_worker_utilization", "worker_utilization", "WorkersBusy divided by Workers.",
+		func() float64 {
+			if workers <= 0 {
+				return 0
+			}
+			return float64(m.workersBusy.Value()) / float64(workers)
+		})
+	r.GaugeFunc("consensusd_uptime_seconds", "uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	r.Info("consensusd_build_info", "build_info", "Build identity of the running binary (constant 1).",
+		[]string{"version", "revision", "goversion"},
+		[]string{buildinfo.Version, buildinfo.Revision(), buildinfo.GoVersion()})
+
+	ctrFn := func(name, jsonName, help string, fn func(store.Stats) int64) {
+		r.CounterFunc(name, jsonName, help, func() float64 { return float64(fn(storeStats())) })
+	}
+	ctrFn("consensusd_store_records_loaded_total", "store_records_loaded",
+		"Records recovered from the persistent store at startup.",
+		func(st store.Stats) int64 { return st.RecordsLoaded })
+	ctrFn("consensusd_store_records_dropped_total", "store_records_dropped",
+		"Store records dropped during recovery (corrupt or superseded).",
+		func(st store.Stats) int64 { return st.RecordsDropped })
+	ctrFn("consensusd_store_records_unknown_total", "store_records_unknown",
+		"Intact store records this binary cannot decode (preserved, not loaded).",
+		func(st store.Stats) int64 { return st.RecordsUnknown })
+	ctrFn("consensusd_store_records_appended_total", "store_records_appended",
+		"Records written through to the persistent store.",
+		func(st store.Stats) int64 { return st.RecordsAppended })
+	ctrFn("consensusd_store_compactions_total", "store_compactions",
+		"Compacting rewrites of the persistent store.",
+		func(st store.Stats) int64 { return st.Compactions })
+	r.GaugeFunc("consensusd_store_bytes", "store_bytes", "Persistent store file size in bytes.",
+		func() float64 { return float64(storeStats().Bytes) })
+
+	return m
+}
+
+// MetricsSnapshot is the typed view of the scalar counters and gauges of
+// GET /v1/metrics — the decoding target Go clients and tests use. The JSON
+// body itself is rendered straight from the registry (see Service.Handler),
+// so it additionally carries the histogram and labeled families this
+// struct does not model.
 type MetricsSnapshot struct {
 	// JobsSubmitted counts every accepted POST /v1/runs.
 	JobsSubmitted int64 `json:"jobs_submitted"`
@@ -75,76 +175,34 @@ type MetricsSnapshot struct {
 	QueueDepth  int   `json:"queue_depth"`
 	// WorkerUtilization is WorkersBusy/Workers in [0,1].
 	WorkerUtilization float64 `json:"worker_utilization"`
+	// EventsPublished / EventsDropped count the live event bus's published
+	// events and its slow-subscriber drops.
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+	// EventSubscribers is the number of /v1/events consumers attached.
+	EventSubscribers int `json:"event_subscribers"`
+	// UptimeSeconds is the time since the service started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// Snapshot captures the current counter values.
+// Snapshot renders the typed view through the same registry walk the HTTP
+// expositions use: marshal the JSON map, decode the scalar fields. Going
+// through the registry (rather than reading counters directly) is what
+// guarantees the typed view cannot drift from what /v1/metrics serves.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	s := MetricsSnapshot{
-		JobsSubmitted:       m.jobsSubmitted.Load(),
-		JobsCompleted:       m.jobsCompleted.Load(),
-		JobsFailed:          m.jobsFailed.Load(),
-		JobsCancelled:       m.jobsCancelled.Load(),
-		JobsCoalesced:       m.jobsCoalesced.Load(),
-		CacheHits:           m.cacheHits.Load(),
-		CacheMisses:         m.cacheMisses.Load(),
-		RateLimited:         m.rateLimited.Load(),
-		BatchesRun:          m.batchesRun.Load(),
-		BatchCellsExpanded:  m.batchCellsExpanded.Load(),
-		BatchCellsCached:    m.batchCellsCached.Load(),
-		BatchCellsCoalesced: m.batchCellsCoalesced.Load(),
-		Workers:             m.workers,
-		WorkersBusy:         m.workersBusy.Load(),
+	raw, err := json.Marshal(m.reg.JSONMap())
+	if err != nil {
+		return MetricsSnapshot{}
 	}
-	if m.queueDepth != nil {
-		s.QueueDepth = m.queueDepth()
-	}
-	if m.storeStats != nil {
-		st := m.storeStats()
-		s.StoreRecordsLoaded = st.RecordsLoaded
-		s.StoreRecordsDropped = st.RecordsDropped
-		s.StoreRecordsUnknown = st.RecordsUnknown
-		s.StoreRecordsAppended = st.RecordsAppended
-		s.StoreBytes = st.Bytes
-		s.StoreCompactions = st.Compactions
-	}
-	s.StoreAppendErrors = m.storeAppendErrors.Load()
-	if s.Workers > 0 {
-		s.WorkerUtilization = float64(s.WorkersBusy) / float64(s.Workers)
-	}
+	var s MetricsSnapshot
+	_ = json.Unmarshal(raw, &s)
 	return s
 }
 
-// WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4), the body GET /v1/metrics serves to scrapers that
-// ask for text/plain.
-func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter("consensusd_jobs_submitted_total", "Accepted run submissions.", s.JobsSubmitted)
-	counter("consensusd_jobs_completed_total", "Jobs that reached done (cache hits included).", s.JobsCompleted)
-	counter("consensusd_jobs_failed_total", "Jobs that failed.", s.JobsFailed)
-	counter("consensusd_jobs_cancelled_total", "Jobs cancelled.", s.JobsCancelled)
-	counter("consensusd_jobs_coalesced_total", "Submissions absorbed by an identical in-flight job.", s.JobsCoalesced)
-	counter("consensusd_cache_hits_total", "Result-cache hits at submit time.", s.CacheHits)
-	counter("consensusd_cache_misses_total", "Result-cache misses at submit time.", s.CacheMisses)
-	counter("consensusd_rate_limited_total", "Submit requests shed with 429.", s.RateLimited)
-	counter("consensusd_batches_run_total", "Batch requests that started running.", s.BatchesRun)
-	counter("consensusd_batch_cells_expanded_total", "Cells expanded from batch requests.", s.BatchCellsExpanded)
-	counter("consensusd_batch_cells_cached_total", "Batch cells answered from the result cache.", s.BatchCellsCached)
-	counter("consensusd_batch_cells_coalesced_total", "Batch cells absorbed by an identical earlier cell.", s.BatchCellsCoalesced)
-	counter("consensusd_store_records_loaded_total", "Records recovered from the persistent store at startup.", s.StoreRecordsLoaded)
-	counter("consensusd_store_records_dropped_total", "Store records dropped during recovery (corrupt or superseded).", s.StoreRecordsDropped)
-	counter("consensusd_store_records_unknown_total", "Intact store records this binary cannot decode (preserved, not loaded).", s.StoreRecordsUnknown)
-	counter("consensusd_store_records_appended_total", "Records written through to the persistent store.", s.StoreRecordsAppended)
-	counter("consensusd_store_compactions_total", "Compacting rewrites of the persistent store.", s.StoreCompactions)
-	counter("consensusd_store_append_errors_total", "Failed store write-throughs (job still completed).", s.StoreAppendErrors)
-	gauge("consensusd_store_bytes", "Persistent store file size in bytes.", float64(s.StoreBytes))
-	gauge("consensusd_workers", "Worker pool size.", float64(s.Workers))
-	gauge("consensusd_workers_busy", "Workers currently running a job.", float64(s.WorkersBusy))
-	gauge("consensusd_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
-	gauge("consensusd_worker_utilization", "WorkersBusy divided by Workers.", s.WorkerUtilization)
-}
+// JSONMap returns the full JSON exposition (histograms and labeled
+// families included) from one registry walk.
+func (m *Metrics) JSONMap() map[string]any { return m.reg.JSONMap() }
+
+// WritePrometheus renders the Prometheus text exposition (format 0.0.4)
+// from one registry walk.
+func (m *Metrics) WritePrometheus(w io.Writer) { m.reg.WritePrometheus(w) }

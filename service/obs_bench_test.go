@@ -1,0 +1,50 @@
+package service
+
+import (
+	"testing"
+
+	"repro/obs"
+)
+
+func benchSpec() Spec {
+	return Spec{Seed: 7, Payload: &MedianSpec{
+		Init: InitSpec{Kind: "twovalue", N: 20000},
+		Rule: RuleSpec{Name: "median"},
+	}}
+}
+
+// BenchmarkBareRun is the uninstrumented baseline for BenchmarkObservedRun:
+// the same engine execution with a no-op observer.
+func BenchmarkBareRun(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(spec, func(RoundRecord) {}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObservedRun runs the engine under the exact per-round
+// instrumentation the worker loop installs: a RunTracker feeding the
+// per-kind round counter and the (idle) event bus. Compare allocs/op
+// against BenchmarkBareRun — the tracker must add zero allocations per
+// round.
+func BenchmarkObservedRun(b *testing.B) {
+	spec := benchSpec()
+	reg := obs.NewRegistry()
+	rounds := reg.CounterVec("consensusd_rounds_total", "rounds", "total rounds", "kind")
+	bus := obs.NewBus(256, nil, nil)
+	defer bus.Close()
+	counter := rounds.With("median")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker := obs.NewRunTracker(counter, bus, 0, obs.Event{
+			Type: "job.progress", Job: "bench", Kind: "median",
+		})
+		if _, err := Execute(spec, func(rec RoundRecord) { tracker.Tick(rec.Round) }, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -57,6 +57,7 @@ func (s *Service) reload() error {
 			id:        r.ID,
 			spec:      r.Spec,
 			hash:      r.SpecHash,
+			reqID:     r.RequestID,
 			status:    StatusDone,
 			result:    &res,
 			records:   r.Records,

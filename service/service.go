@@ -1,15 +1,19 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/engine"
+	"repro/obs"
 	"repro/service/store"
 )
 
@@ -81,6 +85,14 @@ type Options struct {
 	// over StorePath. New closes it on failure and Service.Close closes
 	// it on shutdown. nil (with StorePath empty) = in-memory only.
 	Store Store
+	// Logger receives the service's structured logs: HTTP access lines
+	// (with request ids), job lifecycle transitions and store errors.
+	// nil = discard.
+	Logger *slog.Logger
+	// EventBuffer is the event bus ring capacity — how much recent
+	// history GET /v1/events?replay=N can serve to a new subscriber
+	// (<=0 = 256).
+	EventBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +142,10 @@ type Job struct {
 	spec     Spec
 	hash     string
 	cacheHit bool
+	// reqID is the X-Request-Id of the submission that created the job
+	// ("" for library submissions without one), carried on its events,
+	// logs and persisted run.
+	reqID string
 
 	cancel atomic.Bool
 
@@ -154,6 +170,9 @@ type JobView struct {
 	CacheHit bool       `json:"cache_hit"`
 	Result   *RunResult `json:"result,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// RequestID is the X-Request-Id of the submission that created the
+	// job, for correlating API responses, events and logs.
+	RequestID string `json:"request_id,omitempty"`
 	// Records is the number of stored round records (the stream length);
 	// Truncated counts rounds beyond the MaxRecords bound.
 	Records   int        `json:"records"`
@@ -173,6 +192,7 @@ func (j *Job) view() JobView {
 		Status:    j.status,
 		CacheHit:  j.cacheHit,
 		Error:     j.errMsg,
+		RequestID: j.reqID,
 		Records:   len(j.records),
 		Truncated: j.truncated,
 		Created:   j.created,
@@ -234,6 +254,8 @@ type Service struct {
 	store   Store
 	limiter *tokenBucket
 	queue   chan *Job
+	bus     *obs.Bus
+	logger  *slog.Logger
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -265,16 +287,22 @@ func New(opts Options) (*Service, error) {
 	}
 	s := &Service{
 		opts:    opts,
-		metrics: &Metrics{workers: opts.Workers},
 		cache:   newResultCache(opts.CacheSize),
 		store:   st,
 		limiter: newTokenBucket(opts.SubmitRate, float64(opts.SubmitBurst)),
 		queue:   make(chan *Job, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]*Job),
+		logger:  opts.Logger,
 	}
-	s.metrics.queueDepth = func() int { return len(s.queue) }
-	s.metrics.storeStats = st.Stats
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.metrics = newMetrics(opts.Workers, func() int { return len(s.queue) }, st.Stats)
+	s.bus = obs.NewBus(opts.EventBuffer, s.metrics.eventsPublished, s.metrics.eventsDropped)
+	s.metrics.reg.GaugeFunc("consensusd_event_subscribers", "event_subscribers",
+		"Live event stream subscribers attached.",
+		func() float64 { return float64(s.bus.Subscribers()) })
 	if err := s.reload(); err != nil {
 		st.Close()
 		return nil, err
@@ -310,10 +338,30 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.wg.Wait()
 	_ = s.store.Close()
+	// Closing the bus last: the drain above still publishes terminal
+	// events, and closing detaches every /v1/events consumer.
+	s.bus.Close()
 }
 
-// Metrics returns a snapshot of the service counters.
+// Metrics returns the typed snapshot of the service's scalar counters.
 func (s *Service) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// MetricsJSON returns the full JSON metric exposition — every family the
+// Prometheus view has, histograms and labels included — from one registry
+// walk.
+func (s *Service) MetricsJSON() map[string]any { return s.metrics.JSONMap() }
+
+// WriteMetricsText renders the Prometheus text exposition (format 0.0.4),
+// for /v1/metrics content negotiation and debug listeners.
+func (s *Service) WriteMetricsText(w io.Writer) { s.metrics.WritePrometheus(w) }
+
+// Events subscribes to the live event bus with a delivery buffer of buf
+// events, replaying up to replay recent events first (see obs.Bus). The
+// returned subscriber is nil when the service is closed; callers must
+// Close it when done.
+func (s *Service) Events(buf, replay int) *obs.Subscriber {
+	return s.bus.Subscribe(buf, replay)
+}
 
 // Submit validates the spec, answers from the result cache when possible,
 // and otherwise enqueues a job for the worker pool. The returned view is
@@ -322,13 +370,20 @@ func (s *Service) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
 // before the first finishes coalesces onto the existing job and returns
 // its view instead of executing the deterministic simulation twice.
 func (s *Service) Submit(spec Spec) (JobView, error) {
-	_, view, err := s.submit(spec)
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying a request context: the request id placed
+// there by the HTTP middleware (obs.WithRequestID) is recorded on the job
+// and flows through its events, logs and persisted run.
+func (s *Service) SubmitCtx(ctx context.Context, spec Spec) (JobView, error) {
+	_, view, err := s.submit(spec, obs.RequestIDFrom(ctx))
 	return view, err
 }
 
 // submit is Submit returning the job itself, for callers (the batch
 // runner) that must outlive history eviction.
-func (s *Service) submit(spec Spec) (*Job, JobView, error) {
+func (s *Service) submit(spec Spec, reqID string) (*Job, JobView, error) {
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, JobView{}, err
@@ -350,6 +405,7 @@ func (s *Service) submit(spec Spec) (*Job, JobView, error) {
 	j := &Job{
 		spec:    spec,
 		hash:    hash,
+		reqID:   reqID,
 		status:  StatusQueued,
 		notify:  make(chan struct{}),
 		created: now,
@@ -373,6 +429,10 @@ func (s *Service) submit(spec Spec) (*Job, JobView, error) {
 		if !terminal {
 			s.metrics.jobsCoalesced.Add(1)
 			s.mu.Unlock()
+			s.bus.Publish(obs.Event{
+				Type: "job.coalesced", Job: existing.id, Kind: spec.Kind,
+				SpecHash: hash, RequestID: reqID,
+			})
 			return existing, existing.view(), nil
 		}
 	}
@@ -405,6 +465,18 @@ func (s *Service) submit(spec Spec) (*Job, JobView, error) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+	s.bus.Publish(obs.Event{
+		Type: "job.submitted", Job: j.id, Kind: spec.Kind,
+		SpecHash: hash, RequestID: reqID,
+	})
+	if j.cacheHit {
+		s.bus.Publish(obs.Event{
+			Type: "job.done", Job: j.id, Kind: spec.Kind, SpecHash: hash,
+			RequestID: reqID, Status: string(StatusDone), Detail: "cache hit",
+		})
+	}
+	s.logger.Debug("job submitted", "job", j.id, "kind", spec.Kind,
+		"spec_hash", hash, "cache_hit", j.cacheHit, "request_id", reqID)
 	return j, j.view(), nil
 }
 
@@ -517,10 +589,29 @@ func (s *Service) worker() {
 		j.wake()
 		j.mu.Unlock()
 
+		s.bus.Publish(obs.Event{
+			Type: "job.started", Job: j.id, Kind: j.spec.Kind,
+			SpecHash: j.hash, RequestID: j.reqID,
+		})
+
 		s.metrics.workersBusy.Add(1)
 		max := s.opts.MaxRecords
+		// All per-run observability is resolved here, once: the per-kind
+		// rounds counter, the bus handle and the progress-event prototype.
+		// The per-round cost inside the observer is then just
+		// RunTracker.Tick — a few atomics, zero allocations (see
+		// BenchmarkObservedRun).
+		tracker := obs.NewRunTracker(
+			s.metrics.roundsTotal.With(j.spec.Kind), s.bus, 0,
+			obs.Event{
+				Type: "job.progress", Job: j.id, Kind: j.spec.Kind,
+				SpecHash: j.hash, RequestID: j.reqID,
+			})
 		res, err := Execute(j.spec,
-			func(rec RoundRecord) { j.appendRecord(max, rec) },
+			func(rec RoundRecord) {
+				tracker.Tick(rec.Round)
+				j.appendRecord(max, rec)
+			},
 			j.cancel.Load)
 		s.metrics.workersBusy.Add(-1)
 
@@ -535,39 +626,80 @@ func (s *Service) worker() {
 	}
 }
 
-// finish moves a job to a terminal state and, for successful runs, stores
-// the result in the cache.
+// finish moves a job to a terminal state, records its lifecycle timing,
+// and, for successful runs, stores the result in the cache.
 func (s *Service) finish(j *Job, st Status, res *RunResult, errMsg string) {
 	j.mu.Lock()
 	j.status = st
-	j.result = res
-	j.errMsg = errMsg
 	j.finished = time.Now()
 	records, truncated := j.records, j.truncated
-	started, finished := j.started, j.finished
+	created, started, finished := j.created, j.started, j.finished
+	// The timing breakdown is attached before the result is shared with
+	// the view, the cache and the store, so every copy carries it.
+	if res != nil {
+		timing := &engine.RunTiming{
+			QueueWaitSeconds: started.Sub(created).Seconds(),
+			RunSeconds:       finished.Sub(started).Seconds(),
+			TotalSeconds:     finished.Sub(created).Seconds(),
+			RecordsEmitted:   len(records),
+			RecordsTruncated: truncated,
+		}
+		if timing.RunSeconds > 0 {
+			timing.RoundsPerSec = float64(res.Rounds) / timing.RunSeconds
+		}
+		res.Timing = timing
+	}
+	j.result = res
+	j.errMsg = errMsg
 	j.wake()
 	j.mu.Unlock()
+
+	// Latency observations: queue wait for anything a worker picked up,
+	// run duration and rounds only for runs that actually executed.
+	kind := j.spec.Kind
+	if !started.IsZero() {
+		s.metrics.queueWait.ObserveDuration(started.Sub(created))
+	}
+	var elapsed float64
 	switch st {
 	case StatusDone:
+		elapsed = finished.Sub(started).Seconds()
+		s.metrics.runDuration.With(kind).ObserveDuration(finished.Sub(started))
+		s.metrics.roundsPerRun.With(kind).Observe(int64(res.Rounds))
 		// Cache before clearing the pending entry: a concurrent Submit
 		// that misses the pending map must then hit the cache.
 		s.cache.put(j.hash, &cacheEntry{result: *res, records: records, truncated: truncated})
 		s.metrics.jobsCompleted.Add(1)
 		// Write through to the persistent store. A write failure must not
 		// fail the job — the result is correct and cached — so it is only
-		// counted (store_append_errors in /v1/metrics).
+		// counted (store_append_errors in /v1/metrics) and surfaced as a
+		// store.error event.
 		if err := s.store.Append(StoredRun{
-			ID: j.id, SpecHash: j.hash, Spec: j.spec,
+			ID: j.id, SpecHash: j.hash, Spec: j.spec, RequestID: j.reqID,
 			Result: *res, Records: records, Truncated: truncated,
-			Created: j.created, Started: started, Finished: finished,
+			Created: created, Started: started, Finished: finished,
 		}); err != nil {
 			s.metrics.storeAppendErrors.Add(1)
+			s.bus.Publish(obs.Event{Type: "store.error", Job: j.id, SpecHash: j.hash, Detail: err.Error()})
+			s.logger.Error("store append failed", "job", j.id, "error", err)
+		} else if _, inMemory := s.store.(nullStore); !inMemory {
+			s.bus.Publish(obs.Event{Type: "store.appended", Job: j.id, SpecHash: j.hash})
 		}
 	case StatusFailed:
+		elapsed = finished.Sub(started).Seconds()
 		s.metrics.jobsFailed.Add(1)
 	case StatusCancelled:
+		if !started.IsZero() {
+			elapsed = finished.Sub(started).Seconds()
+		}
 		s.metrics.jobsCancelled.Add(1)
 	}
+	s.bus.Publish(obs.Event{
+		Type: "job." + string(st), Job: j.id, Kind: kind, SpecHash: j.hash,
+		RequestID: j.reqID, Status: string(st), Elapsed: elapsed, Detail: errMsg,
+	})
+	s.logger.Info("job finished", "job", j.id, "kind", kind, "status", st,
+		"elapsed", elapsed, "error", errMsg, "request_id", j.reqID)
 	s.mu.Lock()
 	if s.pending[j.hash] == j {
 		delete(s.pending, j.hash)

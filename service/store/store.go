@@ -92,6 +92,9 @@ type Run struct {
 	ID string `json:"id,omitempty"`
 	// SpecHash is the canonical spec hash — the result-cache key.
 	SpecHash string `json:"spec_hash"`
+	// RequestID is the X-Request-Id of the submission that created the
+	// run's job, for correlating persisted runs with access logs.
+	RequestID string `json:"request_id,omitempty"`
 	// Spec is the normalized spec the run executed.
 	Spec engine.Spec `json:"spec"`
 	// Result is the run's outcome, effective seed included.
