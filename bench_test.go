@@ -573,7 +573,7 @@ func BenchmarkMultidimEngines(b *testing.B) {
 	b.Run("count", func(b *testing.B) {
 		var rounds int64
 		for i := 0; i < b.N; i++ {
-			res := multidim.NewCountEngine(pts, uint64(i+1), multidim.CountOptions{}).Run()
+			res := multidim.NewCountEngine(pts, nil, uint64(i+1), multidim.CountOptions{}).Run()
 			rounds += int64(res.Rounds)
 		}
 		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
@@ -612,6 +612,99 @@ func BenchmarkRobustness(b *testing.B) {
 			}
 			b.ReportMetric(pt/float64(b.N), "ptime/op")
 			b.ReportMetric(float64(dissent)/float64(b.N), "dissent/op")
+		})
+	}
+}
+
+// --- E21: the n ~ 10⁹ hot path — count-level init and round loops ---------
+
+// BenchmarkMultidimInit compares materializing a multidim initial state
+// per-process (O(n·d) points) against count-native (one multinomial draw
+// over the m^d cells, O(k·d)): the same spec, but the count builder's cost
+// is independent of n. The per-process path at n=10⁹ would allocate
+// ~16 GiB and is skipped — that gap is the benchmark's finding.
+func BenchmarkMultidimInit(b *testing.B) {
+	for _, n := range []int{100_000, 10_000_000, 1_000_000_000} {
+		spec := multidim.InitSpec{Kind: "random", N: n, D: 2, M: 4, Seed: 1}
+		b.Run(fmt.Sprintf("point/n=%.0e", float64(n)), func(b *testing.B) {
+			if n > 10_000_000 {
+				b.Skip("per-process init at n=1e9 allocates ~16 GiB")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := multidim.BuildInit(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("count/n=%.0e", float64(n)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := multidim.BuildInitCounts(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountInit measures the count-native init builders at the
+// acceptance scale n = 10⁹ for both hot paths: the scalar uniform
+// distribution (one multinomial over m bins) and the multidim random cell
+// distribution (one multinomial over m^d cells).
+func BenchmarkCountInit(b *testing.B) {
+	const n = 1_000_000_000
+	b.Run("scalar-uniform", func(b *testing.B) {
+		spec := consensus.InitSpec{Kind: "uniform", N: n, M: 64, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := consensus.BuildInitDist(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multidim-random", func(b *testing.B) {
+		spec := multidim.InitSpec{Kind: "random", N: n, D: 3, M: 4, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := multidim.BuildInitCounts(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCountRound measures the steady-state per-round cost of the
+// count engines under a noise adversary (so the chain never absorbs and
+// every iteration does a full round's work). The headline is the
+// allocs/op column: zero, whatever n — the round loops reuse engine-owned
+// scratch (TestCountEngineStepAllocs and TestCountEngineRoundAllocs pin
+// this as a regression). The scalar engine samples per ball — Θ(n) work
+// per round, so it stops at 10⁷ — while the multidim engine's
+// block-multinomial mode is O(k³) independent of n and runs the
+// acceptance scale 10⁹ directly.
+func BenchmarkCountRound(b *testing.B) {
+	for _, n := range []int{100_000, 10_000_000} {
+		b.Run(fmt.Sprintf("scalar/n=%.0e", float64(n)), func(b *testing.B) {
+			d := assign.Dist{Vals: []core.Value{1, 2, 3, 4, 5}, Counts: []int64{int64(n) / 5, int64(n) / 5, int64(n) / 5, int64(n) / 5, int64(n) - 4*(int64(n)/5)}}
+			eng := core.NewCountEngineDist(d, rules.Median{}, adversary.NewRandomNoise(adversary.Fixed(2)), 1, core.Options{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+	for _, n := range []int{100_000, 1_000_000_000} {
+		b.Run(fmt.Sprintf("multidim/n=%.0e", float64(n)), func(b *testing.B) {
+			tuples := []multidim.Point{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+			counts := []int64{int64(n) / 4, int64(n) / 4, int64(n) / 4, int64(n) - 3*(int64(n)/4)}
+			eng := multidim.NewCountEngineDist(tuples, counts, &multidim.NoiseAdversary{T: 2}, 1, multidim.CountOptions{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
 		})
 	}
 }

@@ -11,10 +11,23 @@
 // ::warning:: annotation — but the exit code stays 0 unless -fail is set:
 // CI benchmarks on shared runners are too noisy to gate merges on, so
 // the default mode surfaces regressions without blocking them.
+//
+// -fail-match carves out an exception for benchmarks that *should* gate:
+// names matching the regexp fail the run on a ns/op regression beyond
+// -warn-pct, and on any break of a zero-allocs/op baseline (alloc counts
+// are deterministic, not runner noise — the count engines' 0 allocs/op
+// is a hard invariant, so `-fail-match '^BenchmarkCount'` turns their
+// -benchmem columns into a merge gate).
+//
+// -json writes the parsed new run as a baseline artifact (ns/op and
+// allocs/op per benchmark); a .json file is accepted anywhere a bench
+// output is, so a committed BENCH_BASELINE.json can seed the first diff
+// of a fresh repository before any artifact exists.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,29 +39,59 @@ import (
 )
 
 func main() {
-	oldPath := flag.String("old", "", "previous bench output file")
-	newPath := flag.String("new", "", "current bench output file")
+	oldPath := flag.String("old", "", "previous bench output (.txt or .json baseline)")
+	newPath := flag.String("new", "", "current bench output (.txt or .json baseline)")
 	warnPct := flag.Float64("warn-pct", 20, "warn when ns/op grew by more than this percentage")
 	failOnRegress := flag.Bool("fail", false, "exit 1 when a regression beyond -warn-pct is found")
+	failMatch := flag.String("fail-match", "", "regexp of benchmark names whose regressions (ns/op beyond -warn-pct, or 0 allocs/op broken) exit 1 even without -fail")
+	jsonOut := flag.String("json", "", "write the parsed -new run to this path as a JSON baseline")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
 	}
-	oldBench, err := parseFile(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	if *oldPath == "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing to do: need -old to diff or -json to emit a baseline")
 		os.Exit(2)
+	}
+	var gate *regexp.Regexp
+	if *failMatch != "" {
+		var err error
+		if gate, err = regexp.Compile(*failMatch); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -fail-match:", err)
+			os.Exit(2)
+		}
 	}
 	newBench, err := parseFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	regressions := report(os.Stdout, oldBench, newBench, *warnPct)
-	if *failOnRegress && regressions > 0 {
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, newBench); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if *oldPath == "" {
+		return
+	}
+	oldBench, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions, gated := report(os.Stdout, oldBench, newBench, *warnPct, gate)
+	if gated > 0 || (*failOnRegress && regressions > 0) {
 		os.Exit(1)
 	}
+}
+
+// bench is one benchmark's parsed measurements. AllocsOp is nil when the
+// run was not taken with -benchmem.
+type bench struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line:
@@ -56,40 +99,68 @@ func main() {
 //	BenchmarkName/sub-8   	     100	  12345678 ns/op	 ...
 var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+\d+\s+([0-9.]+)\s+ns/op`)
 
+// allocsCol matches the -benchmem allocs column anywhere in a line.
+var allocsCol = regexp.MustCompile(`([0-9.]+)\s+allocs/op`)
+
 // procSuffix is the trailing -GOMAXPROCS tag go test appends to names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-// parse reads bench output into name → ns/op. A name that appears more
-// than once (e.g. -count > 1) keeps the minimum, the conventional
-// noise-resistant summary of repeated runs.
-func parse(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// parse reads bench output into name → measurements. A name that appears
+// more than once (e.g. -count > 1) keeps the minimum ns/op (the
+// conventional noise-resistant summary of repeated runs) and the maximum
+// allocs/op (the conservative summary of a deterministic count).
+func parse(r io.Reader) (map[string]bench, error) {
+	out := map[string]bench{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		name := procSuffix.ReplaceAllString(m[1], "")
-		v, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
 		}
-		if prev, dup := out[name]; !dup || v < prev {
-			out[name] = v
+		b := bench{NsOp: ns}
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				b.AllocsOp = &a
+			}
 		}
+		if prev, dup := out[name]; dup {
+			if prev.NsOp < b.NsOp {
+				b.NsOp = prev.NsOp
+			}
+			if prev.AllocsOp != nil && (b.AllocsOp == nil || *prev.AllocsOp > *b.AllocsOp) {
+				b.AllocsOp = prev.AllocsOp
+			}
+		}
+		out[name] = b
 	}
 	return out, sc.Err()
 }
 
-func parseFile(path string) (map[string]float64, error) {
+// baseline is the JSON artifact schema -json emits and parseFile accepts.
+type baseline struct {
+	Benchmarks map[string]bench `json:"benchmarks"`
+}
+
+func parseFile(path string) (map[string]bench, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	b, err := parse(f)
-	if err != nil {
+	var b map[string]bench
+	if strings.HasSuffix(path, ".json") {
+		var base baseline
+		if err := json.NewDecoder(f).Decode(&base); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		b = base.Benchmarks
+	} else if b, err = parse(f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(b) == 0 {
@@ -98,37 +169,58 @@ func parseFile(path string) (map[string]float64, error) {
 	return b, nil
 }
 
+// writeBaseline emits the parsed run as a sorted JSON baseline artifact.
+func writeBaseline(path string, benches map[string]bench) error {
+	data, err := json.MarshalIndent(baseline{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // report prints a per-benchmark comparison and returns the number of
-// regressions beyond warnPct. New and vanished benchmarks are noted but
-// never counted as regressions.
-func report(w io.Writer, oldBench, newBench map[string]float64, warnPct float64) int {
+// ns/op regressions beyond warnPct plus the number of *gated* failures:
+// regressions on names matching gate, and gate-matched benchmarks whose
+// 0 allocs/op baseline now allocates. New and vanished benchmarks are
+// noted but never counted.
+func report(w io.Writer, oldBench, newBench map[string]bench, warnPct float64, gate *regexp.Regexp) (regressions, gated int) {
 	names := make([]string, 0, len(newBench))
 	for name := range newBench {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressions := 0
 	for _, name := range names {
 		nv := newBench[name]
 		ov, ok := oldBench[name]
 		if !ok {
-			fmt.Fprintf(w, "%s: new benchmark (%.1f ns/op), nothing to compare\n", name, nv)
+			fmt.Fprintf(w, "%s: new benchmark (%.1f ns/op), nothing to compare\n", name, nv.NsOp)
 			continue
 		}
-		pct := (nv - ov) / ov * 100
+		pct := (nv.NsOp - ov.NsOp) / ov.NsOp * 100
 		switch {
 		case pct > warnPct:
 			regressions++
-			fmt.Fprintf(w, "%s: REGRESSION %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov, nv)
-			fmt.Fprintf(w, "::warning title=bench regression::%s ns/op %+.1f%% (%.1f -> %.1f)\n", name, pct, ov, nv)
+			fmt.Fprintf(w, "%s: REGRESSION %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov.NsOp, nv.NsOp)
+			fmt.Fprintf(w, "::warning title=bench regression::%s ns/op %+.1f%% (%.1f -> %.1f)\n", name, pct, ov.NsOp, nv.NsOp)
+			if gate != nil && gate.MatchString(name) {
+				gated++
+				fmt.Fprintf(w, "::error title=gated bench regression::%s matches -fail-match\n", name)
+			}
 		default:
-			fmt.Fprintf(w, "%s: %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov, nv)
+			fmt.Fprintf(w, "%s: %+.1f%% ns/op (%.1f -> %.1f)\n", name, pct, ov.NsOp, nv.NsOp)
+		}
+		if gate != nil && gate.MatchString(name) &&
+			ov.AllocsOp != nil && *ov.AllocsOp == 0 &&
+			nv.AllocsOp != nil && *nv.AllocsOp > 0 {
+			gated++
+			fmt.Fprintf(w, "%s: ALLOC REGRESSION 0 -> %g allocs/op\n", name, *nv.AllocsOp)
+			fmt.Fprintf(w, "::error title=zero-alloc invariant broken::%s went 0 -> %g allocs/op\n", name, *nv.AllocsOp)
 		}
 	}
 	for name := range oldBench {
 		if _, ok := newBench[name]; !ok {
-			fmt.Fprintf(w, "%s: vanished (was %.1f ns/op)\n", name, oldBench[name])
+			fmt.Fprintf(w, "%s: vanished (was %.1f ns/op)\n", name, oldBench[name].NsOp)
 		}
 	}
-	return regressions
+	return regressions, gated
 }

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
 
 const oldOut = `goos: linux
-BenchmarkMultidimEngines/process/n=4096-8    	     100	   1000000 ns/op	  120 B/op
+BenchmarkMultidimEngines/process/n=4096-8    	     100	   1000000 ns/op	  120 B/op	       3 allocs/op
 BenchmarkMultidimEngines/count/n=4096-8      	    1000	    100000 ns/op
 BenchmarkMultidimEngines/gone/n=1-8          	    1000	     50000 ns/op
+BenchmarkCountRound/multidim/n=1e+09-8       	  100000	      9000 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
 
@@ -16,37 +20,52 @@ const newOut = `goos: linux
 BenchmarkMultidimEngines/process/n=4096-16   	     100	   1300000 ns/op
 BenchmarkMultidimEngines/count/n=4096-16     	    1000	    105000 ns/op
 BenchmarkMultidimEngines/fresh/n=2-16        	    1000	      9000 ns/op
+BenchmarkCountRound/multidim/n=1e+09-16      	  100000	      9100 ns/op	       8 B/op	       2 allocs/op
 PASS
 `
 
-// TestParse: bench lines parse to name→ns/op with the -GOMAXPROCS suffix
-// stripped, so differently-sized machines still pair up.
+// TestParse: bench lines parse to name→measurements with the -GOMAXPROCS
+// suffix stripped, so differently-sized machines still pair up, and the
+// -benchmem allocs column captured when present.
 func TestParse(t *testing.T) {
 	b, err := parse(strings.NewReader(oldOut))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %v", len(b), b)
+	if len(b) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(b), b)
 	}
-	if v := b["BenchmarkMultidimEngines/process/n=4096"]; v != 1e6 {
-		t.Fatalf("process ns/op = %v, want 1e6 (proc suffix must be stripped)", v)
+	proc := b["BenchmarkMultidimEngines/process/n=4096"]
+	if proc.NsOp != 1e6 {
+		t.Fatalf("process ns/op = %v, want 1e6 (proc suffix must be stripped)", proc.NsOp)
+	}
+	if proc.AllocsOp == nil || *proc.AllocsOp != 3 {
+		t.Fatalf("process allocs/op = %v, want 3", proc.AllocsOp)
+	}
+	if cnt := b["BenchmarkMultidimEngines/count/n=4096"]; cnt.AllocsOp != nil {
+		t.Fatalf("no -benchmem column must parse as nil allocs, got %v", *cnt.AllocsOp)
+	}
+	if zero := b["BenchmarkCountRound/multidim/n=1e+09"]; zero.AllocsOp == nil || *zero.AllocsOp != 0 {
+		t.Fatalf("zero allocs column must parse as 0, got %v", zero.AllocsOp)
 	}
 }
 
 // TestParseKeepsMinimum: repeated names (e.g. -count=3) keep the fastest
-// run.
+// ns/op and the largest allocs/op.
 func TestParseKeepsMinimum(t *testing.T) {
-	out := `BenchmarkX-8 10 300 ns/op
-BenchmarkX-8 10 100 ns/op
+	out := `BenchmarkX-8 10 300 ns/op	0 B/op	0 allocs/op
+BenchmarkX-8 10 100 ns/op	16 B/op	2 allocs/op
 BenchmarkX-8 10 200 ns/op
 `
 	b, err := parse(strings.NewReader(out))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := b["BenchmarkX"]; v != 100 {
-		t.Fatalf("repeated benchmark kept %v, want the minimum 100", v)
+	if v := b["BenchmarkX"]; v.NsOp != 100 {
+		t.Fatalf("repeated benchmark kept %v ns/op, want the minimum 100", v.NsOp)
+	}
+	if v := b["BenchmarkX"]; v.AllocsOp == nil || *v.AllocsOp != 2 {
+		t.Fatalf("repeated benchmark kept %v allocs/op, want the maximum 2", v.AllocsOp)
 	}
 }
 
@@ -62,10 +81,13 @@ func TestReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	regressions := report(&buf, oldBench, newBench, 20)
+	regressions, gated := report(&buf, oldBench, newBench, 20, nil)
 	out := buf.String()
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (process +30%%):\n%s", regressions, out)
+	}
+	if gated != 0 {
+		t.Fatalf("gated = %d, want 0 without -fail-match:\n%s", gated, out)
 	}
 	if !strings.Contains(out, "::warning title=bench regression::BenchmarkMultidimEngines/process/n=4096") {
 		t.Fatalf("missing GitHub warning annotation:\n%s", out)
@@ -78,7 +100,64 @@ func TestReport(t *testing.T) {
 	}
 
 	// A looser threshold clears it.
-	if r := report(&strings.Builder{}, oldBench, newBench, 50); r != 0 {
+	if r, _ := report(&strings.Builder{}, oldBench, newBench, 50, nil); r != 0 {
 		t.Fatalf("50%% threshold: regressions = %d, want 0", r)
+	}
+}
+
+// TestReportFailMatch: names matching the gate turn their regressions into
+// hard failures — a matched ns/op regression is gated, and a matched
+// benchmark whose 0 allocs/op baseline now allocates is gated even when
+// its ns/op is within the noise threshold.
+func TestReportFailMatch(t *testing.T) {
+	oldBench, _ := parse(strings.NewReader(oldOut))
+	newBench, _ := parse(strings.NewReader(newOut))
+
+	var buf strings.Builder
+	_, gated := report(&buf, oldBench, newBench, 20, regexp.MustCompile(`^BenchmarkCountRound`))
+	out := buf.String()
+	if gated != 1 {
+		t.Fatalf("gated = %d, want 1 (0 allocs/op broken):\n%s", gated, out)
+	}
+	if !strings.Contains(out, "ALLOC REGRESSION 0 -> 2 allocs/op") {
+		t.Fatalf("missing alloc regression line:\n%s", out)
+	}
+
+	// Gating the noisy process benchmark turns its ns/op regression into
+	// a failure too.
+	if _, g := report(&strings.Builder{}, oldBench, newBench, 20, regexp.MustCompile(`process`)); g != 1 {
+		t.Fatalf("gated = %d, want 1 for the matched ns/op regression", g)
+	}
+}
+
+// TestBaselineRoundTrip: -json writes a baseline a later diff can consume
+// in place of raw bench output, preserving both columns.
+func TestBaselineRoundTrip(t *testing.T) {
+	benches, err := parse(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_BASELINE.json")
+	if err := writeBaseline(path, benches); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(benches) {
+		t.Fatalf("round-trip lost benchmarks: %d -> %d", len(benches), len(back))
+	}
+	zero := back["BenchmarkCountRound/multidim/n=1e+09"]
+	if zero.NsOp != 9000 || zero.AllocsOp == nil || *zero.AllocsOp != 0 {
+		t.Fatalf("round-trip mangled measurements: %+v", zero)
+	}
+	// Omitted allocs stay omitted (not conflated with measured zero).
+	if cnt := back["BenchmarkMultidimEngines/count/n=4096"]; cnt.AllocsOp != nil {
+		t.Fatalf("nil allocs became %v after round-trip", *cnt.AllocsOp)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), `"benchmarks"`) {
+		t.Fatalf("baseline schema missing benchmarks key:\n%s", data)
 	}
 }

@@ -185,31 +185,19 @@ func Run(cfg Config) Result {
 	if cfg.Rule == nil {
 		panic("consensus: Config.Rule is nil")
 	}
-	opts := core.Options{
-		MaxRounds:   cfg.MaxRounds,
-		AlmostSlack: cfg.AlmostSlack,
-		Window:      cfg.Window,
-		Timing:      cfg.Timing,
-		Workers:     cfg.Workers,
-		Observer:    cfg.Observer,
-	}
 	initial := assign.Config(cfg.Values)
 	engine := cfg.Engine
 	if engine == EngineAuto {
-		engine = pick(initial, cfg)
+		d := initial.Dist()
+		engine = pick(d.N(), d.Support(), cfg)
 	}
 	switch engine {
 	case EngineBall:
-		return fromCore(core.NewBallEngine(initial, cfg.Rule, cfg.Adversary, cfg.Seed, opts).Run())
+		return fromCore(core.NewBallEngine(initial, cfg.Rule, cfg.Adversary, cfg.Seed, coreOpts(cfg)).Run())
 	case EngineCount:
-		return fromCore(core.NewCountEngine(initial, cfg.Rule, cfg.Adversary, cfg.Seed, opts).Run())
+		return fromCore(core.NewCountEngine(initial, cfg.Rule, cfg.Adversary, cfg.Seed, coreOpts(cfg)).Run())
 	case EngineTwoBin:
-		d := initial.Dist()
-		if d.Support() > 2 {
-			panic("consensus: EngineTwoBin needs at most two distinct values")
-		}
-		low, high, l := twoBinShape(d)
-		return fromCore(core.NewTwoBinEngine(d.N(), l, low, high, cfg.Adversary, cfg.Seed, opts).Run())
+		return runTwoBin(cfg, initial.Dist())
 	case EngineGossip:
 		nw := gossip.New(initial, cfg.Rule, cfg.Adversary, cfg.Seed, gossip.Options{
 			CapFactor:   cfg.Gossip.CapFactor,
@@ -234,15 +222,72 @@ func Run(cfg Config) Result {
 	}
 }
 
-// pick chooses an engine for EngineAuto.
-func pick(initial assign.Config, cfg Config) Engine {
-	d := initial.Dist()
+// Dist is the distribution-level initial state: Vals lists the distinct
+// values in increasing order and Counts[i] processes hold Vals[i]. It is
+// the O(m) representation the count-native init builders (BuildInitDist)
+// produce, so giant populations never materialize a per-process vector.
+type Dist = assign.Dist
+
+// RunDist executes the configured simulation over a distribution-level
+// initial state: cfg.Values is ignored and the count-capable engines
+// (EngineCount, EngineTwoBin) run directly on the distribution in O(m)
+// memory. EngineAuto picks among the engines exactly as Run does — when it
+// (or an explicit cfg.Engine) lands on a per-process engine (EngineBall,
+// EngineGossip), the distribution is expanded to the O(n) vector, so the
+// contract stays total; callers chasing the n ~ 10⁹ regime should pin
+// EngineCount or EngineTwoBin.
+func RunDist(cfg Config, d Dist) Result {
+	if len(d.Vals) == 0 {
+		panic("consensus: RunDist with an empty distribution")
+	}
+	if cfg.Rule == nil {
+		panic("consensus: Config.Rule is nil")
+	}
+	engine := cfg.Engine
+	if engine == EngineAuto {
+		engine = pick(d.N(), d.Support(), cfg)
+	}
+	switch engine {
+	case EngineCount:
+		return fromCore(core.NewCountEngineDist(d, cfg.Rule, cfg.Adversary, cfg.Seed, coreOpts(cfg)).Run())
+	case EngineTwoBin:
+		return runTwoBin(cfg, d)
+	default:
+		cfg.Values = assign.Expand(d)
+		cfg.Engine = engine
+		return Run(cfg)
+	}
+}
+
+func coreOpts(cfg Config) core.Options {
+	return core.Options{
+		MaxRounds:   cfg.MaxRounds,
+		AlmostSlack: cfg.AlmostSlack,
+		Window:      cfg.Window,
+		Timing:      cfg.Timing,
+		Workers:     cfg.Workers,
+		Observer:    cfg.Observer,
+	}
+}
+
+func runTwoBin(cfg Config, d assign.Dist) Result {
+	if d.Support() > 2 {
+		panic("consensus: EngineTwoBin needs at most two distinct values")
+	}
+	low, high, l := twoBinShape(d)
+	return fromCore(core.NewTwoBinEngine(d.N(), l, low, high, cfg.Adversary, cfg.Seed, coreOpts(cfg)).Run())
+}
+
+// pick chooses an engine for EngineAuto from the population size and the
+// distinct-value support — distribution-level inputs, so spec-driven runs
+// can resolve the engine without materializing anything.
+func pick(n int64, support int, cfg Config) Engine {
 	// TwoBin requires median/majority semantics (it hard-codes the
 	// two-value median update) and a count-level or absent adversary.
-	if d.Support() <= 2 && cfg.Rule.Samples() == 2 && isMedianLike(cfg.Rule) && countCompatible(cfg.Adversary) && cfg.Observer == nil {
+	if support <= 2 && cfg.Rule.Samples() == 2 && isMedianLike(cfg.Rule) && countCompatible(cfg.Adversary) && cfg.Observer == nil {
 		return EngineTwoBin
 	}
-	if len(initial) >= 1<<16 && countCompatible(cfg.Adversary) {
+	if n >= 1<<16 && countCompatible(cfg.Adversary) {
 		return EngineCount
 	}
 	return EngineBall

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/adversary"
+	"repro/internal/assign"
 	"repro/rules"
 )
 
@@ -49,28 +50,35 @@ func TestRunEachEngineConverges(t *testing.T) {
 	}
 }
 
+// pickVals resolves EngineAuto from a materialized value vector, the way
+// Run does: bucket once, then the distribution-level pick.
+func pickVals(vals []Value, cfg Config) Engine {
+	d := assign.Config(vals).Dist()
+	return pick(d.N(), d.Support(), cfg)
+}
+
 func TestRunAutoPicksTwoBin(t *testing.T) {
-	if e := pick(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}}); e != EngineTwoBin {
+	if e := pickVals(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}}); e != EngineTwoBin {
 		t.Fatalf("picked %d, want TwoBin", e)
 	}
 	// Mean rule is not median-like: must not use the two-bin engine.
-	if e := pick(TwoValue(100, 40, 1, 2), Config{Rule: rules.Mean{}}); e == EngineTwoBin {
+	if e := pickVals(TwoValue(100, 40, 1, 2), Config{Rule: rules.Mean{}}); e == EngineTwoBin {
 		t.Fatal("two-bin picked for the mean rule")
 	}
 	// An observer forces a general engine.
-	if e := pick(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}, Observer: func(int, []Value, []int64) {}}); e == EngineTwoBin {
+	if e := pickVals(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}, Observer: func(int, []Value, []int64) {}}); e == EngineTwoBin {
 		t.Fatal("two-bin picked despite observer")
 	}
 	// Ball-only adversary forces the ball engine.
 	probe := adversary.NewFunc("x", adversary.Fixed(1), func(int, []Value, []Value, Rand) {})
-	if e := pick(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}, Adversary: probe}); e != EngineBall {
+	if e := pickVals(TwoValue(100, 40, 1, 2), Config{Rule: rules.Median{}, Adversary: probe}); e != EngineBall {
 		t.Fatalf("picked %d, want Ball for ball-only adversary", e)
 	}
 }
 
 func TestRunAutoLargePopulationUsesCount(t *testing.T) {
 	vals := EvenBlocks(1<<16, 5)
-	if e := pick(vals, Config{Rule: rules.Median{}}); e != EngineCount {
+	if e := pickVals(vals, Config{Rule: rules.Median{}}); e != EngineCount {
 		t.Fatalf("picked %d, want Count", e)
 	}
 }

@@ -93,6 +93,16 @@ func RegisterInit(kind string, g InitGenerator) { initspec.Register(kind, g) }
 // BuildInit materializes the initial state described by s.
 func BuildInit(s InitSpec) ([]Value, error) { return initspec.Build(s) }
 
+// BuildInitDist materializes the value distribution described by s — the
+// O(m) count-level initial state RunDist consumes — without building the
+// per-process vector when the generator is count-native.
+func BuildInitDist(s InitSpec) (Dist, error) { return initspec.BuildDist(s) }
+
+// InitSupport reports an upper bound on the number of distinct values the
+// init spec realizes, computed from the spec alone (no O(n) pre-pass).
+// 0 means unknown (unregistered kind or no Support hook).
+func InitSupport(s InitSpec) int64 { return initspec.Support(s) }
+
 // CheckInit validates an init spec without materializing the state when the
 // generator provides a Check, falling back to generate-and-discard.
 func CheckInit(s InitSpec) error { return initspec.Check(s) }

@@ -74,27 +74,53 @@ func (s *Spec) Validate() error {
 // Population implements engine.Payload.
 func (s *Spec) Population() int64 { return initspec.Size(s.Init) }
 
-// Run implements engine.Payload: materialize a Config and execute it. The
-// observer is installed unconditionally: engine auto-selection depends on
-// whether an observer is present, so a run must not change engine (and
-// hence trajectory) based on whether anyone is watching — the RunContext
-// observer is always non-nil, so every run of the same spec picks the same
-// engine and produces the same result.
+// Run implements engine.Payload. The observer is installed
+// unconditionally: engine auto-selection depends on whether an observer is
+// present, so a run must not change engine (and hence trajectory) based on
+// whether anyone is watching — the RunContext observer is always non-nil,
+// so every run of the same spec picks the same engine and produces the
+// same result.
+//
+// The engine resolves here, at spec level (population and support bound
+// from the init registry, no O(n) pre-pass): runs landing on the
+// count-capable engines (count, twobin) build their start state with
+// BuildInitDist and execute through RunDist, so a huge-n count run never
+// materializes the O(n) value vector; only the per-process engines fall
+// back to BuildInit.
 func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 	cfg, err := s.components(ctx.MaxRounds)
 	if err != nil {
 		return engine.Result{}, err
 	}
-	cfg.Values, err = initspec.Build(s.Init)
-	if err != nil {
-		return engine.Result{}, err
-	}
 	cfg.Seed = ctx.Seed
-	n := int64(len(cfg.Values))
+	n := initspec.Size(s.Init)
 	cfg.Observer = func(round int, vals []Value, counts []int64) {
 		ctx.Observe(engine.LeaderRecord(round, n, vals, counts))
 	}
-	out := Run(cfg)
+	resolved := cfg.Engine
+	if resolved == EngineAuto && n > 0 {
+		// pick sees the observer already installed, so it resolves exactly
+		// as Run would after materializing (twobin is only ever explicit
+		// on the spec path).
+		resolved = pick(n, int(initspec.Support(s.Init)), cfg)
+		cfg.Engine = resolved
+	}
+	var out Result
+	switch resolved {
+	case EngineCount, EngineTwoBin:
+		d, err := initspec.BuildDist(s.Init)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		out = RunDist(cfg, d)
+	default:
+		cfg.Values, err = initspec.Build(s.Init)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		n = int64(len(cfg.Values)) // unknown-size kinds: observe the real n
+		out = Run(cfg)
+	}
 	return engine.Result{
 		Rounds:      out.Rounds,
 		Reason:      out.Reason.String(),
@@ -102,6 +128,30 @@ func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
 		WinnerCount: out.WinnerCount,
 		StableSince: out.StableSince,
 	}, nil
+}
+
+// MaterializedSize implements engine.Materializer: the number of
+// per-process states the run will actually allocate. Runs landing on the
+// count-capable engines hold the distribution, O(support), never the
+// O(n) vector — which is what admission control should charge for.
+func (s *Spec) MaterializedSize() int64 {
+	n := initspec.Size(s.Init)
+	cfg, err := s.components(0)
+	if err != nil {
+		return n
+	}
+	cfg.Observer = func(int, []Value, []int64) {} // the spec path always observes
+	resolved := cfg.Engine
+	if resolved == EngineAuto && n > 0 {
+		resolved = pick(n, int(initspec.Support(s.Init)), cfg)
+	}
+	switch resolved {
+	case EngineCount, EngineTwoBin:
+		if k := initspec.Support(s.Init); k > 0 && k < n {
+			return k
+		}
+	}
+	return n
 }
 
 // components resolves every registry reference except the initial state

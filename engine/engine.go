@@ -151,6 +151,18 @@ type Payload interface {
 	Run(ctx RunContext) (Result, error)
 }
 
+// Materializer is implemented by payloads whose runtime footprint can be
+// far below Population(): count-level engines hold the value distribution,
+// O(support), never the O(n) per-process vector. Admission control charges
+// MaterializedSize() when available, so a count-engine run over n = 10⁹
+// processes is admitted while a per-process run of the same n is rejected.
+type Materializer interface {
+	// MaterializedSize reports the number of per-process states the run
+	// will actually allocate. 0 means unknown (callers fall back to
+	// Population).
+	MaterializedSize() int64
+}
+
 // AxisApplier is implemented by payloads that support server-side batch
 // axes beyond the envelope's shared "seed" and "max_rounds": ApplyAxis
 // patches the named parameter (one of Descriptor.Axes) with the axis value.

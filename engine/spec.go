@@ -228,6 +228,28 @@ func (s Spec) Population() int64 {
 	return p.Population()
 }
 
+// MaterializedSize reports the number of per-process states the run will
+// actually allocate: the payload's MaterializedSize when it implements
+// Materializer (and knows the answer), else Population. This is the
+// quantity admission control should bound — a count-level run over a huge
+// population only ever holds its O(support) distribution.
+func (s Spec) MaterializedSize() int64 {
+	e, err := Lookup(s.kind())
+	if err != nil {
+		return 0
+	}
+	p, err := s.payloadFor(e)
+	if err != nil {
+		return 0
+	}
+	if m, ok := p.(Materializer); ok {
+		if sz := m.MaterializedSize(); sz > 0 {
+			return sz
+		}
+	}
+	return p.Population()
+}
+
 // Canonical returns the canonical JSON encoding of the normalized spec —
 // the byte string the hash, cache and seed derivation are defined over.
 func (s Spec) Canonical() ([]byte, error) {

@@ -158,6 +158,30 @@ func (c Config) Dist() Dist {
 	return d
 }
 
+// Expand materializes the per-ball configuration of a distribution:
+// Counts[i] consecutive balls holding Vals[i], in the distribution's
+// order. It is the O(n) fallback for engines that need per-ball state
+// when the initial state was built at count level.
+func Expand(d Dist) Config {
+	var n int64
+	for _, k := range d.Counts {
+		if k < 0 {
+			panic("assign: Expand with negative count")
+		}
+		n += k
+	}
+	if n == 0 {
+		panic("assign: Expand with zero balls")
+	}
+	c := make(Config, 0, n)
+	for i, k := range d.Counts {
+		for j := int64(0); j < k; j++ {
+			c = append(c, d.Vals[i])
+		}
+	}
+	return c
+}
+
 // N returns the total number of balls in the distribution.
 func (d Dist) N() int64 {
 	var n int64

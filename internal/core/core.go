@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/assign"
@@ -363,6 +364,9 @@ func distSlices(counts map[Value]int64) ([]Value, []int64) {
 }
 
 // CountEngine simulates the process at the level of the value distribution.
+// Its round workspaces (weights, alias table, accumulator map, sample
+// buffer) are engine-owned and reused across rounds, so a steady-state
+// round performs zero heap allocations (see TestCountEngineStepAllocs).
 type CountEngine struct {
 	vals    []Value
 	counts  []int64
@@ -375,6 +379,10 @@ type CountEngine struct {
 	round   int
 	// acc accumulates the next round's distribution.
 	acc map[Value]int64
+	// Round workspaces, retained across rounds.
+	weights []float64
+	alias   randx.Alias
+	sampled []Value
 }
 
 // NewCountEngine builds a count-level engine from the initial configuration.
@@ -382,20 +390,41 @@ func NewCountEngine(cfg assign.Config, rule model.Rule, adv model.Adversary, see
 	if len(cfg) == 0 {
 		panic("core: empty configuration")
 	}
+	return NewCountEngineDist(cfg.Dist(), rule, adv, seed, opts)
+}
+
+// NewCountEngineDist builds a count-level engine directly over a value
+// distribution (strictly increasing vals, positive counts) — the
+// distribution-level entry point the count-native init builders feed,
+// never materializing the O(n) per-ball vector. The slices are cloned, so
+// the caller keeps ownership.
+func NewCountEngineDist(d assign.Dist, rule model.Rule, adv model.Adversary, seed uint64, opts Options) *CountEngine {
+	if len(d.Vals) == 0 || len(d.Vals) != len(d.Counts) {
+		panic("core: empty or mismatched distribution")
+	}
 	if rule == nil {
 		panic("core: nil rule")
 	}
-	d := cfg.Dist()
+	var n int64
+	for i, c := range d.Counts {
+		if c <= 0 {
+			panic(fmt.Sprintf("core: non-positive count %d for value %d", c, d.Vals[i]))
+		}
+		if i > 0 && d.Vals[i-1] >= d.Vals[i] {
+			panic("core: distribution values must be strictly increasing")
+		}
+		n += c
+	}
 	return &CountEngine{
 		vals:    append([]Value(nil), d.Vals...),
 		counts:  append([]int64(nil), d.Counts...),
-		n:       d.N(),
+		n:       n,
 		rule:    rule,
 		adv:     adv,
 		opts:    opts,
 		g:       rng.NewXoshiro256(seed),
-		allowed: sortedValueSet(cfg),
-		acc:     make(map[Value]int64, d.Support()),
+		allowed: append([]Value(nil), d.Vals...),
+		acc:     make(map[Value]int64, len(d.Vals)),
 	}
 }
 
@@ -426,32 +455,30 @@ func (e *CountEngine) Step() {
 }
 
 // stepSampled draws every ball's peers from the current distribution via an
-// alias table and accumulates the next distribution.
+// alias table and accumulates the next distribution. Every buffer it
+// touches is engine-owned and reused, so steady-state rounds allocate
+// nothing (median-like rules only ever produce already-seen values, so the
+// accumulator map stops growing after the first round).
 func (e *CountEngine) stepSampled() {
 	if len(e.vals) == 1 {
 		return // consensus is a fixed point for every sampled rule
 	}
-	weights := make([]float64, len(e.counts))
-	for i, k := range e.counts {
-		weights[i] = float64(k)
+	e.weights = e.weights[:0]
+	for _, k := range e.counts {
+		e.weights = append(e.weights, float64(k))
 	}
-	alias := randx.NewAlias(weights)
+	e.alias.Rebuild(e.weights)
 	s := e.rule.Samples()
-	var buf [8]Value
-	var sampled []Value
-	if s <= len(buf) {
-		sampled = buf[:s]
-	} else {
-		sampled = make([]Value, s)
+	if cap(e.sampled) < s {
+		e.sampled = make([]Value, s)
 	}
-	for k := range e.acc {
-		delete(e.acc, k)
-	}
+	sampled := e.sampled[:s]
+	clear(e.acc)
 	for bi, cnt := range e.counts {
 		own := e.vals[bi]
 		for b := int64(0); b < cnt; b++ {
 			for k := 0; k < s; k++ {
-				sampled[k] = e.vals[alias.Draw(e.g)]
+				sampled[k] = e.vals[e.alias.Draw(e.g)]
 			}
 			e.acc[e.rule.Update(own, sampled)]++
 		}
@@ -461,7 +488,7 @@ func (e *CountEngine) stepSampled() {
 	for v := range e.acc {
 		e.vals = append(e.vals, v)
 	}
-	sort.Slice(e.vals, func(i, j int) bool { return e.vals[i] < e.vals[j] })
+	slices.Sort(e.vals)
 	e.counts = e.counts[:0]
 	for _, v := range e.vals {
 		e.counts = append(e.counts, e.acc[v])

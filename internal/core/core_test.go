@@ -573,3 +573,22 @@ func TestCountEnginePanicsOnEmpty(t *testing.T) {
 	}()
 	NewCountEngine(assign.Config(nil), rules.Median{}, nil, 1, Options{})
 }
+
+// TestCountEngineRoundAllocs pins the count engine's zero-allocation round
+// loop: once every engine-owned workspace (weights, alias table,
+// accumulator map, sample buffer, sorted vectors) has been warmed, a
+// steady-state round — including a count-level adversary that keeps the
+// chain from absorbing — must not touch the heap.
+func TestCountEngineRoundAllocs(t *testing.T) {
+	d := assign.Dist{
+		Vals:   []Value{1, 2, 3, 4, 5},
+		Counts: []int64{2000, 2000, 2000, 2000, 2000},
+	}
+	eng := NewCountEngineDist(d, rules.Median{}, adversary.NewRandomNoise(adversary.Fixed(4)), 1, Options{})
+	for i := 0; i < 8; i++ {
+		eng.Step()
+	}
+	if avg := testing.AllocsPerRun(50, func() { eng.Step() }); avg != 0 {
+		t.Fatalf("steady-state count round allocates (%v allocs/round)", avg)
+	}
+}

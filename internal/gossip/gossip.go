@@ -26,7 +26,7 @@ package gossip
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/assign"
 	"repro/internal/model"
@@ -151,8 +151,9 @@ type Network struct {
 	stats   Stats
 
 	// scratch per round
-	reqFrom [][]int32 // requests received by each target
-	pending [][]int32 // requester -> granted sample sources
+	reqFrom [][]int32       // requests received by each target
+	pending [][]int32       // requester -> granted sample sources
+	distm   map[Value]int64 // observer distribution aggregation
 }
 
 // New builds a network of len(cfg) processes initialised with cfg. The
@@ -340,7 +341,7 @@ func (nw *Network) Run() Result {
 		if nw.opts.Observer == nil {
 			return
 		}
-		obsVals, obsCounts = distInto(nw.values, obsVals[:0], obsCounts[:0])
+		obsVals, obsCounts = nw.distInto(obsVals[:0], obsCounts[:0])
 		nw.opts.Observer(nw.round, obsVals, obsCounts)
 	}
 	check := func() (Result, bool) {
@@ -392,18 +393,24 @@ func (nw *Network) Run() Result {
 }
 
 // distInto appends the distribution of values (sorted by value, so
-// observation is deterministic) onto the given scratch slices.
-func distInto(values []Value, vals []Value, counts []int64) ([]Value, []int64) {
-	m := make(map[Value]int64, 16)
-	for _, v := range values {
-		m[v]++
+// observation is deterministic) onto the given scratch slices. The
+// aggregation map is owned by the network and cleared per round, so an
+// observed run allocates nothing after the support stabilizes.
+func (nw *Network) distInto(vals []Value, counts []int64) ([]Value, []int64) {
+	if nw.distm == nil {
+		nw.distm = make(map[Value]int64, 16)
+	} else {
+		clear(nw.distm)
 	}
-	for v := range m {
+	for _, v := range nw.values {
+		nw.distm[v]++
+	}
+	for v := range nw.distm {
 		vals = append(vals, v)
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	slices.Sort(vals)
 	for _, v := range vals {
-		counts = append(counts, m[v])
+		counts = append(counts, nw.distm[v])
 	}
 	return vals, counts
 }

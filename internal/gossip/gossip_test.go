@@ -306,3 +306,23 @@ func TestObserverPanicUnwindsRun(t *testing.T) {
 	}()
 	nw.Run()
 }
+
+// TestDistIntoAllocs pins the observer aggregation path: distInto reuses
+// the network-owned map and sorts in place, so once the map has seen the
+// support, observing a round appends into caller scratch and allocates
+// nothing else.
+func TestDistIntoAllocs(t *testing.T) {
+	nw := New(assign.EvenBlocks(400, 4), rules.Median{}, nil, 1, Options{})
+	vals := make([]Value, 0, 8)
+	counts := make([]int64, 0, 8)
+	vals, counts = nw.distInto(vals[:0], counts[:0]) // warm the map
+	if len(vals) != 4 || len(counts) != 4 {
+		t.Fatalf("distInto: %v %v", vals, counts)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		vals, counts = nw.distInto(vals[:0], counts[:0])
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state observation allocates (%v allocs/round)", avg)
+	}
+}

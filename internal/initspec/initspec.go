@@ -15,6 +15,7 @@ import (
 	"repro/engine"
 	"repro/internal/assign"
 	"repro/internal/model"
+	"repro/internal/randx"
 	"repro/internal/rng"
 )
 
@@ -51,11 +52,20 @@ type Spec struct {
 // same state serialize (and hash) identically.
 // Size, when non-nil, reports the population the spec would materialize
 // without allocating it, letting servers enforce admission limits.
+//
+// GenerateDist, when non-nil, builds the initial state directly at the
+// distribution level — sorted distinct values with positive counts — so
+// the count-level engines start without ever allocating the O(n) value
+// vector. Support, when non-nil, reports an upper bound on the number of
+// distinct values the spec realizes, computable from the spec alone;
+// engine auto-selection uses it in place of a materialized support count.
 type Generator struct {
-	Generate  func(s Spec) ([]Value, error)
-	Check     func(s Spec) error
-	Normalize func(s Spec) Spec
-	Size      func(s Spec) int64
+	Generate     func(s Spec) ([]Value, error)
+	GenerateDist func(s Spec) (assign.Dist, error)
+	Check        func(s Spec) error
+	Normalize    func(s Spec) Spec
+	Size         func(s Spec) int64
+	Support      func(s Spec) int64
 }
 
 var (
@@ -93,6 +103,37 @@ func Build(s Spec) ([]Value, error) {
 		return nil, err
 	}
 	return g.Generate(s)
+}
+
+// BuildDist materializes the value distribution described by s — sorted
+// distinct values and their positive counts — without building the
+// per-process value vector when the generator is count-native. Generators
+// without a GenerateDist hook fall back to materialize-and-bucket.
+func BuildDist(s Spec) (assign.Dist, error) {
+	g, err := generatorFor(s.Kind)
+	if err != nil {
+		return assign.Dist{}, err
+	}
+	if g.GenerateDist != nil {
+		return g.GenerateDist(s)
+	}
+	vals, err := g.Generate(s)
+	if err != nil {
+		return assign.Dist{}, err
+	}
+	return assign.Config(vals).Dist(), nil
+}
+
+// Support reports an upper bound on the number of distinct values the init
+// spec realizes, computed from the spec alone (no O(n) pre-pass). 0 means
+// unknown (unregistered kind or no Support hook), which engine
+// auto-selection treats as "materialize to find out".
+func Support(s Spec) int64 {
+	g, err := generatorFor(s.Kind)
+	if err != nil || g.Support == nil {
+		return 0
+	}
+	return g.Support(s)
 }
 
 // Check validates an init spec without materializing the state when the
@@ -229,10 +270,65 @@ func clampM(s Spec) int {
 	return s.M
 }
 
+// uniformDist draws the uniform initial distribution at count level: one
+// exact multinomial over the m equiprobable bins 1..m. O(m) memory, never
+// O(n) — the distribution a per-ball assign.Uniform draw would realize, as
+// one draw. (The realization differs from Generate at equal seed — the RNG
+// is consumed differently — but the distribution is identical; see the
+// init differential tests.)
+func uniformDist(s Spec) (assign.Dist, error) {
+	if err := needN(s); err != nil {
+		return assign.Dist{}, err
+	}
+	m := clampM(s)
+	g := rng.NewXoshiro256(s.Seed)
+	probs := make([]float64, m)
+	for i := range probs {
+		probs[i] = 1
+	}
+	out := make([]int64, m)
+	randx.Multinomial(g, int64(s.N), probs, out)
+	var d assign.Dist
+	for i, c := range out {
+		if c == 0 {
+			continue
+		}
+		d.Vals = append(d.Vals, Value(i+1))
+		d.Counts = append(d.Counts, c)
+	}
+	return d, nil
+}
+
+// blocksDist assigns a count vector directly: value i+1 holds Counts[i]
+// balls, empty bins dropped — already in increasing value order.
+func blocksDist(counts []int64) assign.Dist {
+	var d assign.Dist
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		d.Vals = append(d.Vals, Value(i+1))
+		d.Counts = append(d.Counts, c)
+	}
+	return d
+}
+
+// supportBound counts the non-empty bins of a blocks count vector.
+func supportBound(counts []int64) int64 {
+	var k int64
+	for _, c := range counts {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
 func init() {
 	Register("distinct", Generator{
-		Check: needN,
-		Size:  func(s Spec) int64 { return int64(s.N) },
+		Check:   needN,
+		Size:    func(s Spec) int64 { return int64(s.N) },
+		Support: func(s Spec) int64 { return int64(s.N) },
 		Normalize: func(s Spec) Spec {
 			return Spec{Kind: s.Kind, N: s.N}
 		},
@@ -242,10 +338,27 @@ func init() {
 			}
 			return assign.AllDistinct(s.N), nil
 		},
+		GenerateDist: func(s Spec) (assign.Dist, error) {
+			if err := needN(s); err != nil {
+				return assign.Dist{}, err
+			}
+			d := assign.Dist{Vals: make([]Value, s.N), Counts: make([]int64, s.N)}
+			for i := range d.Vals {
+				d.Vals[i] = Value(i + 1)
+				d.Counts[i] = 1
+			}
+			return d, nil
+		},
 	})
 	Register("uniform", Generator{
 		Check: needN,
 		Size:  func(s Spec) int64 { return int64(s.N) },
+		Support: func(s Spec) int64 {
+			if m := int64(clampM(s)); m < int64(s.N) {
+				return m
+			}
+			return int64(s.N)
+		},
 		Normalize: func(s Spec) Spec {
 			return Spec{Kind: s.Kind, N: s.N, M: clampM(s), Seed: s.Seed}
 		},
@@ -255,9 +368,11 @@ func init() {
 			}
 			return assign.Uniform(s.N, clampM(s), rng.NewXoshiro256(s.Seed)), nil
 		},
+		GenerateDist: uniformDist,
 	})
 	Register("twovalue", Generator{
-		Size: func(s Spec) int64 { return int64(s.N) },
+		Size:    func(s Spec) int64 { return int64(s.N) },
+		Support: func(s Spec) int64 { return 2 },
 		Check: func(s Spec) error {
 			_, _, _, err := twoValueShape(s)
 			return err
@@ -276,6 +391,22 @@ func init() {
 			}
 			return assign.TwoValue(s.N, nLow, low, high), nil
 		},
+		GenerateDist: func(s Spec) (assign.Dist, error) {
+			nLow, low, high, err := twoValueShape(s)
+			if err != nil {
+				return assign.Dist{}, err
+			}
+			var d assign.Dist
+			if nLow > 0 {
+				d.Vals = append(d.Vals, low)
+				d.Counts = append(d.Counts, int64(nLow))
+			}
+			if nLow < s.N {
+				d.Vals = append(d.Vals, high)
+				d.Counts = append(d.Counts, int64(s.N-nLow))
+			}
+			return d, nil
+		},
 	})
 	Register("blocks", Generator{
 		Check: checkBlocks,
@@ -286,6 +417,7 @@ func init() {
 			}
 			return n
 		},
+		Support: func(s Spec) int64 { return supportBound(s.Counts) },
 		Normalize: func(s Spec) Spec {
 			return Spec{Kind: s.Kind, Counts: s.Counts}
 		},
@@ -295,10 +427,19 @@ func init() {
 			}
 			return assign.Blocks(s.Counts), nil
 		},
+		GenerateDist: func(s Spec) (assign.Dist, error) {
+			if err := checkBlocks(s); err != nil {
+				return assign.Dist{}, err
+			}
+			return blocksDist(s.Counts), nil
+		},
 	})
 	Register("evenblocks", Generator{
 		Check: needN,
 		Size:  func(s Spec) int64 { return int64(s.N) },
+		Support: func(s Spec) int64 {
+			return int64(clampM(s))
+		},
 		Normalize: func(s Spec) Spec {
 			return Spec{Kind: s.Kind, N: s.N, M: clampM(s)}
 		},
@@ -307,6 +448,22 @@ func init() {
 				return nil, err
 			}
 			return assign.EvenBlocks(s.N, clampM(s)), nil
+		},
+		GenerateDist: func(s Spec) (assign.Dist, error) {
+			if err := needN(s); err != nil {
+				return assign.Dist{}, err
+			}
+			n, m := s.N, clampM(s)
+			counts := make([]int64, m)
+			base := int64(n / m)
+			extra := n % m
+			for i := range counts {
+				counts[i] = base
+				if i < extra {
+					counts[i]++
+				}
+			}
+			return blocksDist(counts), nil
 		},
 	})
 }

@@ -81,6 +81,9 @@ type BallAdversary interface {
 //
 // The engine passes counts by pointer-shared slice; implementations that
 // need to add a bin return the extended vectors.
+//
+// multidim.CountAdversary is the d-dimensional analogue of this contract
+// (bins keyed by tuple instead of scalar value).
 type CountAdversary interface {
 	Adversary
 	// CorruptCounts returns the (possibly re-allocated) vals and counts

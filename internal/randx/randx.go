@@ -216,15 +216,33 @@ func Multinomial(g *rng.Xoshiro256, n int64, probs []float64, out []int64) {
 }
 
 // Alias is Walker's alias table for O(1) sampling from a fixed discrete
-// distribution. Build is O(k) for k outcomes.
+// distribution. Build is O(k) for k outcomes. The zero value is ready for
+// Rebuild; the table owns reusable scratch buffers so engines that rebuild
+// it every round (the count engines' hot loop) allocate nothing once the
+// buffers have grown to the working support size.
 type Alias struct {
 	prob  []float64 // acceptance probability per column
 	alias []int32   // alternative outcome per column
+
+	// Rebuild scratch, retained across calls.
+	scaled []float64
+	small  []int32
+	large  []int32
 }
 
 // NewAlias builds an alias table from non-negative weights. At least one
 // weight must be positive.
 func NewAlias(weights []float64) *Alias {
+	a := &Alias{}
+	a.Rebuild(weights)
+	return a
+}
+
+// Rebuild re-initializes the table in place from non-negative weights,
+// reusing its internal buffers: after the first call with the largest
+// support, subsequent rebuilds are allocation-free. At least one weight
+// must be positive.
+func (a *Alias) Rebuild(weights []float64) {
 	k := len(weights)
 	if k == 0 {
 		panic("randx: NewAlias with no outcomes")
@@ -239,14 +257,12 @@ func NewAlias(weights []float64) *Alias {
 	if total <= 0 {
 		panic("randx: NewAlias with zero total weight")
 	}
-	a := &Alias{
-		prob:  make([]float64, k),
-		alias: make([]int32, k),
-	}
+	a.prob = growFloats(a.prob, k)
+	a.alias = growInts(a.alias, k)
 	// Scaled probabilities; columns with scaled < 1 are "small".
-	scaled := make([]float64, k)
-	small := make([]int32, 0, k)
-	large := make([]int32, 0, k)
+	scaled := growFloats(a.scaled, k)
+	small := a.small[:0]
+	large := a.large[:0]
 	for i, w := range weights {
 		scaled[i] = w / total * float64(k)
 		if scaled[i] < 1 {
@@ -278,7 +294,24 @@ func NewAlias(weights []float64) *Alias {
 		a.prob[s] = 1
 		a.alias[s] = s
 	}
-	return a
+	a.scaled, a.small, a.large = scaled, small[:0], large[:0]
+}
+
+// growFloats returns a slice of length k, reusing buf's backing array when
+// it is large enough.
+func growFloats(buf []float64, k int) []float64 {
+	if cap(buf) >= k {
+		return buf[:k]
+	}
+	return make([]float64, k)
+}
+
+// growInts is growFloats for int32 slices.
+func growInts(buf []int32, k int) []int32 {
+	if cap(buf) >= k {
+		return buf[:k]
+	}
+	return make([]int32, k)
 }
 
 // Draw returns an outcome index distributed per the table's weights.

@@ -447,3 +447,30 @@ func BenchmarkAliasDraw(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestAliasRebuild: a rebuilt table must be indistinguishable from a
+// freshly constructed one (same weights, same seed, same draw sequence),
+// and rebuilding within the largest support seen must not allocate.
+func TestAliasRebuild(t *testing.T) {
+	weightSets := [][]float64{
+		{1, 2, 3, 4},
+		{5, 1},
+		{0.25, 0.25, 0.25, 0.25, 4},
+		{1},
+	}
+	a := NewAlias(weightSets[0])
+	for _, w := range weightSets {
+		a.Rebuild(w)
+		fresh := NewAlias(w)
+		ga, gf := rng.NewXoshiro256(7), rng.NewXoshiro256(7)
+		for i := 0; i < 200; i++ {
+			if x, y := a.Draw(ga), fresh.Draw(gf); x != y {
+				t.Fatalf("weights %v draw %d: rebuilt %d, fresh %d", w, i, x, y)
+			}
+		}
+	}
+	// Warmed at support 5 above; any rebuild at support <= 5 is free.
+	if avg := testing.AllocsPerRun(50, func() { a.Rebuild(weightSets[0]) }); avg != 0 {
+		t.Fatalf("warm Rebuild allocates (%v allocs)", avg)
+	}
+}

@@ -2,6 +2,7 @@ package multidim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/randx"
@@ -18,12 +19,43 @@ import (
 // engine cannot hold, which is exactly the regime the paper's Section 5
 // average-case model lives in.
 //
-// Sampling stays hypergeometric-free and statistically identical to the
-// per-process engine: every ball draws its two peers independently and
-// uniformly from the pre-round distribution (with replacement) via an
-// alias table, two draws per ball per round, just as Engine.Step draws two
-// uniform indices. The engines therefore share one trajectory distribution
-// — the differential tests in differential_test.go pin that equivalence.
+// Two exact round updates share one trajectory distribution with the
+// per-process engine:
+//
+//   - Per-ball sampling: every ball draws its two peers independently and
+//     uniformly from the pre-round distribution (with replacement) via an
+//     alias table, two draws per ball per round, just as Engine.Step draws
+//     two uniform indices. O(n) time per round.
+//   - Block multinomial: each bin's count is split over the first sampled
+//     peer with one exact randx.Multinomial draw, each block again over the
+//     second peer, and every (own, a, b) group moves to CoordMedian(own,
+//     a, b) in one shot. The two-stage conditional split is exactly the
+//     joint multinomial over ordered peer pairs, so the round update is
+//     distributed identically to per-ball sampling — but costs O(k³)
+//     binomial draws, independent of n. This is what makes n = 10⁹ rounds
+//     run in microseconds.
+//
+// The engine picks the cheaper mode each round from (n, live support) —
+// a deterministic function of the trajectory, so runs stay reproducible —
+// and both modes accumulate into engine-owned reusable workspaces (slot
+// store, weights, alias table, multinomial blocks), so a steady-state
+// round performs zero heap allocations (see TestCountEngineStepAllocs).
+
+// CountAdversary is the count-level T-bounded adversary contract: the
+// d-dimensional analogue of model.CountAdversary. CorruptCounts may move up
+// to Budget(n) balls between bins of the (tuples, counts) distribution,
+// restricted to tuples from allowed (the distinct initial tuples, per the
+// paper's signed-values assumption). Implementations must treat the passed
+// tuples as read-only — corruption is expressed by adjusting counts and
+// appending (tuple, count) pairs for bins not yet present — and must
+// preserve the total ball count. The returned slices may be the inputs,
+// extended.
+type CountAdversary interface {
+	// Budget is the per-round corruption allowance.
+	Budget(n int) int
+	// CorruptCounts rewrites the distribution under the budget.
+	CorruptCounts(round int, tuples []Point, counts []int64, allowed []Point, g *rng.Xoshiro256) ([]Point, []int64)
+}
 
 // CountOptions configures a CountEngine.
 type CountOptions struct {
@@ -36,28 +68,68 @@ type CountOptions struct {
 	Observer func(round int, tuples []Point, counts []int64)
 }
 
+// blockRoundFactor weighs the block-multinomial round (≤ k² multinomial
+// splits, each O(k) binomial draws) against per-ball sampling (n alias
+// pairs): one binomial draw plus the block bookkeeping costs roughly this
+// many alias draws, so blocks win once n exceeds blockRoundFactor·k³.
+const blockRoundFactor = 32
+
 // CountEngine runs the coordinate-wise median dynamics on the tuple
-// distribution. It supports no adversary: the Adversary contract rewrites
-// individual processes, which the count representation cannot express
-// (mirroring the scalar engines, where only count-aware adversaries run
-// at count level; multidim has none registered).
+// distribution. Adversaries run at count level through the CountAdversary
+// contract (the per-process Adversary contract rewrites individual
+// processes, which the count representation cannot express).
+//
+// Internally every distinct tuple ever seen is interned into a slot; the
+// live distribution is the sorted slice of slots with a positive count.
+// Slots, counts, sampling tables and observer views are all engine-owned
+// reusable workspaces: once the reachable tuple set has been seen, a round
+// allocates nothing.
 type CountEngine struct {
-	tuples  []Point // distinct live tuples, lexicographically sorted
-	counts  []int64 // counts[i] processes hold tuples[i]; all > 0
 	n       int64
 	dim     int
-	initial []Point // distinct initial tuples, for validity accounting
+	adv     CountAdversary
 	g       *rng.Xoshiro256
 	opts    CountOptions
 	round   int
-	scratch Point
-	keyBuf  []byte
+	initial []Point // distinct initial tuples: validity + adversary domain
+
+	// Slot store: every distinct tuple ever seen, interned once.
+	index map[string]int32 // point key → slot
+	reps  []Point          // slot → representative tuple
+	cur   []int64          // slot → live count (zero for dead slots)
+	nxt   []int64          // slot → next-round accumulator (all zero between rounds)
+	live  []int32          // slots with cur > 0, sorted by tuple order
+	tch   []int32          // slots with nxt > 0, in first-touch order
+
+	// Round workspaces.
+	weights    []float64 // parallel to live
+	alias      randx.Alias
+	out1, out2 []int64 // multinomial blocks, parallel to live
+	scratch    Point
+	keyBuf     []byte
+	sorter     slotSorter
+
+	// Flattened live views (observer, adversary, Dist).
+	viewTuples []Point
+	viewCounts []int64
 }
+
+// slotSorter sorts a slot slice by the represented tuple order.
+type slotSorter struct {
+	slots []int32
+	reps  []Point
+}
+
+func (s *slotSorter) Len() int { return len(s.slots) }
+func (s *slotSorter) Less(i, j int) bool {
+	return pointLess(s.reps[s.slots[i]], s.reps[s.slots[j]])
+}
+func (s *slotSorter) Swap(i, j int) { s.slots[i], s.slots[j] = s.slots[j], s.slots[i] }
 
 // NewCountEngine builds a count-level engine over the distribution of the
 // given points (the per-process population the spec describes; the engine
-// only stores its distinct tuples).
-func NewCountEngine(points []Point, seed uint64, opts CountOptions) *CountEngine {
+// only stores its distinct tuples). The adversary may be nil.
+func NewCountEngine(points []Point, adv CountAdversary, seed uint64, opts CountOptions) *CountEngine {
 	if len(points) == 0 {
 		panic("multidim: empty population")
 	}
@@ -71,30 +143,78 @@ func NewCountEngine(points []Point, seed uint64, opts CountOptions) *CountEngine
 		}
 	}
 	tuples, counts := distOf(points, dim)
-	return newCountEngineFromDist(tuples, counts, int64(len(points)), seed, opts)
+	return NewCountEngineDist(tuples, counts, adv, seed, opts)
 }
 
-// newCountEngineFromDist builds the engine directly over an
-// already-bucketed sorted distribution, taking ownership of tuples and
-// counts — the spec layer's auto-selection path computes the distribution
-// anyway, so it must not be rebuilt here.
-func newCountEngineFromDist(tuples []Point, counts []int64, n int64, seed uint64, opts CountOptions) *CountEngine {
-	dim := len(tuples[0])
-	initial := make([]Point, len(tuples))
-	for i, p := range tuples {
-		initial[i] = p.Clone()
+// NewCountEngineDist builds the engine directly over a (tuples, counts)
+// distribution — the distribution-level entry point the count-native init
+// builders feed, never materializing a per-process point slice. Counts must
+// be positive and tuples distinct with a common dimension; any order is
+// accepted (the engine sorts internally). The tuples are cloned, so the
+// caller keeps ownership of its slices.
+func NewCountEngineDist(tuples []Point, counts []int64, adv CountAdversary, seed uint64, opts CountOptions) *CountEngine {
+	if len(tuples) == 0 {
+		panic("multidim: empty population")
 	}
-	return &CountEngine{
-		tuples:  tuples,
-		counts:  counts,
-		n:       n,
+	if len(tuples) != len(counts) {
+		panic("multidim: tuples/counts length mismatch")
+	}
+	dim := len(tuples[0])
+	if dim == 0 {
+		panic("multidim: zero-dimensional points")
+	}
+	e := &CountEngine{
 		dim:     dim,
-		initial: initial,
+		adv:     adv,
 		g:       rng.NewXoshiro256(seed),
 		opts:    opts,
+		index:   make(map[string]int32, len(tuples)),
 		scratch: make(Point, dim),
 		keyBuf:  make([]byte, 0, 8*dim),
 	}
+	for i, p := range tuples {
+		if len(p) != dim {
+			panic(fmt.Sprintf("multidim: tuple %d has dimension %d, want %d", i, len(p), dim))
+		}
+		c := counts[i]
+		if c <= 0 {
+			panic(fmt.Sprintf("multidim: tuple %d has non-positive count %d", i, c))
+		}
+		slot := e.intern(p)
+		if e.cur[slot] != 0 {
+			panic(fmt.Sprintf("multidim: duplicate tuple %v in distribution", p))
+		}
+		e.cur[slot] = c
+		e.live = append(e.live, slot)
+		e.n += c
+	}
+	e.sortLive()
+	e.initial = make([]Point, len(e.live))
+	for i, s := range e.live {
+		e.initial[i] = e.reps[s]
+	}
+	return e
+}
+
+// intern returns the slot of p, creating one (with a cloned representative)
+// on first sight. Steady-state calls are pure map lookups: the string(buf)
+// key conversion does not allocate.
+func (e *CountEngine) intern(p Point) int32 {
+	e.keyBuf = appendPointKey(e.keyBuf[:0], p)
+	if slot, ok := e.index[string(e.keyBuf)]; ok {
+		return slot
+	}
+	slot := int32(len(e.reps))
+	e.index[string(e.keyBuf)] = slot
+	e.reps = append(e.reps, p.Clone())
+	e.cur = append(e.cur, 0)
+	e.nxt = append(e.nxt, 0)
+	return slot
+}
+
+func (e *CountEngine) sortLive() {
+	e.sorter.slots, e.sorter.reps = e.live, e.reps
+	sort.Sort(&e.sorter)
 }
 
 // centry is one accumulator bin: a representative tuple and its count.
@@ -120,8 +240,7 @@ func distOf(points []Point, dim int) ([]Point, []int64) {
 }
 
 // sortedDist flattens an accumulator map into the lexicographically
-// sorted (tuples, counts) pair — shared by the initial bucketing and the
-// per-round rebuild.
+// sorted (tuples, counts) pair.
 func sortedDist(entries map[string]*centry) ([]Point, []int64) {
 	bins := make([]*centry, 0, len(entries))
 	for _, e := range entries {
@@ -157,51 +276,201 @@ func (e *CountEngine) Dim() int { return e.dim }
 // Round returns the number of executed rounds.
 func (e *CountEngine) Round() int { return e.round }
 
-// Dist returns the live distribution; callers must not modify it.
-func (e *CountEngine) Dist() ([]Point, []int64) { return e.tuples, e.counts }
+// Dist returns the live distribution in lexicographic tuple order. The
+// slices and tuples are engine-owned views, valid until the next Step or
+// Reset; callers must not modify them.
+func (e *CountEngine) Dist() ([]Point, []int64) {
+	e.refreshViews()
+	return e.viewTuples, e.viewCounts
+}
 
 // Support returns the number of distinct live tuples.
-func (e *CountEngine) Support() int { return len(e.tuples) }
+func (e *CountEngine) Support() int { return len(e.live) }
 
-// Step executes one synchronous round: every process applies the
-// coordinate-wise median of its own tuple and two tuples drawn
-// independently and uniformly from the pre-round distribution.
+// Reset rewinds the engine to round zero on a new (tuples, counts)
+// distribution, reusing every internal workspace — repeated experiments
+// over one engine allocate only when a never-seen tuple appears. The RNG
+// stream is NOT rewound (each reset continues the stream), the initial
+// tuple set for validity accounting is replaced, and counts must be
+// positive with tuples distinct and of the engine's dimension.
+func (e *CountEngine) Reset(tuples []Point, counts []int64) {
+	if len(tuples) == 0 || len(tuples) != len(counts) {
+		panic("multidim: Reset with empty or mismatched distribution")
+	}
+	for _, s := range e.live {
+		e.cur[s] = 0
+	}
+	e.live = e.live[:0]
+	e.n = 0
+	for i, p := range tuples {
+		if len(p) != e.dim {
+			panic(fmt.Sprintf("multidim: tuple %d has dimension %d, want %d", i, len(p), e.dim))
+		}
+		c := counts[i]
+		if c <= 0 {
+			panic(fmt.Sprintf("multidim: tuple %d has non-positive count %d", i, c))
+		}
+		slot := e.intern(p)
+		if e.cur[slot] != 0 {
+			panic(fmt.Sprintf("multidim: duplicate tuple %v in distribution", p))
+		}
+		e.cur[slot] = c
+		e.live = append(e.live, slot)
+		e.n += c
+	}
+	e.sortLive()
+	e.initial = e.initial[:0]
+	for _, s := range e.live {
+		e.initial = append(e.initial, e.reps[s])
+	}
+	e.round = 0
+}
+
+// refreshViews rebuilds the flattened live (tuples, counts) view into the
+// reusable view buffers.
+func (e *CountEngine) refreshViews() {
+	e.viewTuples = e.viewTuples[:0]
+	e.viewCounts = e.viewCounts[:0]
+	for _, s := range e.live {
+		e.viewTuples = append(e.viewTuples, e.reps[s])
+		e.viewCounts = append(e.viewCounts, e.cur[s])
+	}
+}
+
+// Step executes one synchronous round: adversary first (the Section 1.1
+// timing), then every process applies the coordinate-wise median of its own
+// tuple and two tuples drawn independently and uniformly from the pre-round
+// distribution.
 func (e *CountEngine) Step() {
-	e.stepSampled()
+	if e.adv != nil {
+		e.applyAdversary()
+	}
+	if len(e.live) > 1 {
+		// Single-tuple states are a fixed point of the median dynamics;
+		// skip the update (and its randomness) exactly like the scalar
+		// count engine.
+		if float64(e.n) >= blockRoundFactor*math.Pow(float64(len(e.live)), 3) {
+			e.stepBlocks()
+		} else {
+			e.stepSampled()
+		}
+		e.commit()
+	}
 	e.round++
 }
 
+// rebuildWeights refreshes the live-parallel sampling weights (counts as
+// float64 — peers are uniform over processes, so tuples weigh by count).
+func (e *CountEngine) rebuildWeights() {
+	e.weights = e.weights[:0]
+	for _, s := range e.live {
+		e.weights = append(e.weights, float64(e.cur[s]))
+	}
+}
+
+// bump adds c balls to slot's next-round bin, tracking first touches.
+func (e *CountEngine) bump(slot int32, c int64) {
+	if e.nxt[slot] == 0 {
+		e.tch = append(e.tch, slot)
+	}
+	e.nxt[slot] += c
+}
+
+// stepSampled is the per-ball round: two alias draws per ball. O(n) time.
 func (e *CountEngine) stepSampled() {
-	if len(e.tuples) == 1 {
-		return // consensus is a fixed point of the median dynamics
-	}
-	weights := make([]float64, len(e.counts))
-	for i, k := range e.counts {
-		weights[i] = float64(k)
-	}
-	alias := randx.NewAlias(weights)
-	acc := make(map[string]*centry, len(e.tuples))
-	for bi, cnt := range e.counts {
-		own := e.tuples[bi]
-		for b := int64(0); b < cnt; b++ {
-			a := e.tuples[alias.Draw(e.g)]
-			c := e.tuples[alias.Draw(e.g)]
+	e.rebuildWeights()
+	e.alias.Rebuild(e.weights)
+	for _, s := range e.live {
+		own := e.reps[s]
+		for b := int64(0); b < e.cur[s]; b++ {
+			a := e.reps[e.live[e.alias.Draw(e.g)]]
+			c := e.reps[e.live[e.alias.Draw(e.g)]]
 			CoordMedian(e.scratch, own, a, c)
-			e.keyBuf = appendPointKey(e.keyBuf[:0], e.scratch)
-			ent := acc[string(e.keyBuf)]
-			if ent == nil {
-				ent = &centry{rep: e.scratch.Clone()}
-				acc[string(e.keyBuf)] = ent
-			}
-			ent.count++
+			e.bump(e.intern(e.scratch), 1)
 		}
 	}
-	e.tuples, e.counts = sortedDist(acc)
+}
+
+// stepBlocks is the block-multinomial round: split each bin over the first
+// peer with one exact multinomial draw, each block over the second peer,
+// and move every (own, a, b) group at once. O(k³) time, independent of n.
+func (e *CountEngine) stepBlocks() {
+	e.rebuildWeights()
+	k := len(e.live)
+	if cap(e.out1) < k {
+		e.out1 = make([]int64, k)
+		e.out2 = make([]int64, k)
+	}
+	out1, out2 := e.out1[:k], e.out2[:k]
+	for _, s := range e.live {
+		own := e.reps[s]
+		randx.Multinomial(e.g, e.cur[s], e.weights, out1)
+		for ai, ca := range out1 {
+			if ca == 0 {
+				continue
+			}
+			a := e.reps[e.live[ai]]
+			randx.Multinomial(e.g, ca, e.weights, out2)
+			for bi, cb := range out2 {
+				if cb == 0 {
+					continue
+				}
+				CoordMedian(e.scratch, own, a, e.reps[e.live[bi]])
+				e.bump(e.intern(e.scratch), cb)
+			}
+		}
+	}
+}
+
+// commit swaps the accumulated next-round counts in as the live
+// distribution, restoring the all-zero accumulator invariant.
+func (e *CountEngine) commit() {
+	for _, s := range e.live {
+		e.cur[s] = 0
+	}
+	e.cur, e.nxt = e.nxt, e.cur
+	e.live, e.tch = e.tch, e.live[:0]
+	e.sortLive()
+}
+
+// applyAdversary flattens the live distribution, lets the adversary rewrite
+// it, and re-interns the result.
+func (e *CountEngine) applyAdversary() {
+	e.refreshViews()
+	tuples, counts := e.adv.CorruptCounts(e.round, e.viewTuples, e.viewCounts, e.initial, e.g)
+	for _, s := range e.live {
+		e.cur[s] = 0
+	}
+	e.live = e.live[:0]
+	var n int64
+	for i, p := range tuples {
+		c := counts[i]
+		if c < 0 {
+			panic(fmt.Sprintf("multidim: adversary produced negative count %d for tuple %v", c, p))
+		}
+		if c == 0 {
+			continue
+		}
+		slot := e.intern(p)
+		if e.cur[slot] == 0 {
+			e.live = append(e.live, slot)
+		}
+		e.cur[slot] += c
+		n += c
+	}
+	if n != e.n {
+		panic(fmt.Sprintf("multidim: adversary changed the population (%d -> %d)", e.n, n))
+	}
+	e.sortLive()
+	// Keep grown adversary-extended buffers for the next round's views.
+	e.viewTuples, e.viewCounts = tuples[:0], counts[:0]
 }
 
 // Run steps until consensus or the round cap and returns the Result,
-// mirroring the per-process Engine.Run loop (observer after every executed
-// round, stop at the single-tuple fixed point).
+// mirroring the per-process Engine.Run loop: observer after every executed
+// round, stop at the single-tuple fixed point — but, like the per-process
+// engine, never stop early under an adversary (momentary agreement is not
+// stable when states can be rewritten next round).
 func (e *CountEngine) Run() Result {
 	maxRounds := e.opts.MaxRounds
 	if maxRounds <= 0 {
@@ -210,9 +479,10 @@ func (e *CountEngine) Run() Result {
 	for e.round < maxRounds {
 		e.Step()
 		if e.opts.Observer != nil {
-			e.opts.Observer(e.round, e.tuples, e.counts)
+			e.refreshViews()
+			e.opts.Observer(e.round, e.viewTuples, e.viewCounts)
 		}
-		if len(e.tuples) == 1 {
+		if e.adv == nil && len(e.live) == 1 {
 			break
 		}
 	}
@@ -220,7 +490,8 @@ func (e *CountEngine) Run() Result {
 }
 
 func (e *CountEngine) result() Result {
-	winner, count := DistPlurality(e.tuples, e.counts)
+	e.refreshViews()
+	winner, count := DistPlurality(e.viewTuples, e.viewCounts)
 	return Result{
 		Rounds:      e.round,
 		Consensus:   count == e.n,
@@ -245,4 +516,41 @@ func DistPlurality(tuples []Point, counts []int64) (Point, int64) {
 		}
 	}
 	return winner, best
+}
+
+// CorruptCounts implements CountAdversary for the noise strategy: each of
+// the T corruptions rewrites one uniformly chosen ball with a uniformly
+// chosen initial tuple — distributionally identical to the per-process
+// Corrupt, expressed as count moves.
+func (a *NoiseAdversary) CorruptCounts(round int, tuples []Point, counts []int64, allowed []Point, g *rng.Xoshiro256) ([]Point, []int64) {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	for k := 0; k < a.T && n > 0; k++ {
+		// Victim ball uniform over processes = bin weighted by count.
+		t := int64(g.Uint64n(uint64(n)))
+		vi := 0
+		for t >= counts[vi] {
+			t -= counts[vi]
+			vi++
+		}
+		src := allowed[g.Intn(len(allowed))]
+		counts[vi]--
+		tuples, counts = addTupleCount(tuples, counts, src, 1)
+	}
+	return tuples, counts
+}
+
+// addTupleCount adds c balls to p's bin, appending a new bin when p is not
+// yet present. Linear in the support — fine for the small-k regime the
+// count engine lives in.
+func addTupleCount(tuples []Point, counts []int64, p Point, c int64) ([]Point, []int64) {
+	for i, q := range tuples {
+		if q.Equal(p) {
+			counts[i] += c
+			return tuples, counts
+		}
+	}
+	return append(tuples, p), append(counts, c)
 }

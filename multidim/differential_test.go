@@ -47,7 +47,7 @@ func TestDifferentialConservationAndCoordContainment(t *testing.T) {
 	// Count engine: every round must conserve the total population and
 	// keep every live tuple's coordinates inside the initial per-dimension
 	// value sets.
-	ce := NewCountEngine(pts, 21, CountOptions{
+	ce := NewCountEngine(pts, nil, 21, CountOptions{
 		MaxRounds: 2000,
 		Observer: func(round int, tuples []Point, counts []int64) {
 			var total int64
@@ -92,7 +92,7 @@ func TestDifferentialSingleTupleState(t *testing.T) {
 		pts[i] = Point{5, -3, 8}
 	}
 	pres := NewEngine(pts, nil, 7, Options{}).Run()
-	cres := NewCountEngine(pts, 7, CountOptions{}).Run()
+	cres := NewCountEngine(pts, nil, 7, CountOptions{}).Run()
 	for name, res := range map[string]Result{"process": pres, "count": cres} {
 		if !res.Consensus || res.Rounds != 1 || !res.Winner.Equal(Point{5, -3, 8}) ||
 			res.WinnerCount != 64 || !res.TupleValid || !res.CoordValid {
@@ -117,7 +117,7 @@ func TestDifferentialTwoTupleState(t *testing.T) {
 	sets := coordSets(pts)
 	for seed := uint64(1); seed <= 5; seed++ {
 		pres := NewEngine(pts, nil, seed, Options{MaxRounds: 4000}).Run()
-		cres := NewCountEngine(pts, seed, CountOptions{MaxRounds: 4000}).Run()
+		cres := NewCountEngine(pts, nil, seed, CountOptions{MaxRounds: 4000}).Run()
 		for name, res := range map[string]Result{"process": pres, "count": cres} {
 			if !res.Consensus {
 				t.Fatalf("seed %d: %s engine did not converge: %+v", seed, name, res)
@@ -146,7 +146,7 @@ func TestDifferentialMeanRoundsAgree(t *testing.T) {
 	for seed := uint64(1); seed <= seeds; seed++ {
 		pts := RandomPoints(n, d, m, seed)
 		pr := NewEngine(pts, nil, seed, Options{MaxRounds: 4000}).Run()
-		cr := NewCountEngine(pts, seed+1000, CountOptions{MaxRounds: 4000}).Run()
+		cr := NewCountEngine(pts, nil, seed+1000, CountOptions{MaxRounds: 4000}).Run()
 		if !pr.Consensus || !cr.Consensus {
 			t.Fatalf("seed %d: convergence disagreement: process %+v vs count %+v", seed, pr, cr)
 		}
@@ -158,4 +158,117 @@ func TestDifferentialMeanRoundsAgree(t *testing.T) {
 		t.Fatalf("process %.2f vs count %.2f mean rounds", mp, mc)
 	}
 	t.Logf("mean rounds: process %.2f, count %.2f", mp, mc)
+}
+
+// TestDifferentialDistinctInitCounts: the count-native distinct builder
+// must produce exactly the distribution that materializing the points and
+// bucketing them does — distinct init is deterministic, so this is
+// byte-for-byte equality, not a statistical check.
+func TestDifferentialDistinctInitCounts(t *testing.T) {
+	spec := InitSpec{Kind: "distinct", N: 500, D: 3}
+	tuples, counts, err := BuildInitCounts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := BuildInit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, wantC := distOf(pts, 3)
+	if len(tuples) != len(wantT) {
+		t.Fatalf("support %d, want %d", len(tuples), len(wantT))
+	}
+	for i := range tuples {
+		if !tuples[i].Equal(wantT[i]) || counts[i] != wantC[i] {
+			t.Fatalf("bin %d: (%v, %d), want (%v, %d)", i, tuples[i], counts[i], wantT[i], wantC[i])
+		}
+	}
+}
+
+// TestDifferentialRandomInitCounts: the count-native random builder draws
+// one multinomial over the m^d cells instead of n·d coordinate draws, so
+// at equal seed the realizations differ — but the distributions must not.
+// Both builds are multinomial(n, uniform over cells) samples; every cell
+// of both must sit within a 6σ band of n/cells, and the two builds must
+// agree with each other within the two-sample band.
+func TestDifferentialRandomInitCounts(t *testing.T) {
+	const n, d, m = 1_000_000, 2, 4
+	cells := 16 // m^d
+	spec := InitSpec{Kind: "random", N: n, D: d, M: m, Seed: 9}
+	tuples, counts, err := BuildInitCounts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := BuildInit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTuples, bCounts := distOf(pts, d)
+	if len(tuples) != cells || len(bTuples) != cells {
+		t.Fatalf("support: count-native %d, bucketed %d, want %d (n ≫ cells: every cell occupied)", len(tuples), len(bTuples), cells)
+	}
+	p := 1.0 / float64(cells)
+	sigma := math.Sqrt(n * p * (1 - p))
+	var total int64
+	for i := range tuples {
+		if !tuples[i].Equal(bTuples[i]) {
+			t.Fatalf("cell %d: %v vs bucketed %v", i, tuples[i], bTuples[i])
+		}
+		total += counts[i]
+		if dev := math.Abs(float64(counts[i]) - n*p); dev > 6*sigma {
+			t.Fatalf("cell %v: count-native count %d deviates %.0f from %0.f (6σ = %.0f)", tuples[i], counts[i], dev, n*p, 6*sigma)
+		}
+		// Independent draws of the same multinomial: the difference has
+		// variance 2·n·p·(1-p).
+		if dev := math.Abs(float64(counts[i] - bCounts[i])); dev > 6*math.Sqrt2*sigma {
+			t.Fatalf("cell %v: count-native %d vs bucketed %d (6σ₂ = %.0f)", tuples[i], counts[i], bCounts[i], 6*math.Sqrt2*sigma)
+		}
+	}
+	if total != n {
+		t.Fatalf("count-native total %d, want %d", total, n)
+	}
+}
+
+// TestDifferentialAdversaryMeanRounds: the count-level noise adversary
+// must be the same strategy as the per-process one, just expressed as
+// count moves — so over ≥30 seeds the mean first-consensus round of
+// process-engine-with-Corrupt and count-engine-with-CorruptCounts runs
+// must agree in distribution (adversarial runs never stop early; first
+// consensus is read through the observers).
+func TestDifferentialAdversaryMeanRounds(t *testing.T) {
+	const n, d, m, seeds, maxRounds = 600, 2, 4, 30, 4000
+	var process, count []float64
+	for seed := uint64(1); seed <= seeds; seed++ {
+		pts := RandomPoints(n, d, m, seed)
+		first := maxRounds
+		pr := NewEngine(pts, &NoiseAdversary{T: 1}, seed, Options{MaxRounds: maxRounds, Observer: func(round int, state []Point) {
+			if first == maxRounds {
+				if _, c, _ := Plurality(state); c == n {
+					first = round
+				}
+			}
+		}})
+		pr.Run()
+		if first == maxRounds {
+			t.Fatalf("seed %d: process run never reached consensus", seed)
+		}
+		process = append(process, float64(first))
+
+		first = maxRounds
+		cr := NewCountEngine(pts, &NoiseAdversary{T: 1}, seed+1000, CountOptions{MaxRounds: maxRounds, Observer: func(round int, tuples []Point, counts []int64) {
+			if first == maxRounds && len(tuples) == 1 {
+				first = round
+			}
+		}})
+		cr.Run()
+		if first == maxRounds {
+			t.Fatalf("seed %d: count run never reached consensus", seed)
+		}
+		count = append(count, float64(first))
+	}
+	mp, mc := stats.Mean(process), stats.Mean(count)
+	if math.Abs(mp-mc) > 0.35*(mp+mc)/2+2 {
+		t.Fatalf("process %.2f vs count %.2f mean first-consensus rounds", mp, mc)
+	}
+	t.Logf("mean first-consensus rounds under noise: process %.2f, count %.2f", mp, mc)
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/randx"
+	"repro/internal/rng"
 )
 
 // This file is the package's registration surface, mirroring the
@@ -31,11 +34,20 @@ type InitSpec struct {
 // Normalize and Size mirror consensus.InitGenerator: validation without the
 // O(n·d) allocation, canonical spec rewriting for stable hashing, and
 // population reporting for admission control.
+//
+// GenerateCounts, when non-nil, builds the initial state directly at the
+// distribution level — sorted distinct tuples with positive counts — so the
+// count engine starts without ever materializing the O(n·d) point slice.
+// Support, when non-nil, reports an upper bound on the number of distinct
+// tuples the spec realizes, computable from the spec alone; engine
+// auto-selection uses it in place of a materialized support count.
 type InitGenerator struct {
-	Generate  func(s InitSpec) ([]Point, error)
-	Check     func(s InitSpec) error
-	Normalize func(s InitSpec) InitSpec
-	Size      func(s InitSpec) int64
+	Generate       func(s InitSpec) ([]Point, error)
+	GenerateCounts func(s InitSpec) ([]Point, []int64, error)
+	Check          func(s InitSpec) error
+	Normalize      func(s InitSpec) InitSpec
+	Size           func(s InitSpec) int64
+	Support        func(s InitSpec) int64
 }
 
 var (
@@ -73,6 +85,41 @@ func BuildInit(s InitSpec) ([]Point, error) {
 		return nil, err
 	}
 	return g.Generate(s)
+}
+
+// BuildInitCounts materializes the distribution described by s — sorted
+// distinct tuples and their positive counts — without building the
+// per-process point slice when the generator is count-native. Generators
+// without a GenerateCounts hook fall back to materialize-and-bucket.
+func BuildInitCounts(s InitSpec) ([]Point, []int64, error) {
+	g, err := initFor(s.Kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.GenerateCounts != nil {
+		return g.GenerateCounts(s)
+	}
+	pts, err := g.Generate(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("multidim: init %q generated an empty population", s.Kind)
+	}
+	tuples, counts := distOf(pts, len(pts[0]))
+	return tuples, counts, nil
+}
+
+// InitSupport reports an upper bound on the number of distinct tuples the
+// init spec realizes, computed from the spec alone (no O(n·d) pre-pass).
+// 0 means unknown (unregistered kind or no Support hook), which engine
+// auto-selection treats as "too large for the count engine".
+func InitSupport(s InitSpec) int64 {
+	g, err := initFor(s.Kind)
+	if err != nil || g.Support == nil {
+		return 0
+	}
+	return g.Support(s)
 }
 
 // CheckInit validates an init spec without materializing the points.
@@ -146,10 +193,100 @@ func clampM(s InitSpec) int {
 	return s.M
 }
 
+// maxCountCells bounds the dense m^d cell array the count-native random
+// generator draws its one multinomial over. Beyond it the distinct-tuple
+// support is too large for the count representation anyway, so the builder
+// falls back to materialize-and-bucket.
+const maxCountCells = 1 << 22
+
+// randomCells returns the number of cells m^d of the random generator's
+// tuple domain, or 0 when it exceeds maxCountCells (including overflow).
+func randomCells(d, m int) int64 {
+	cells := int64(1)
+	for j := 0; j < d; j++ {
+		cells *= int64(m)
+		if cells > maxCountCells {
+			return 0
+		}
+	}
+	return cells
+}
+
+// randomSupport is the spec-level support bound of the random generator:
+// at most n distinct tuples, and at most m^d.
+func randomSupport(s InitSpec) int64 {
+	n := int64(s.N)
+	if cells := randomCells(dimOf(s), clampM(s)); cells > 0 && cells < n {
+		return cells
+	}
+	return n
+}
+
+// randomCounts draws the random initial distribution at count level: one
+// exact multinomial over the m^d uniform cells, then a sparse enumeration
+// of the non-empty cells in lexicographic order. O(m^d·d) memory, never
+// O(n·d) — the distribution a bucketed RandomPoints draw would realize,
+// as one draw. (The realization differs from RandomPoints at equal seed —
+// the RNG is consumed differently — but the distribution is identical;
+// see the init differential tests.)
+func randomCounts(s InitSpec) ([]Point, []int64, error) {
+	if err := checkShape(s); err != nil {
+		return nil, nil, err
+	}
+	d, m := dimOf(s), clampM(s)
+	cells := randomCells(d, m)
+	if cells == 0 {
+		// Domain too large for the dense draw: bucket the point set.
+		tuples, counts := distOf(RandomPoints(s.N, d, m, s.Seed), d)
+		return tuples, counts, nil
+	}
+	g := rng.NewXoshiro256(s.Seed)
+	probs := make([]float64, cells)
+	for i := range probs {
+		probs[i] = 1
+	}
+	out := make([]int64, cells)
+	randx.Multinomial(g, int64(s.N), probs, out)
+	var tuples []Point
+	var counts []int64
+	for idx, c := range out {
+		if c == 0 {
+			continue
+		}
+		// Decode the cell index most-significant coordinate first, so
+		// enumeration order is lexicographic tuple order.
+		p := make(Point, d)
+		rem := int64(idx)
+		for j := d - 1; j >= 0; j-- {
+			p[j] = rem%int64(m) + 1
+			rem /= int64(m)
+		}
+		tuples = append(tuples, p)
+		counts = append(counts, c)
+	}
+	return tuples, counts, nil
+}
+
+// distinctCounts assigns the all-distinct worst case directly: every
+// DistinctPoints tuple with count 1, already in lexicographic order (the
+// first coordinate of point i is i+1), skipping the bucketing map entirely.
+func distinctCounts(s InitSpec) ([]Point, []int64, error) {
+	if err := checkShape(s); err != nil {
+		return nil, nil, err
+	}
+	tuples := DistinctPoints(s.N, dimOf(s))
+	counts := make([]int64, len(tuples))
+	for i := range counts {
+		counts[i] = 1
+	}
+	return tuples, counts, nil
+}
+
 func init() {
 	RegisterInit("random", InitGenerator{
-		Check: checkShape,
-		Size:  func(s InitSpec) int64 { return int64(s.N) },
+		Check:   checkShape,
+		Size:    func(s InitSpec) int64 { return int64(s.N) },
+		Support: randomSupport,
 		Normalize: func(s InitSpec) InitSpec {
 			return InitSpec{Kind: s.Kind, N: s.N, D: dimOf(s), M: clampM(s), Seed: s.Seed}
 		},
@@ -159,10 +296,12 @@ func init() {
 			}
 			return RandomPoints(s.N, dimOf(s), clampM(s), s.Seed), nil
 		},
+		GenerateCounts: randomCounts,
 	})
 	RegisterInit("distinct", InitGenerator{
-		Check: checkShape,
-		Size:  func(s InitSpec) int64 { return int64(s.N) },
+		Check:   checkShape,
+		Size:    func(s InitSpec) int64 { return int64(s.N) },
+		Support: func(s InitSpec) int64 { return int64(s.N) },
 		Normalize: func(s InitSpec) InitSpec {
 			return InitSpec{Kind: s.Kind, N: s.N, D: dimOf(s)}
 		},
@@ -172,6 +311,7 @@ func init() {
 			}
 			return DistinctPoints(s.N, dimOf(s)), nil
 		},
+		GenerateCounts: distinctCounts,
 	})
 }
 

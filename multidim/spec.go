@@ -21,16 +21,17 @@ type Spec struct {
 	Adversary *AdversaryRef `json:"adversary,omitempty"`
 	// Engine selects the simulator by name: auto (the default), process
 	// (exact per-process, every adversary) or count (distribution over
-	// distinct tuples, O(k·d) memory, no adversary). "auto" stays "auto"
-	// in the canonical encoding — the cache key must not depend on which
-	// engine auto resolves to.
+	// distinct tuples, O(k·d) memory, count-aware adversaries). "auto"
+	// stays "auto" in the canonical encoding — the cache key must not
+	// depend on which engine auto resolves to.
 	Engine string `json:"engine,omitempty"`
 }
 
 // Engine names of the multidim kind (see EngineNames).
 const (
-	// EngineAuto picks count when the distinct-tuple support is small
-	// relative to n and no adversary is configured, process otherwise.
+	// EngineAuto picks count when the spec-level distinct-tuple support
+	// bound is small relative to n and the adversary (if any) runs at
+	// count level, process otherwise.
 	EngineAuto = "auto"
 	// EngineProcess is the exact per-process engine (multidim.Engine).
 	EngineProcess = "process"
@@ -47,17 +48,29 @@ func EngineNames() []string { return []string{EngineAuto, EngineCount, EnginePro
 // the per-process engine's O(n·d) state).
 const CountSupportFactor = 16
 
-// PickEngine resolves "auto" for a population of n processes over support
-// distinct tuples: count when the support is small relative to n
-// (support·CountSupportFactor ≤ n) and no adversary is configured — the
-// Adversary contract rewrites individual processes, which the count
-// representation cannot express — process otherwise. Deterministic in its
-// inputs, so every run of one spec picks the same engine.
-func PickEngine(n, support int, hasAdversary bool) string {
-	if !hasAdversary && support*CountSupportFactor <= n {
+// PickEngine resolves "auto" for a population of n processes whose
+// distinct-tuple support is bounded by support (the InitSupport spec-level
+// bound — never a materialized count, so auto-selection costs O(1)): count
+// when the support bound is small relative to n (support·CountSupportFactor
+// ≤ n) and the adversary, if any, runs at count level (CountCompatible),
+// process otherwise. support ≤ 0 means unknown, which resolves to process.
+// Deterministic in its inputs, so every run of one spec picks the same
+// engine.
+func PickEngine(n, support int64, adv Adversary) string {
+	if support > 0 && support <= n/CountSupportFactor && CountCompatible(adv) {
 		return EngineCount
 	}
 	return EngineProcess
+}
+
+// CountCompatible reports whether the adversary can run on the count
+// engine: nil, or an implementation of the CountAdversary contract.
+func CountCompatible(adv Adversary) bool {
+	if adv == nil {
+		return true
+	}
+	_, ok := adv.(CountAdversary)
+	return ok
 }
 
 // AdversaryRef is the serializable reference to a registered multidim
@@ -83,16 +96,19 @@ func (s *Spec) Validate() error {
 	if err := CheckInit(s.Init); err != nil {
 		return err
 	}
+	var adv Adversary
 	if a := s.Adversary; a != nil {
-		if _, err := NewAdversary(a.Name, a.Params); err != nil {
+		var err error
+		adv, err = NewAdversary(a.Name, a.Params)
+		if err != nil {
 			return err
 		}
 	}
 	switch s.Engine {
 	case "", EngineAuto, EngineProcess:
 	case EngineCount:
-		if s.Adversary != nil {
-			return fmt.Errorf("multidim: engine %q supports no adversary (the per-process contract rewrites individual processes); use engine %q or %q", EngineCount, EngineProcess, EngineAuto)
+		if adv != nil && !CountCompatible(adv) {
+			return fmt.Errorf("multidim: adversary %q has no count-level implementation (CountAdversary); use engine %q or %q", s.Adversary.Name, EngineProcess, EngineAuto)
 		}
 	default:
 		return fmt.Errorf("multidim: unknown engine %q (known: %v)", s.Engine, EngineNames())
@@ -103,48 +119,73 @@ func (s *Spec) Validate() error {
 // Population implements engine.Payload.
 func (s *Spec) Population() int64 { return InitSize(s.Init) }
 
-// Run implements engine.Payload. The engine selector resolves here:
-// "auto" picks through PickEngine on the materialized point set, which is
-// deterministic in the spec, so a cached result and a fresh run of the
-// same spec always took the same engine.
-func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
-	pts, err := BuildInit(s.Init)
-	if err != nil {
-		return engine.Result{}, err
-	}
+// MaterializedSize implements engine.Materializer: runs landing on the
+// count engine hold the distribution over at most InitSupport distinct
+// tuples — O(k·d) memory, independent of n — which is what admission
+// control should charge for. The engine resolves exactly as Run resolves
+// it, so admission and execution always agree.
+func (s *Spec) MaterializedSize() int64 {
+	n := InitSize(s.Init)
 	var adv Adversary
+	if a := s.Adversary; a != nil {
+		var err error
+		adv, err = NewAdversary(a.Name, a.Params)
+		if err != nil {
+			return n
+		}
+	}
+	selected := s.Engine
+	if selected == "" || selected == EngineAuto {
+		selected = PickEngine(n, InitSupport(s.Init), adv)
+	}
+	if selected == EngineCount && CountCompatible(adv) {
+		if k := InitSupport(s.Init); k > 0 && k < n {
+			return k
+		}
+	}
+	return n
+}
+
+// Run implements engine.Payload. The engine selector resolves here:
+// "auto" picks through PickEngine on the spec-level (n, support-bound)
+// pair, which is deterministic in the spec, so a cached result and a fresh
+// run of the same spec always took the same engine — and the count path
+// builds its start state with BuildInitCounts, so a count (or
+// auto-resolved-to-count) run never materializes the O(n·d) point slice;
+// only the process engine falls back to BuildInit.
+func (s *Spec) Run(ctx engine.RunContext) (engine.Result, error) {
+	var adv Adversary
+	var err error
 	if a := s.Adversary; a != nil {
 		adv, err = NewAdversary(a.Name, a.Params)
 		if err != nil {
 			return engine.Result{}, err
 		}
 	}
-	// Auto-selection needs the distinct-tuple support, which is the count
-	// engine's own start state — bucket once, share both ways. An
-	// adversary forces the per-process engine outright (PickEngine can
-	// never answer count then), so the O(n·d) bucketing pass is skipped.
-	var tuples []Point
-	var counts []int64
 	selected := s.Engine
 	if selected == "" || selected == EngineAuto {
-		if adv != nil {
-			selected = EngineProcess
-		} else {
-			tuples, counts = distOf(pts, len(pts[0]))
-			selected = PickEngine(len(pts), len(tuples), false)
-		}
+		selected = PickEngine(InitSize(s.Init), InitSupport(s.Init), adv)
 	}
 	var out Result
 	switch selected {
 	case EngineCount:
+		if !CountCompatible(adv) {
+			return engine.Result{}, fmt.Errorf("multidim: adversary %q has no count-level implementation (CountAdversary)", s.Adversary.Name)
+		}
+		tuples, counts, err := BuildInitCounts(s.Init)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		var countAdv CountAdversary
 		if adv != nil {
-			return engine.Result{}, fmt.Errorf("multidim: engine %q supports no adversary", EngineCount)
+			countAdv = adv.(CountAdversary)
 		}
-		if tuples == nil {
-			tuples, counts = distOf(pts, len(pts[0]))
-		}
-		out = s.runCount(ctx, int64(len(pts)), tuples, counts)
+		out = s.runCount(ctx, tuples, counts, countAdv)
 	case EngineProcess:
+		pts, err := BuildInit(s.Init)
+		if err != nil {
+			return engine.Result{}, err
+		}
 		out = s.runProcess(ctx, pts, adv)
 	default:
 		return engine.Result{}, fmt.Errorf("multidim: unknown engine %q (known: %v)", selected, EngineNames())
@@ -184,12 +225,16 @@ func (s *Spec) runProcess(ctx engine.RunContext, pts []Point, adv Adversary) Res
 	return eng.Run()
 }
 
-// runCount executes the count-level engine over the pre-bucketed
+// runCount executes the count-level engine over the count-native initial
 // distribution. Round records are built straight from the tuple counts —
 // O(support) per round, never rematerializing per-process state — and the
 // observer still fires every round, so mid-run cancellation
 // (DELETE /v1/runs) keeps working.
-func (s *Spec) runCount(ctx engine.RunContext, n int64, tuples []Point, counts []int64) Result {
+func (s *Spec) runCount(ctx engine.RunContext, tuples []Point, counts []int64, adv CountAdversary) Result {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
 	emit := func(round int, tuples []Point, counts []int64) {
 		winner, count := DistPlurality(tuples, counts)
 		ctx.Observe(engine.Record{
@@ -198,7 +243,7 @@ func (s *Spec) runCount(ctx engine.RunContext, n int64, tuples []Point, counts [
 			LeaderPoint: append([]int64(nil), winner...),
 		})
 	}
-	eng := newCountEngineFromDist(tuples, counts, n, ctx.Seed, CountOptions{
+	eng := NewCountEngineDist(tuples, counts, adv, ctx.Seed, CountOptions{
 		MaxRounds: ctx.MaxRounds,
 		Observer:  emit,
 	})
@@ -250,7 +295,7 @@ func (multidimEngine) Descriptor() engine.Descriptor {
 			{Name: "adversary.name", Type: "string", Enum: AdversaryNames(), Doc: "adversary strategy (omit the block for none)"},
 			{Name: "adversary.params", Type: "object", Doc: "strategy parameters (numeric, strategy-specific)"},
 			{Name: "adversary.params.t", Type: "int", Min: engine.Bound(0), Doc: "per-round budget of the noise strategy"},
-			{Name: "engine", Type: "string", Default: EngineAuto, Enum: EngineNames(), Doc: "simulator: process (exact per-process), count (distribution over distinct tuples, O(k·d) memory, no adversary) or auto (count when the distinct-tuple support is small relative to n)"},
+			{Name: "engine", Type: "string", Default: EngineAuto, Enum: EngineNames(), Doc: "simulator: process (exact per-process), count (distribution over distinct tuples, O(k·d) memory, count-aware adversaries) or auto (count when the spec-level support bound is small relative to n and the adversary, if any, runs at count level)"},
 		},
 		Axes:    []string{"n", "m", "d"},
 		Example: []byte(`{"init":{"kind":"random","n":64,"d":2,"m":2,"seed":3}}`),

@@ -16,6 +16,9 @@ func TestSpecEngineValidation(t *testing.T) {
 		{Init: InitSpec{Kind: "random", N: 10}, Engine: EngineCount},
 		{Init: InitSpec{Kind: "random", N: 10}, Engine: EngineAuto,
 			Adversary: &AdversaryRef{Name: "noise"}},
+		// noise runs at count level (CountAdversary), so count+noise is valid.
+		{Init: InitSpec{Kind: "random", N: 10}, Engine: EngineCount,
+			Adversary: &AdversaryRef{Name: "noise"}},
 	}
 	for i, s := range good {
 		if err := s.Validate(); err != nil {
@@ -24,9 +27,6 @@ func TestSpecEngineValidation(t *testing.T) {
 	}
 	bad := []Spec{
 		{Init: InitSpec{Kind: "random", N: 10}, Engine: "warp"},
-		// The count engine cannot express per-process corruption.
-		{Init: InitSpec{Kind: "random", N: 10}, Engine: EngineCount,
-			Adversary: &AdversaryRef{Name: "noise"}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -85,15 +85,16 @@ func TestSpecAutoPicksCountTrajectory(t *testing.T) {
 	}
 }
 
-func TestSpecAutoWithAdversaryUsesProcess(t *testing.T) {
-	// An adversary forces the per-process engine even at tiny support;
-	// with a shared seed the auto and process trajectories coincide.
+func TestSpecAutoWithCountAdversaryUsesCount(t *testing.T) {
+	// noise implements the count-level contract, so auto no longer degrades
+	// to the O(n·d) process engine at tiny support; with a shared seed the
+	// auto and count trajectories coincide.
 	init := InitSpec{Kind: "random", N: 640, D: 1, M: 2, Seed: 3}
 	adv := &AdversaryRef{Name: "noise", Params: Params{"t": 2}}
 	autoRes, _ := execute(t, &Spec{Init: init, Engine: EngineAuto, Adversary: adv}, 7, 50)
-	procRes, _ := execute(t, &Spec{Init: init, Engine: EngineProcess, Adversary: adv}, 7, 50)
-	if !reflect.DeepEqual(autoRes, procRes) {
-		t.Fatalf("auto and process runs diverged:\n%+v\n%+v", autoRes, procRes)
+	countRes, _ := execute(t, &Spec{Init: init, Engine: EngineCount, Adversary: adv}, 7, 50)
+	if !reflect.DeepEqual(autoRes, countRes) {
+		t.Fatalf("auto and count runs diverged:\n%+v\n%+v", autoRes, countRes)
 	}
 }
 

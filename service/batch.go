@@ -342,8 +342,8 @@ func ExpandBatch(req BatchRequest, limits BatchLimits) ([]BatchCell, error) {
 			if err := cell.Validate(); err != nil {
 				return nil, fmt.Errorf("service: batch cell %d: %w", len(cells), err)
 			}
-			if n := cell.Population(); limits.MaxN > 0 && n > limits.MaxN {
-				return nil, fmt.Errorf("service: batch cell %d: population %d exceeds the server limit %d", len(cells), n, limits.MaxN)
+			if n := cell.MaterializedSize(); limits.MaxN > 0 && n > limits.MaxN {
+				return nil, fmt.Errorf("service: batch cell %d: materialized size %d exceeds the server limit %d", len(cells), n, limits.MaxN)
 			}
 			// The cell is already normalized, so its plain encoding is the
 			// canonical one — skip Hash()'s per-cell re-normalization.

@@ -305,6 +305,8 @@ func TestExpandBatchSpecsMode(t *testing.T) {
 // TestExpandBatchErrors covers the rejection paths.
 func TestExpandBatchErrors(t *testing.T) {
 	tmpl := medianTemplate()
+	ballTmpl := medianTemplate()
+	ballTmpl.Payload.(*MedianSpec).Engine = "ball"
 	cases := []struct {
 		name   string
 		req    BatchRequest
@@ -324,7 +326,10 @@ func TestExpandBatchErrors(t *testing.T) {
 		{"zip cap", BatchRequest{Template: tmpl,
 			Axes: []Axis{{Param: "seed", Values: make([]float64, 2048)}},
 			Zip:  []Axis{{Param: "n", Values: make([]float64, 2048)}}}, BatchLimits{}},
-		{"population cap", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{100000}}}}, BatchLimits{MaxN: 1000}},
+		// The cap charges materialized size: a twovalue template would
+		// resolve to the count engine and materialize only 2 states, so
+		// pin the per-process engine to make the population bite.
+		{"materialized-size cap", BatchRequest{Template: ballTmpl, Axes: []Axis{{Param: "n", Values: []float64{100000}}}}, BatchLimits{MaxN: 1000}},
 		{"invalid cell", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{0}}}}, BatchLimits{}},
 		{"axes and specs", BatchRequest{Template: tmpl, Axes: []Axis{{Param: "n", Values: []float64{10}}}, Specs: []Spec{tmpl}}, BatchLimits{}},
 		{"derive and specs", BatchRequest{Derive: []DeriveRule{{Param: "almost_slack", From: "n"}}, Specs: []Spec{tmpl}}, BatchLimits{}},

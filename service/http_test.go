@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/engine"
+	"repro/multidim"
 	"repro/service"
 	"repro/service/client"
 )
@@ -525,5 +526,88 @@ func TestBearerTokenAuth(t *testing.T) {
 	}
 	if _, err := c.Cancel(ctx, view.ID); err == nil || !strings.Contains(err.Error(), "409") {
 		t.Fatalf("authenticated cancel of finished run: %v, want 409", err)
+	}
+}
+
+// TestBillionCountEndToEndHTTP is the acceptance run of the count-level
+// hot path: an n = 10⁹ multidim spec completes through the HTTP service
+// under the default admission limit because the count engine only ever
+// materializes the O(k·d) tuple distribution — while the same population
+// pinned to the per-process engine is rejected up front. Both adversary
+// states are exercised: a clean run converging to consensus, and a run
+// under the count-level noise adversary capped by max rounds.
+func TestBillionCountEndToEndHTTP(t *testing.T) {
+	s := newHTTPService(t, service.Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	const n = 1_000_000_000
+	init := multidim.InitSpec{Kind: "random", N: n, D: 2, M: 2, Seed: 3}
+
+	// Per-process at this n would need ~n·d states: admission must refuse.
+	if _, err := c.Submit(ctx, service.Spec{Kind: service.KindMultidim, Seed: 1, Payload: &service.MultidimSpec{
+		Init: init, Engine: multidim.EngineProcess,
+	}}); err == nil || !strings.Contains(err.Error(), "materialized size") {
+		t.Fatalf("per-process n=1e9 must be rejected by admission, got %v", err)
+	}
+
+	// Clean count run: admitted, converges, winner count is the full 10⁹.
+	view, err := c.Submit(ctx, service.Spec{Kind: service.KindMultidim, Seed: 1, Payload: &service.MultidimSpec{
+		Init: init, Engine: multidim.EngineCount,
+	}})
+	if err != nil {
+		t.Fatalf("count n=1e9 submit: %v", err)
+	}
+	final, err := c.Wait(ctx, view.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone || final.Result == nil {
+		t.Fatalf("run did not complete: %+v", final)
+	}
+	if final.Result.Reason != "consensus" || final.Result.WinnerCount != n {
+		t.Fatalf("run did not converge on the full population: %+v", final.Result)
+	}
+	var streamed []service.RoundRecord
+	if err := c.Stream(ctx, view.ID, func(r service.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != final.Result.Rounds+1 {
+		t.Fatalf("streamed %d records, want %d", len(streamed), final.Result.Rounds+1)
+	}
+	for i, r := range streamed {
+		if r.Round != i || r.N != n || r.Support < 1 || r.Support > 4 {
+			t.Fatalf("bad stream record %d: %+v", i, r)
+		}
+	}
+
+	// Auto resolves to count here (support bound 4 ≪ n) even under the
+	// noise adversary, which has a count-level implementation. The
+	// adversary keeps the run alive, so cap the rounds.
+	adv, err := c.Submit(ctx, service.Spec{Kind: service.KindMultidim, Seed: 1, MaxRounds: 64, Payload: &service.MultidimSpec{
+		Init:      init,
+		Adversary: &service.MultidimAdversarySpec{Name: "noise"},
+	}})
+	if err != nil {
+		t.Fatalf("adversarial n=1e9 submit: %v", err)
+	}
+	advFinal, err := c.Wait(ctx, adv.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advFinal.Status != service.StatusDone || advFinal.Result == nil {
+		t.Fatalf("adversarial run did not complete: %+v", advFinal)
+	}
+	if advFinal.Result.Rounds != 64 {
+		t.Fatalf("adversarial run rounds = %d, want the 64-round cap", advFinal.Result.Rounds)
+	}
+	if advFinal.Result.WinnerCount < n/2 {
+		t.Fatalf("noise budget 1 cannot hold back 10⁹ processes: %+v", advFinal.Result)
 	}
 }

@@ -388,11 +388,14 @@ func (s *Service) submit(spec Spec, reqID string) (*Job, JobView, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, JobView{}, err
 	}
-	// Admission control: reject populations the daemon cannot afford to
+	// Admission control: reject states the daemon cannot afford to
 	// materialize (size 0 = unknown kind without a Size hook; those are
-	// admitted and bounded only by the engines themselves).
-	if n := spec.Population(); n > s.opts.MaxN {
-		return nil, JobView{}, fmt.Errorf("service: population %d exceeds the server limit %d", n, s.opts.MaxN)
+	// admitted and bounded only by the engines themselves). The charge is
+	// the spec's *materialized* size, not its population: a count-engine
+	// run over n = 10⁹ processes only holds its O(support) distribution
+	// and is admitted, while a per-process run of the same n is not.
+	if n := spec.MaterializedSize(); n > s.opts.MaxN {
+		return nil, JobView{}, fmt.Errorf("service: materialized size %d exceeds the server limit %d", n, s.opts.MaxN)
 	}
 	// The spec is already normalized, so its plain encoding is the
 	// canonical one — skip Hash()'s re-normalization on every submit.

@@ -190,12 +190,13 @@ func TestCancelMultidimCountMidRun(t *testing.T) {
 	s := newTestService(t, Options{Workers: 1})
 	defer s.Close()
 	// A population far past what the per-process path is pleasant at, over
-	// ≤4 distinct tuples: auto resolves to the count engine, and the run
-	// is long enough (Θ(n) sampling per round for ~log n rounds) to be
-	// caught mid-flight.
+	// ≤4 distinct tuples: auto resolves to the count engine (noise runs at
+	// count level). Adversarial runs never stop early, so the run lasts the
+	// full MaxRounds unless the cancel catches it mid-flight.
 	spec := Spec{Kind: KindMultidim, Seed: 2, MaxRounds: 1 << 20, Payload: &MultidimSpec{
-		Init:   multidim.InitSpec{Kind: "random", N: 1_000_000, D: 2, M: 2, Seed: 2},
-		Engine: multidim.EngineAuto,
+		Init:      multidim.InitSpec{Kind: "random", N: 1_000_000, D: 2, M: 2, Seed: 2},
+		Adversary: &multidim.AdversaryRef{Name: "noise", Params: multidim.Params{"t": 1}},
+		Engine:    multidim.EngineAuto,
 	}}
 	view, err := s.Submit(spec)
 	if err != nil {

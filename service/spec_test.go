@@ -335,6 +335,20 @@ func TestGoldenHashes(t *testing.T) {
 			hash:      "f2bcbf855296c4b9a8682eee9a93ae480931e957108c58e0b1d6924543d1f26a",
 		},
 		{
+			// A billion-process count-path spec: the hash (and the seed
+			// derived from it) must stay byte-stable however the huge-n
+			// hot path evolves, and "auto" must stay symbolic even though
+			// the run resolves to the count engine. This is the spec the
+			// acceptance e2e (TestBillionCountEndToEndHTTP) runs.
+			kind: KindMultidim + "/billion",
+			spec: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
+				Init:      multidim.InitSpec{Kind: "random", N: 1_000_000_000, D: 2, M: 2, Seed: 3},
+				Adversary: &MultidimAdversarySpec{Name: "noise"},
+			}},
+			canonical: `{"adversary":{"name":"noise"},"engine":"auto","init":{"kind":"random","n":1000000000,"d":2,"m":2,"seed":3},"kind":"multidim","seed":1}`,
+			hash:      "16ec3df6a9ba7373ca49ef33f47bfaaf20e9e96122572a9278a2046d0432472a",
+		},
+		{
 			kind: KindRobust,
 			spec: Spec{Kind: KindRobust, Seed: 1, Payload: &RobustSpec{
 				Init:     InitSpec{Kind: "twovalue", N: 1000},
