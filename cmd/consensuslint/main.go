@@ -1,0 +1,87 @@
+// Command consensuslint is the multichecker for the repository's custom
+// static-analysis suite (internal/lint): determinism of canonical
+// encodings, the engine registration contract, hot-path allocation
+// freedom, observer-driven cancellation, and seed hygiene.
+//
+// Usage:
+//
+//	go run ./cmd/consensuslint [-analyzers a,b] [-list] [packages...]
+//
+// With no package arguments it checks ./... . Diagnostics print as
+//
+//	path/file.go:line:col: message [analyzer]
+//
+// Exit codes (the CI lint job depends on these):
+//
+//	0  no findings
+//	1  one or more findings
+//	2  usage or load error (packages failed to parse or type-check)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = flag.Bool("list", false, "print the analyzer catalogue and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.ByName(*names)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintf(os.Stderr, "consensuslint: no analyzers match %q\n", *names)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	world, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensuslint: %v\n", err)
+		return 2
+	}
+
+	// Diagnostics need their analyzer attribution; re-run per analyzer so
+	// the suffix tag is known, then merge in position order.
+	type tagged struct {
+		analysis.Diagnostic
+		name string
+	}
+	var diags []tagged
+	for _, a := range analyzers {
+		ds, err := analysis.RunAnalyzers(world, []*analysis.Analyzer{a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensuslint: %v\n", err)
+			return 2
+		}
+		for _, d := range ds {
+			diags = append(diags, tagged{d, a.Name})
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", world.Fset.Position(d.Pos), d.Message, d.name)
+	}
+	return 1
+}

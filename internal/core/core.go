@@ -148,6 +148,8 @@ func newStabilityTracker(n int64, fixedPoint bool, opts Options) *stabilityTrack
 
 // observe processes the round's plurality value and count; it returns a
 // stop reason and true when the run should stop.
+//
+//consensus:hotpath
 func (s *stabilityTracker) observe(round int, winner Value, count int64) (model.StopReason, bool) {
 	if s.fixedPoint && count == s.n {
 		s.since = round
@@ -185,6 +187,10 @@ type BallEngine struct {
 	g           *rng.Xoshiro256   // adversary + sequential sampling stream
 	shards      []*rng.Xoshiro256 // per-worker streams
 	round       int
+	// obsVals/obsCounts are the reusable distribution view handed to the
+	// observer each round (see distInto).
+	obsVals   []Value
+	obsCounts []int64
 }
 
 // NewBallEngine builds a per-ball engine over the initial configuration cfg.
@@ -257,6 +263,8 @@ func (e *BallEngine) Step() {
 }
 
 // stepRange computes next values for balls [lo, hi) using stream g.
+//
+//consensus:hotpath
 func (e *BallEngine) stepRange(g *rng.Xoshiro256, lo, hi int, dst []Value) {
 	n := uint64(len(e.state))
 	s := e.rule.Samples()
@@ -319,10 +327,11 @@ func (e *BallEngine) Run() Result {
 	return Result{Rounds: e.round, Reason: model.StopMaxRounds, Winner: w, WinnerCount: c}
 }
 
+//consensus:hotpath
 func (e *BallEngine) checkState(tracker *stabilityTracker, counts map[Value]int64, round int) (Value, int64, bool, model.StopReason) {
 	w, c := pluralityOf(e.state, counts)
 	if e.opts.Observer != nil {
-		vals, cnts := distSlices(counts)
+		vals, cnts := e.distInto(counts)
 		e.opts.Observer(round, vals, cnts)
 	}
 	if reason, stop := tracker.observe(round, w, c); stop {
@@ -333,6 +342,8 @@ func (e *BallEngine) checkState(tracker *stabilityTracker, counts map[Value]int6
 
 // pluralityOf fills counts (clearing it first) and returns the plurality
 // value, breaking ties toward the smaller value for determinism.
+//
+//consensus:hotpath
 func pluralityOf(state []Value, counts map[Value]int64) (Value, int64) {
 	for k := range counts {
 		delete(counts, k)
@@ -350,17 +361,26 @@ func pluralityOf(state []Value, counts map[Value]int64) (Value, int64) {
 	return best, bestC
 }
 
-func distSlices(counts map[Value]int64) ([]Value, []int64) {
-	vals := make([]Value, 0, len(counts))
+// distInto flattens the count map into the engine-owned sorted scratch
+// slices handed to the observer — reused every round, so an observed
+// per-ball run stays allocation-free at steady state (the value set can
+// only shrink under median-like rules).
+//
+//consensus:hotpath
+func (e *BallEngine) distInto(counts map[Value]int64) ([]Value, []int64) {
+	e.obsVals = e.obsVals[:0]
 	for v := range counts {
-		vals = append(vals, v)
+		e.obsVals = append(e.obsVals, v)
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	cnts := make([]int64, len(vals))
-	for i, v := range vals {
+	slices.Sort(e.obsVals)
+	if cap(e.obsCounts) < len(e.obsVals) {
+		e.obsCounts = make([]int64, len(e.obsVals))
+	}
+	cnts := e.obsCounts[:len(e.obsVals)]
+	for i, v := range e.obsVals {
 		cnts[i] = counts[v]
 	}
-	return vals, cnts
+	return e.obsVals, cnts
 }
 
 // CountEngine simulates the process at the level of the value distribution.
@@ -437,6 +457,8 @@ func (e *CountEngine) Dist() ([]Value, []int64) {
 func (e *CountEngine) Round() int { return e.round }
 
 // Step executes one synchronous round.
+//
+//consensus:hotpath
 func (e *CountEngine) Step() {
 	if e.adv != nil && e.opts.Timing == BeforeRound {
 		if ca, ok := e.adv.(model.CountAdversary); ok {
@@ -459,6 +481,8 @@ func (e *CountEngine) Step() {
 // touches is engine-owned and reused, so steady-state rounds allocate
 // nothing (median-like rules only ever produce already-seen values, so the
 // accumulator map stops growing after the first round).
+//
+//consensus:hotpath
 func (e *CountEngine) stepSampled() {
 	if len(e.vals) == 1 {
 		return // consensus is a fixed point for every sampled rule
@@ -496,6 +520,8 @@ func (e *CountEngine) stepSampled() {
 }
 
 // prune removes zero-count bins (adversaries may empty a bin).
+//
+//consensus:hotpath
 func (e *CountEngine) prune() {
 	j := 0
 	for i := range e.vals {
@@ -529,6 +555,7 @@ func (e *CountEngine) Run() Result {
 	return Result{Rounds: e.round, Reason: model.StopMaxRounds, Winner: w, WinnerCount: c}
 }
 
+//consensus:hotpath
 func (e *CountEngine) check(tracker *stabilityTracker, round int) (Value, int64, bool, model.StopReason) {
 	w, c := e.plurality()
 	if e.opts.Observer != nil {
@@ -540,6 +567,7 @@ func (e *CountEngine) check(tracker *stabilityTracker, round int) (Value, int64,
 	return w, c, false, 0
 }
 
+//consensus:hotpath
 func (e *CountEngine) plurality() (Value, int64) {
 	var best Value
 	var bestC int64 = -1
@@ -562,6 +590,11 @@ type TwoBinEngine struct {
 	opts      Options
 	g         *rng.Xoshiro256
 	round     int
+	// obsVals/obsCounts are the reusable two-slot distribution views handed
+	// to the observer and the count adversary each round; refilled before
+	// every use so neither callee's mutations leak into the next round.
+	obsVals   []Value
+	obsCounts []int64
 }
 
 // NewTwoBinEngine builds a two-bin engine with l balls holding low and n−l
@@ -575,10 +608,12 @@ func NewTwoBinEngine(n, l int64, low, high Value, adv model.Adversary, seed uint
 	}
 	return &TwoBinEngine{
 		low: low, high: high, l: l, n: n,
-		allowed: []Value{low, high},
-		adv:     adv,
-		opts:    opts,
-		g:       rng.NewXoshiro256(seed),
+		allowed:   []Value{low, high},
+		adv:       adv,
+		opts:      opts,
+		g:         rng.NewXoshiro256(seed),
+		obsVals:   make([]Value, 2),
+		obsCounts: make([]int64, 2),
 	}
 }
 
@@ -606,6 +641,8 @@ func (e *TwoBinEngine) Imbalance() float64 {
 //
 // A ball in the low bin stays unless both its samples are high
 // (median(l,h,h) = h); a high ball moves to low iff both samples are low.
+//
+//consensus:hotpath
 func (e *TwoBinEngine) Step() {
 	if e.adv != nil && e.opts.Timing == BeforeRound {
 		e.corrupt()
@@ -625,8 +662,7 @@ func (e *TwoBinEngine) corrupt() {
 	if !ok {
 		return
 	}
-	vals := []Value{e.low, e.high}
-	counts := []int64{e.l, e.n - e.l}
+	vals, counts := e.distView()
 	vals, counts = ca.CorruptCounts(e.round, vals, counts, e.allowed, e.g)
 	var l, total int64
 	for i, v := range vals {
@@ -668,11 +704,11 @@ func (e *TwoBinEngine) Run() Result {
 	return Result{Rounds: e.round, Reason: model.StopMaxRounds, Winner: w, WinnerCount: c}
 }
 
+//consensus:hotpath
 func (e *TwoBinEngine) check(tracker *stabilityTracker, round int) (Value, int64, bool, model.StopReason) {
 	w, c := e.plurality()
 	if e.opts.Observer != nil {
-		vals := []Value{e.low, e.high}
-		counts := []int64{e.l, e.n - e.l}
+		vals, counts := e.distView()
 		e.opts.Observer(round, vals, counts)
 	}
 	if reason, stop := tracker.observe(round, w, c); stop {
@@ -681,6 +717,19 @@ func (e *TwoBinEngine) check(tracker *stabilityTracker, round int) (Value, int64
 	return w, c, false, 0
 }
 
+// distView refills and returns the engine-owned two-slot distribution
+// scratch — the per-round (vals, counts) view shared by the observer and
+// the adversary, allocation-free at steady state.
+//
+//consensus:hotpath
+func (e *TwoBinEngine) distView() ([]Value, []int64) {
+	vals, counts := e.obsVals[:2], e.obsCounts[:2]
+	vals[0], vals[1] = e.low, e.high
+	counts[0], counts[1] = e.l, e.n-e.l
+	return vals, counts
+}
+
+//consensus:hotpath
 func (e *TwoBinEngine) plurality() (Value, int64) {
 	r := e.n - e.l
 	if e.l >= r {

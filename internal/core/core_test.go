@@ -592,3 +592,60 @@ func TestCountEngineRoundAllocs(t *testing.T) {
 		t.Fatalf("steady-state count round allocates (%v allocs/round)", avg)
 	}
 }
+
+// TestTwoBinObservedRoundAllocs pins the observer + adversary round path
+// of the two-bin engine: the per-round (vals, counts) views handed to
+// both the observer and the count adversary are engine-owned scratch
+// (distView), so an observed, adversarial steady-state round must not
+// touch the heap.
+func TestTwoBinObservedRoundAllocs(t *testing.T) {
+	tracker := newStabilityTracker(1<<20, false, Options{})
+	var seen int64
+	eng := NewTwoBinEngine(1<<20, 1<<19, 1, 2, adversary.NewBalancer(adversary.Fixed(64), 1, 2), 1, Options{
+		Observer: func(round int, vals []Value, counts []int64) {
+			seen += counts[0]
+		},
+	})
+	for i := 0; i < 8; i++ {
+		eng.Step()
+		eng.check(tracker, eng.round)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		eng.Step()
+		eng.check(tracker, eng.round)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state observed two-bin round allocates (%v allocs/round)", avg)
+	}
+	if seen == 0 {
+		t.Fatal("observer never saw a count")
+	}
+}
+
+// TestBallEngineObservedCheckAllocs pins the per-ball engine's observed
+// check path: distInto reuses the engine-owned sorted view, so observing
+// every round of a warmed run must not allocate.
+func TestBallEngineObservedCheckAllocs(t *testing.T) {
+	cfg := make(assign.Config, 512)
+	for i := range cfg {
+		cfg[i] = Value(i % 7)
+	}
+	var rounds int
+	eng := NewBallEngine(cfg, rules.Median{}, nil, 1, Options{
+		Observer: func(round int, vals []Value, counts []int64) {
+			rounds++
+		},
+	})
+	tracker := newStabilityTracker(int64(len(cfg)), false, Options{})
+	counts := make(map[Value]int64, 16)
+	eng.checkState(tracker, counts, 0)
+	avg := testing.AllocsPerRun(50, func() {
+		eng.checkState(tracker, counts, eng.round)
+	})
+	if avg != 0 {
+		t.Fatalf("observed per-ball check allocates (%v allocs/check)", avg)
+	}
+	if rounds == 0 {
+		t.Fatal("observer never fired")
+	}
+}

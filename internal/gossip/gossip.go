@@ -396,6 +396,8 @@ func (nw *Network) Run() Result {
 // observation is deterministic) onto the given scratch slices. The
 // aggregation map is owned by the network and cleared per round, so an
 // observed run allocates nothing after the support stabilizes.
+//
+//consensus:hotpath
 func (nw *Network) distInto(vals []Value, counts []int64) ([]Value, []int64) {
 	if nw.distm == nil {
 		nw.distm = make(map[Value]int64, 16)

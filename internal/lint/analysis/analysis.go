@@ -1,0 +1,124 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository's linters need.
+// The container image intentionally carries no module cache, so the real
+// x/tools framework is unavailable; this package mirrors its shape — an
+// Analyzer with a Run(*Pass) hook reporting Diagnostics — on top of a
+// loader (see Load) that drives `go list -export` and go/types, exactly
+// the way x/tools/go/packages does under the hood.
+//
+// The deliberate differences from x/tools:
+//
+//   - analyzers run per package with full type information but no Facts;
+//     the cross-package information the suite needs (which packages the
+//     engine/conformance test imports) is precomputed by the loader and
+//     carried on the World;
+//   - test files are not analyzed (registry and hot-path invariants are
+//     production-code contracts; test helpers register fake kinds on
+//     purpose);
+//   - there is no SSA or CFG layer — every check is syntax plus go/types,
+//     which is enough for the invariants enforced here and keeps the
+//     whole suite standard-library only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers flags.
+	Name string
+	// Doc is the one-paragraph description `consensuslint -list` prints.
+	Doc string
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("repro/engine").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types and TypesInfo carry the go/types results for Files.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// World is everything one Load call produced: the packages to analyze plus
+// the cross-package facts analyzers cannot compute from a single package.
+type World struct {
+	Fset *token.FileSet
+	// Packages are the pattern-matched (root) packages, load order.
+	Packages []*Package
+	// HasConformance reports whether the load set contained a package whose
+	// import path ends in "engine/conformance". When false, conformance
+	// coverage cannot be checked (e.g. a single-package invocation) and the
+	// registrycontract analyzer skips that rule.
+	HasConformance bool
+	// ConformanceImports is the union of the regular and test imports of
+	// every "engine/conformance" package in the load universe — the set of
+	// packages whose registered kinds the conformance suite covers.
+	ConformanceImports map[string]bool
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	World    *World
+	Pkg      *Package
+	Report   func(Diagnostic)
+}
+
+// Fset returns the world's file set (every Package position resolves
+// through it).
+func (p *Pass) Fset() *token.FileSet { return p.World.Fset }
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf resolves the type of an expression (nil when unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves an identifier's object (nil when unknown).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// RunAnalyzers applies every analyzer to every package of the world and
+// returns the diagnostics sorted by position.
+func RunAnalyzers(w *World, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range w.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				World:    w,
+				Pkg:      pkg,
+				Report:   func(d Diagnostic) { out = append(out, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}

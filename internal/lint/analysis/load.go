@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	GoFiles      []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Standard     bool
+	DepOnly      bool
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir with
+// `go list -export -deps`, parses and type-checks every matched in-module
+// package, and returns the resulting World. Dependencies — standard library
+// included — are imported from the compiler export data `go list -export`
+// leaves in the build cache, so no network or module download is needed.
+//
+// Test files are listed (their imports feed ConformanceImports) but never
+// parsed or analyzed.
+func Load(dir string, patterns ...string) (*World, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	conformance := make(map[string]bool)
+	hasConformance := false
+	var roots []*listPackage
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if pathHasSuffix(p.ImportPath, "engine/conformance") {
+			hasConformance = true
+			for _, imps := range [][]string{p.Imports, p.TestImports, p.XTestImports} {
+				for _, imp := range imps {
+					conformance[imp] = true
+				}
+			}
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			exp, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(exp)
+		}),
+	}
+
+	world := &World{
+		Fset:               fset,
+		HasConformance:     hasConformance,
+		ConformanceImports: conformance,
+	}
+	for _, p := range roots {
+		pkg, err := typecheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		world.Packages = append(world.Packages, pkg)
+	}
+	return world, nil
+}
+
+// goList shells out to `go list -export -deps -json` and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	fields := "ImportPath,Dir,Name,Export,GoFiles,Imports,TestImports,XTestImports,Standard,DepOnly,Module,Error"
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=" + fields, "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("go list %s: matched no packages", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}
+
+// typecheck parses a package's non-test files and runs go/types over them
+// with the export-data importer resolving dependencies.
+func typecheck(fset *token.FileSet, imp types.Importer, p *listPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:      p.ImportPath,
+		Dir:       p.Dir,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// exportImporter wraps the gc export-data importer with the "unsafe"
+// special case (package unsafe has no export file).
+type exportImporter struct {
+	gc types.Importer
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}
+
+// pathHasSuffix reports whether an import path is suffix itself or ends in
+// "/"+suffix — the package-identity test the analyzers share, so they
+// recognize both the real repro packages and the stub packages under
+// lint testdata fixtures.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// PathHasSuffix is pathHasSuffix for analyzer packages.
+func PathHasSuffix(path, suffix string) bool { return pathHasSuffix(path, suffix) }

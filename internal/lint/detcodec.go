@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetCodec flags nondeterminism sources inside canonical-encoding call
+// graphs. The canonical spec bytes key the persisted store and derive run
+// seeds, and the Prometheus exposition is golden-tested, so every function
+// whose name marks it as part of those paths — Normalize, canonical*,
+// Hash*, MarshalJSON, Gather/Collect, WriteFamilies/WritePrometheus — plus
+// everything it calls inside its package must be a pure function of its
+// inputs:
+//
+//   - a `range` over a map is flagged unless the loop body only collects
+//     (appends that are sorted later in the same function, keyed map
+//     writes, numeric accumulation) — the collect-then-sort idiom;
+//   - time.Now / time.Since are flagged (wall clock in canonical bytes);
+//   - global math/rand state is flagged (cross-run nondeterminism);
+//   - fmt-formatting a map value is flagged: fmt sorts keys today, but
+//     canonical bytes must not lean on formatting internals.
+var DetCodec = &analysis.Analyzer{
+	Name: "detcodec",
+	Doc: "flags map-iteration order, wall-clock, global-rand and fmt-of-map " +
+		"dependence within canonical-encoding and exposition call graphs",
+	Run: runDetCodec,
+}
+
+// detRootRe matches function names that root a deterministic call graph.
+var detRootRe = regexp.MustCompile(`(?i)^(normalize|canonic|hash|marshaljson|gather|collect|writeprometheus|writefamilies)`)
+
+func runDetCodec(pass *analysis.Pass) error {
+	decls := packageFuncDecls(pass)
+
+	// Seed the scope with the root functions, then close it over
+	// same-package calls: a helper called (transitively) from a canonical
+	// path is held to the same rules as the root.
+	inScope := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for fn, decl := range decls {
+		if decl.Name != nil && detRootRe.MatchString(decl.Name.Name) {
+			inScope[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() != pass.Pkg.Types {
+				return true
+			}
+			if !inScope[callee] && decls[callee] != nil {
+				inScope[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn := range inScope {
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		checkDetFunc(pass, decl)
+	}
+	return nil
+}
+
+func checkDetFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	name := decl.Name.Name
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass.TypeOf(n.X)) && !mapRangeDeterministic(pass, decl, n) {
+				pass.Reportf(n.Pos(),
+					"map iteration in deterministic path %s is order-sensitive: collect keys and sort, or range a sorted slice", name)
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.ObjectOf(n.Sel); obj != nil {
+				switch pkgPathOf(obj) {
+				case "time":
+					if obj.Name() == "Now" || obj.Name() == "Since" {
+						pass.Reportf(n.Pos(),
+							"time.%s in deterministic path %s: canonical bytes must not depend on the wall clock", obj.Name(), name)
+					}
+				case "math/rand", "math/rand/v2":
+					if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && !isRandConstructor(obj.Name()) {
+						pass.Reportf(n.Pos(),
+							"global math/rand state in deterministic path %s: derive per-run generators from engine.DeriveSeed", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(pass, n); callee != nil && pkgPathOf(callee) == "fmt" {
+				for _, arg := range n.Args {
+					if isMapType(pass.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(),
+							"fmt-formatting a map in deterministic path %s: canonical bytes must not lean on fmt's key sorting", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRandConstructor lists the math/rand package functions that construct
+// explicit generators rather than touching global state.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// mapRangeDeterministic reports whether a map-range loop is written in the
+// collect-then-sort idiom: the body only performs order-insensitive
+// operations (appends, keyed map writes/deletes, numeric accumulation),
+// and every slice it appends to is sorted later in the enclosing function.
+func mapRangeDeterministic(pass *analysis.Pass, decl *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	var appended []types.Object
+	for _, stmt := range rng.Body.List {
+		objs, ok := orderInsensitiveStmt(pass, stmt)
+		if !ok {
+			return false
+		}
+		appended = append(appended, objs...)
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pass, decl, rng, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderInsensitiveStmt classifies one map-range body statement. It returns
+// the objects of locals the statement appends to (these must be sorted
+// later) and whether the statement is order-insensitive at all.
+func orderInsensitiveStmt(pass *analysis.Pass, stmt ast.Stmt) (appended []types.Object, ok bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil, false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// x = append(x, ...) — collect; record the target.
+			if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+				if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+					if target, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						return []types.Object{pass.ObjectOf(target)}, true
+					}
+				}
+			}
+			// m[k] = v — keyed write, order-insensitive for unique keys.
+			if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+				return nil, true
+			}
+			return nil, false
+		case token.ADD_ASSIGN:
+			// accum += v is commutative only for numbers (string += is
+			// concatenation and order-sensitive).
+			if t := pass.TypeOf(lhs); t != nil {
+				if b, isBasic := t.Underlying().(*types.Basic); isBasic && b.Info()&types.IsNumeric != 0 {
+					return nil, true
+				}
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	case *ast.IncDecStmt:
+		return nil, true
+	case *ast.ExprStmt:
+		// delete(m, k) is a keyed, order-insensitive mutation.
+		if call, isCall := ast.Unparen(s.X).(*ast.CallExpr); isCall {
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "delete" {
+				return nil, true
+			}
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort* call
+// after the range statement within the same function body.
+func sortedAfter(pass *analysis.Pass, decl *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		switch pkgPathOf(callee) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			arg = ast.Unparen(arg)
+			if u, isAddr := arg.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+				arg = ast.Unparen(u.X)
+			}
+			if id, isIdent := arg.(*ast.Ident); isIdent && pass.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetCodecFlagsViolations(t *testing.T) {
+	linttest.Run(t, lint.DetCodec, "detcodec")
+}
+
+func TestDetCodecAcceptsCollectThenSort(t *testing.T) {
+	linttest.Run(t, lint.DetCodec, "detcodec_clean")
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotpathAlloc statically enforces the zero-allocation contract on
+// functions annotated //consensus:hotpath — the count-engine round loops,
+// observer ticks and randx samplers whose AllocsPerRun pins this analyzer
+// complements. Inside an annotated function it flags:
+//
+//   - map, slice and &composite literals, new(), and closures;
+//   - make calls in functions without a grow-once guard (an if condition
+//     on cap/len/nil — the engine-owned scratch idiom);
+//   - append to a local slice declared without capacity (field, parameter
+//     and reslice targets follow the reuse idiom and are allowed);
+//   - interface boxing: a non-pointer concrete value passed or converted
+//     to an interface;
+//   - any fmt call;
+//   - string<->[]byte conversions, except as a map index (the compiler's
+//     no-copy m[string(b)] optimization).
+//
+// The analysis is intraprocedural by design: annotate every function on
+// the hot path, not just its entry point.
+var HotpathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //consensus:hotpath must not allocate: no " +
+		"literals, closures, unguarded make/append growth, boxing, or fmt",
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd, HotpathMarker) {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpathFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	guarded := hasGrowGuard(decl)
+	walkParents(decl.Body, func(n ast.Node, parents []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s allocates a closure", decl.Name.Name)
+			return false // the closure body is cold relative to this check
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s allocates a map literal per call", decl.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path %s allocates a slice literal per call", decl.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "hot path %s heap-allocates a &composite literal per call", decl.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, decl, n, parents, guarded)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr, parents []ast.Node, guarded bool) {
+	name := decl.Name.Name
+
+	// Builtins. panic/print/len/cap etc. are exempt from the boxing check
+	// below: go/types records call-site signatures for them, but panic is
+	// the crash path, not the hot path.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name != "make" && id.Name != "new" && id.Name != "append" {
+			return
+		}
+		switch id.Name {
+		case "make":
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && !guarded {
+				pass.Reportf(call.Pos(),
+					"hot path %s calls make without a grow-once guard: gate it behind an if cap/len/nil check so steady state reuses the buffer", name)
+			}
+			return
+		case "new":
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "hot path %s heap-allocates with new per call", name)
+			}
+			return
+		case "append":
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+				checkHotpathAppend(pass, decl, call)
+			}
+			return
+		}
+	}
+
+	// Type conversions.
+	if tv, ok := pass.Pkg.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkHotpathConversion(pass, name, call, tv.Type, parents)
+		return
+	}
+
+	// fmt in a hot path is both an allocation and a formatting walk; the
+	// one diagnostic subsumes the per-argument boxing its ...any params
+	// would also trigger.
+	if callee := calleeFunc(pass, call); callee != nil && pkgPathOf(callee) == "fmt" {
+		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s per call", name, callee.Name())
+		return
+	}
+
+	// Interface boxing at call boundaries.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, isSlice := last.(*types.Slice); isSlice {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param != nil && boxesIntoInterface(pass.TypeOf(arg), param) {
+			pass.Reportf(arg.Pos(),
+				"hot path %s boxes a %s into interface %s per call (pass a pointer or monomorphize)", name, pass.TypeOf(arg), param)
+		}
+	}
+}
+
+// checkHotpathConversion flags interface and string<->[]byte conversions.
+func checkHotpathConversion(pass *analysis.Pass, name string, call *ast.CallExpr, target types.Type, parents []ast.Node) {
+	argT := pass.TypeOf(call.Args[0])
+	if boxesIntoInterface(argT, target) {
+		pass.Reportf(call.Pos(), "hot path %s boxes a %s into interface %s per call", name, argT, target)
+		return
+	}
+	toString := isBasicKind(target, types.IsString) && isByteOrRuneSlice(argT)
+	toBytes := isByteOrRuneSlice(target) && isBasicKind(argT, types.IsString)
+	if !toString && !toBytes {
+		return
+	}
+	// m[string(b)] compiles to a no-copy lookup; every other context copies.
+	if toString && len(parents) > 0 {
+		if idx, ok := parents[len(parents)-1].(*ast.IndexExpr); ok && ast.Unparen(idx.Index) == call {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "hot path %s copies in a string/[]byte conversion per call", name)
+}
+
+// checkHotpathAppend flags appends whose target cannot have reached steady
+// cap: a local declared without capacity. Fields, parameters, reslices and
+// make-with-cap locals follow the reuse idiom and are allowed (their
+// steady state is pinned by the AllocsPerRun tests).
+func checkHotpathAppend(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	target := ast.Unparen(call.Args[0])
+	switch target := target.(type) {
+	case *ast.SelectorExpr, *ast.SliceExpr, *ast.IndexExpr:
+		return // field, reslice, or element target: engine-owned reuse
+	case *ast.Ident:
+		obj := pass.ObjectOf(target)
+		if obj == nil {
+			return
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return
+		}
+		if v.Parent() == pass.Pkg.Types.Scope() {
+			return // package-level buffer
+		}
+		if isParamOf(decl, obj) || localHasCapacity(pass, decl, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"hot path %s appends to %s, a local declared without capacity — it regrows every call; reuse an engine-owned buffer or pre-size it", decl.Name.Name, target.Name)
+	}
+}
+
+// isParamOf reports whether obj is one of decl's parameters or its
+// receiver.
+func isParamOf(decl *ast.FuncDecl, obj types.Object) bool {
+	fields := []*ast.FieldList{decl.Type.Params, decl.Recv}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if name.Pos() == obj.Pos() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// localHasCapacity reports whether a local slice was declared from a
+// reslice (x := e.buf[:0]) or a make with explicit capacity — the two
+// declarations that make later appends growth-free at steady state.
+func localHasCapacity(pass *analysis.Pass, decl *ast.FuncDecl, obj types.Object) bool {
+	ok := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || as.Tok != token.DEFINE || ok {
+			return !ok
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent || pass.ObjectOf(id) != obj || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr:
+				ok = true
+			case *ast.CallExpr:
+				if fn, isIdent := ast.Unparen(rhs.Fun).(*ast.Ident); isIdent && fn.Name == "make" && len(rhs.Args) == 3 {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// boxesIntoInterface reports whether assigning a value of type from to a
+// slot of type to converts a concrete non-pointer value to an interface —
+// the allocation the hot path must avoid. Pointers (and pointer-shaped
+// types) box without allocating.
+func boxesIntoInterface(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if isBasicKind(from, types.IsUntyped) { // untyped nil / constants to any
+		if b, isBasic := from.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	switch from.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false
+	case *types.TypeParam:
+		return false
+	}
+	if _, isTP := from.(*types.TypeParam); isTP {
+		return false
+	}
+	return true
+}
+
+// isBasicKind reports whether t's underlying is a basic type with info
+// bits set.
+func isBasicKind(t types.Type, info types.BasicInfo) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&info != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// hasGrowGuard reports whether the function contains an if condition on
+// cap, len or nil — the grow-once idiom that licenses its make calls.
+func hasGrowGuard(decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.CallExpr:
+				if id, isIdent := ast.Unparen(c.Fun).(*ast.Ident); isIdent && (id.Name == "cap" || id.Name == "len") {
+					found = true
+				}
+			case *ast.Ident:
+				if c.Name == "nil" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

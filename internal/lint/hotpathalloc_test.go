@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotpathAllocFlagsViolations(t *testing.T) {
+	linttest.Run(t, lint.HotpathAlloc, "hotpathalloc")
+}
+
+func TestHotpathAllocAcceptsReuseIdiom(t *testing.T) {
+	linttest.Run(t, lint.HotpathAlloc, "hotpathalloc_clean")
+}

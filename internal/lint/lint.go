@@ -1,0 +1,176 @@
+// Package lint is consensuslint: static enforcement of the repository's
+// determinism, registry, and hot-path invariants. The five analyzers here
+// check, at `go vet` time and on every package, contracts that were
+// previously guarded only at runtime by golden hashes, the conformance
+// suite, and AllocsPerRun pins:
+//
+//   - detcodec: canonical-encoding and exposition call graphs must not
+//     depend on map iteration order, wall-clock time, or global RNG state;
+//   - registrycontract: every engine.Register call site honors the
+//     descriptor + conformance-coverage contract;
+//   - hotpathalloc: functions annotated //consensus:hotpath do not
+//     allocate per call;
+//   - observecancel: every engine.Payload.Run implementation drives the
+//     Observe hook (the cancellation point) each round;
+//   - seedhygiene: no wall-clock seeding or math/rand outside the sampler
+//     package — seeds come from engine.DeriveSeed.
+//
+// See internal/lint/analysis for the framework and cmd/consensuslint for
+// the multichecker driver.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotpathMarker is the annotation that opts a function into the
+// hotpathalloc analyzer: a doc-comment line reading exactly
+// "//consensus:hotpath". Annotated functions are the statically-checked
+// complement of the AllocsPerRun-pinned benchmarks.
+const HotpathMarker = "//consensus:hotpath"
+
+// Analyzers returns the full consensuslint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetCodec,
+		RegistryContract,
+		HotpathAlloc,
+		ObserveCancel,
+		SeedHygiene,
+	}
+}
+
+// ByName resolves a comma-separated analyzer-name list ("" = all).
+func ByName(names string) []*analysis.Analyzer {
+	if names == "" {
+		return Analyzers()
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range Analyzers() {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --- shared syntax/type helpers -----------------------------------------
+
+// hasMarker reports whether a function declaration's doc comment carries
+// the given //consensus:* marker line.
+func hasMarker(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// packageFuncDecls maps each function object declared in the package to
+// its syntax, keying both functions and methods.
+func packageFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pass.ObjectOf(fd.Name).(*types.Func); ok && obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// calleeFunc resolves a call expression to the function object it invokes
+// (nil for builtins, function-typed values, and type conversions).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Pkg.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Sprintf): no Selection entry, the
+		// Sel identifier resolves directly.
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := pass.ObjectOf(id).(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of an object's package ("" for
+// universe-scope objects such as builtins and error).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isMapType reports whether a type's underlying is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncDecl returns the top-level function declaration lexically
+// containing pos, or nil.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// walkParents traverses root, invoking fn with each node and its ancestor
+// stack (nearest last). Returning false prunes the subtree.
+func walkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

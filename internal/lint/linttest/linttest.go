@@ -1,0 +1,134 @@
+// Package linttest is an analysistest-style harness for the consensuslint
+// analyzers: fixture packages under internal/lint/testdata/src annotate
+// the lines where an analyzer must fire with
+//
+//	// want "regexp"
+//
+// comments (several per line allowed), and Run diffs the analyzer's
+// diagnostics against them — unmatched diagnostics and unmatched
+// expectations are both test failures. Fixture packages are real,
+// compiling packages (the loader type-checks them), but `go list ./...`
+// never matches testdata, so the repo-wide lint gate does not see them.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRe captures the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the named fixture packages (paths relative to
+// internal/lint/testdata/src, loaded together as one world) and checks
+// the analyzer's diagnostics against their // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "./testdata/src/" + f
+	}
+	world, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range world.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := world.Fset.Position(c.Pos())
+					for _, pat := range parseWant(t, pos.String(), c.Text) {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(world, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := world.Fset.Position(d.Pos)
+		if !matchWant(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of one comment's want clause.
+func parseWant(t *testing.T, pos, text string) []*regexp.Regexp {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed // want clause near %q", pos, rest)
+		}
+		lit, tail, err := cutQuoted(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed // want clause: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(tail)
+	}
+	return out
+}
+
+// cutQuoted splits one leading Go string literal off s.
+func cutQuoted(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}
+
+// matchWant marks and reports the first unmatched expectation on
+// (file, line) whose pattern matches msg.
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

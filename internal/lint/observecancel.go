@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ObserveCancel checks that every engine.Payload.Run implementation drives
+// ctx.Observe — the per-round cancellation point. A Run that silently
+// drops the observer cannot be cancelled (DELETE /v1/runs hangs until
+// MaxRounds) and emits no round records, so:
+//
+//  1. Run must call ctx.Observe, directly or through a same-package helper
+//     or closure it hands the context (or an Observe-wired observer) to;
+//  2. every round-shaped loop (a non-range for, or a range over an
+//     integer) written in Run or its ctx-carrying helpers must call an
+//     observing function each iteration.
+//
+// Implementations that delegate the loop to an engine constructed with an
+// Observer callback satisfy rule 1 through the closure that wires
+// ctx.Observe, and have no syntactic round loop for rule 2 — the engine's
+// own loop invokes the observer, which the conformance suite verifies
+// dynamically.
+var ObserveCancel = &analysis.Analyzer{
+	Name: "observecancel",
+	Doc: "engine.Payload.Run implementations must wire ctx.Observe and " +
+		"call it from every round loop — it is the cancellation point",
+	Run: runObserveCancel,
+}
+
+func runObserveCancel(pass *analysis.Pass) error {
+	decls := packageFuncDecls(pass)
+
+	// Fixpoint over package functions: a function "observes" if its body
+	// contains a ctx.Observe call (on an engine.RunContext value), or it
+	// forwards a RunContext to an observing function.
+	observing := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range decls {
+			if observing[fn] || decl.Body == nil {
+				continue
+			}
+			if funcObserves(pass, decl.Body, decls, observing) {
+				observing[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for fn, decl := range decls {
+		if decl.Body == nil || !isPayloadRun(pass, decl) {
+			continue
+		}
+		if !observing[fn] {
+			pass.Reportf(decl.Name.Pos(),
+				"%s.Run never calls ctx.Observe (directly or via a helper): without the observer the run cannot be cancelled and emits no round records", recvName(decl))
+			continue
+		}
+		// Rule 2 applies to Run and every same-package helper it forwards
+		// the context to.
+		for _, target := range runClosure(pass, fn, decls) {
+			checkRoundLoops(pass, decls[target], decls, observing)
+		}
+	}
+	return nil
+}
+
+// isPayloadRun reports whether decl is a method Run(engine.RunContext)
+// (engine.Result, error) — the engine.Payload contract.
+func isPayloadRun(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || decl.Name.Name != "Run" {
+		return false
+	}
+	sig, ok := pass.TypeOf(decl.Name).(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	return isRunContext(sig.Params().At(0).Type())
+}
+
+// isRunContext reports whether t is the RunContext type of an
+// engine-suffixed package.
+func isRunContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RunContext" && analysis.PathHasSuffix(pkgPathOf(obj), "engine")
+}
+
+// funcObserves reports whether a function body observes: calls .Observe on
+// a RunContext (or on the Observe field directly), calls an
+// already-observing function, or calls a local closure that observes.
+func funcObserves(pass *analysis.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, observing map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isObserveCall(pass, call) {
+			found = true
+			return false
+		}
+		if callee := calleeFunc(pass, call); callee != nil && observing[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isObserveCall reports whether call invokes ctx.Observe on a RunContext
+// value.
+func isObserveCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Observe" {
+		return false
+	}
+	return isRunContext(pass.TypeOf(sel.X))
+}
+
+// runClosure returns fn plus every same-package function it (transitively)
+// forwards a RunContext argument to — the functions whose loops count as
+// Run's round loops.
+func runClosure(pass *analysis.Pass, fn *types.Func, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	out := []*types.Func{fn}
+	seen := map[*types.Func]bool{fn: true}
+	for i := 0; i < len(out); i++ {
+		decl := decls[out[i]]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || decls[callee] == nil || seen[callee] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isRunContext(pass.TypeOf(arg)) {
+					seen[callee] = true
+					out = append(out, callee)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkRoundLoops flags round-shaped loops whose body does not observe.
+// Loops inside function literals are the callee engine's concern, not
+// Run's, and are skipped.
+func checkRoundLoops(pass *analysis.Pass, decl *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, observing map[*types.Func]bool) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	// Local closures that observe (emit := func(...) { ctx.Observe(...) })
+	// make calls to them count as observing.
+	localObs := observingLocals(pass, decl.Body, decls, observing)
+
+	walkParents(decl.Body, func(n ast.Node, parents []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			// for range maxRounds — the Go 1.22 round-loop spelling.
+			if isBasicKind(pass.TypeOf(loop.X), types.IsInteger) {
+				body = loop.Body
+			}
+		}
+		if body == nil {
+			return true
+		}
+		if !loopObserves(pass, body, decls, observing, localObs) {
+			pass.Reportf(n.Pos(),
+				"round loop in %s does not call ctx.Observe (or an observing helper) each iteration — the observer is the cancellation point", decl.Name.Name)
+		}
+		return true
+	})
+}
+
+// observingLocals collects local variables bound to observing closures.
+func observingLocals(pass *analysis.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, observing map[*types.Func]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, isLit := ast.Unparen(rhs).(*ast.FuncLit)
+			if !isLit || i >= len(as.Lhs) {
+				continue
+			}
+			id, isIdent := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if funcObserves(pass, lit.Body, decls, observing) {
+				out[pass.ObjectOf(id)] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopObserves reports whether a loop body calls ctx.Observe, an observing
+// function, or an observing local closure.
+func loopObserves(pass *analysis.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, observing map[*types.Func]bool, localObs map[types.Object]bool) bool {
+	if funcObserves(pass, body, decls, observing) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && localObs[pass.ObjectOf(id)] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// recvName renders a method's receiver type name for diagnostics.
+func recvName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return decl.Name.Name
+}

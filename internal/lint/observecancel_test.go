@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestObserveCancelFlagsViolations(t *testing.T) {
+	linttest.Run(t, lint.ObserveCancel, "observecancel")
+}
+
+func TestObserveCancelAcceptsObserverIdioms(t *testing.T) {
+	linttest.Run(t, lint.ObserveCancel, "observecancel_clean")
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// RegistryContract enforces the engine plugin-registration contract at
+// every engine.Register call site:
+//
+//  1. registration happens from a package init() — anything else makes
+//     kind availability depend on call order;
+//  2. the registered engine's Descriptor supplies a non-empty Example —
+//     the conformance suite and `GET /v1/engines` both rely on it;
+//  3. the registering package is imported by the engine/conformance test,
+//     so the kind is contract-tested — a missing import is a lint error,
+//     not a silent coverage hole.
+//
+// Rule 3 needs the whole-program view and is skipped when the load set
+// contains no engine/conformance package (single-package invocations).
+var RegistryContract = &analysis.Analyzer{
+	Name: "registrycontract",
+	Doc: "engine.Register must be called from init(), with a Descriptor " +
+		"carrying a non-empty Example, from a package the conformance test imports",
+	Run: runRegistryContract,
+}
+
+func runRegistryContract(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Name() != "Register" || !analysis.PathHasSuffix(pkgPathOf(callee), "engine") {
+				return true
+			}
+
+			decl := enclosingFuncDecl(file, call.Pos())
+			if decl == nil || decl.Name.Name != "init" || decl.Recv != nil {
+				pass.Reportf(call.Pos(),
+					"engine.Register must be called from a package init() so kind availability never depends on call order")
+			}
+
+			if len(call.Args) == 1 {
+				checkDescriptorExample(pass, call.Args[0])
+			}
+
+			if pass.World.HasConformance && !pass.World.ConformanceImports[pass.Pkg.Path] {
+				pass.Reportf(call.Pos(),
+					"package %s registers an engine kind but is not imported by the engine/conformance test — add a blank import there so the kind is contract-tested", pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDescriptorExample resolves the registered value's type, finds its
+// Descriptor method in this package, and requires the engine.Descriptor
+// composite literal there to set a non-empty Example. A descriptor built
+// dynamically (no literal) is out of static reach and skipped — the
+// conformance suite still checks it at run time.
+func checkDescriptorExample(pass *analysis.Pass, arg ast.Expr) {
+	t := pass.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg.Types {
+		return
+	}
+	var desc *ast.FuncDecl
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Recv == nil || fd.Name.Name != "Descriptor" {
+				continue
+			}
+			if recvNamed(pass, fd) == named.Obj() {
+				desc = fd
+			}
+		}
+	}
+	if desc == nil || desc.Body == nil {
+		return
+	}
+
+	var lit *ast.CompositeLit
+	ast.Inspect(desc.Body, func(n ast.Node) bool {
+		cl, isLit := n.(*ast.CompositeLit)
+		if !isLit || lit != nil {
+			return lit == nil
+		}
+		if t := pass.TypeOf(cl); t != nil {
+			if n, isNamed := t.(*types.Named); isNamed && n.Obj().Name() == "Descriptor" && analysis.PathHasSuffix(pkgPathOf(n.Obj()), "engine") {
+				lit = cl
+			}
+		}
+		return lit == nil
+	})
+	if lit == nil {
+		return
+	}
+
+	for _, elt := range lit.Elts {
+		kv, isKV := elt.(*ast.KeyValueExpr)
+		if !isKV {
+			continue
+		}
+		key, isIdent := kv.Key.(*ast.Ident)
+		if !isIdent || key.Name != "Example" {
+			continue
+		}
+		if emptyExample(kv.Value) {
+			pass.Reportf(kv.Value.Pos(),
+				"Descriptor.Example must be a non-empty example spec: the conformance suite decodes and runs it for every registered kind")
+		}
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"Descriptor literal omits Example: the conformance suite decodes and runs Example for every registered kind")
+}
+
+// recvNamed resolves a method declaration's receiver type object.
+func recvNamed(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// emptyExample reports whether an Example field value is statically empty:
+// nil, an empty string/byte literal, or a conversion of one.
+func emptyExample(v ast.Expr) bool {
+	switch v := ast.Unparen(v).(type) {
+	case *ast.Ident:
+		return v.Name == "nil"
+	case *ast.BasicLit:
+		s := strings.Trim(v.Value, "`\"")
+		return s == ""
+	case *ast.CallExpr: // json.RawMessage(`...`), []byte("...")
+		if len(v.Args) == 1 {
+			return emptyExample(v.Args[0])
+		}
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// The fixture world loads the stub engine/conformance package alongside
+// the kinds, so the conformance-coverage rule is live: goodkind is in its
+// test imports, badkind is not.
+func TestRegistryContractFlagsViolations(t *testing.T) {
+	linttest.Run(t, lint.RegistryContract,
+		"registrycontract/engine/conformance",
+		"registrycontract/badkind",
+	)
+}
+
+func TestRegistryContractAcceptsCompliantKind(t *testing.T) {
+	linttest.Run(t, lint.RegistryContract,
+		"registrycontract/engine/conformance",
+		"registrycontract/goodkind",
+	)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// SeedHygiene keeps randomness derivation centralized and reproducible.
+// Every run's generator must descend from the canonical spec hash via
+// engine.DeriveSeed — never from the wall clock, and never through the
+// process-global math/rand state. The analyzer flags:
+//
+//  1. importing math/rand or math/rand/v2 anywhere outside the sampler
+//     packages (internal/randx, internal/rng);
+//  2. seeding any generator from time.Now — rand.NewSource(time.Now...),
+//     rng.NewXoshiro256(uint64(time.Now()...)), rand.Seed(...) — in any
+//     package, sampler packages included.
+var SeedHygiene = &analysis.Analyzer{
+	Name: "seedhygiene",
+	Doc: "forbid math/rand outside internal/randx and any time.Now-seeded " +
+		"generator; randomness derives from engine.DeriveSeed",
+	Run: runSeedHygiene,
+}
+
+// seedConstructors are callee names whose arguments must not contain
+// time.Now: generator constructors and reseeding entry points.
+var seedConstructors = map[string]bool{
+	"NewSource":      true,
+	"NewPCG":         true,
+	"NewChaCha8":     true,
+	"NewXoshiro256":  true,
+	"NewSplitMix64":  true,
+	"Seed":           true,
+	"SeedFromUint64": true,
+}
+
+func runSeedHygiene(pass *analysis.Pass) error {
+	allowRand := analysis.PathHasSuffix(pass.Pkg.Path, "randx") || analysis.PathHasSuffix(pass.Pkg.Path, "rng")
+
+	for _, file := range pass.Pkg.Files {
+		if !allowRand {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(),
+						"%s is forbidden outside internal/randx: global rand state breaks run reproducibility; derive seeds with engine.DeriveSeed and sample through internal/randx", path)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var calleeName string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleeName = fun.Name
+			case *ast.SelectorExpr:
+				calleeName = fun.Sel.Name
+			}
+			if !seedConstructors[calleeName] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, found := timeNowIn(pass, arg); found {
+					pass.Reportf(pos,
+						"seeding %s from time.Now makes every run unreproducible: seeds must derive from the canonical spec hash (engine.DeriveSeed)", calleeName)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeNowIn reports the position of a time.Now use anywhere inside expr.
+func timeNowIn(pass *analysis.Pass, expr ast.Expr) (token.Pos, bool) {
+	pos, found := expr.Pos(), false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel.Sel.Name != "Now" {
+			return true
+		}
+		if obj := pass.ObjectOf(sel.Sel); obj != nil && pkgPathOf(obj) == "time" {
+			pos, found = sel.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}

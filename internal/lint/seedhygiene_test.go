@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSeedHygieneFlagsViolations(t *testing.T) {
+	linttest.Run(t, lint.SeedHygiene, "seedhygiene")
+}
+
+func TestSeedHygieneAllowsSamplerPackage(t *testing.T) {
+	linttest.Run(t, lint.SeedHygiene, "seedhygiene/randx")
+}

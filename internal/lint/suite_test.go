@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// TestRepoIsClean runs the full consensuslint suite over the repository —
+// the same gate CI's lint job applies via cmd/consensuslint — so a
+// violation fails `go test ./...` too, not just the lint job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is not short")
+	}
+	world, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(world, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", world.Fset.Position(d.Pos), d.Message)
+	}
+}
+
+// TestByName covers the -analyzers subset resolution the driver uses.
+func TestByName(t *testing.T) {
+	if got := len(lint.ByName("")); got != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, want 5", got)
+	}
+	sub := lint.ByName("detcodec, seedhygiene")
+	if len(sub) != 2 || sub[0].Name != "detcodec" || sub[1].Name != "seedhygiene" {
+		t.Fatalf("ByName subset = %v", sub)
+	}
+	if got := len(lint.ByName("nosuch")); got != 0 {
+		t.Fatalf("ByName(nosuch) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,40 @@
+// Package detcodec seeds violations for the detcodec analyzer: every
+// construct here makes canonical bytes depend on map order, the wall
+// clock, or global rand state.
+package detcodec
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type Spec struct {
+	Params map[string]float64
+	Name   string
+}
+
+// Normalize is a canonical-path root by name.
+func (s *Spec) Normalize() {
+	for k, v := range s.Params { // want `map iteration in deterministic path Normalize`
+		s.Name += fmt.Sprint(k, v)
+	}
+	_ = time.Now()                       // want `time\.Now in deterministic path Normalize`
+	s.Name = fmt.Sprintf("%v", s.Params) // want `fmt-formatting a map in deterministic path Normalize`
+}
+
+// Hash roots a call graph: helper is pulled into scope through it.
+func (s *Spec) Hash() string {
+	return helper(s)
+}
+
+// helper does not match the root pattern by name but is reached from Hash.
+func helper(s *Spec) string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params { // want `map iteration in deterministic path helper`
+		keys = append(keys, k)
+	}
+	// keys never sorted: the collect-then-sort idiom is incomplete.
+	salt := rand.Int63() // want `global math/rand state in deterministic path helper`
+	return fmt.Sprint(keys, salt)
+}

@@ -1,0 +1,47 @@
+// Package detcodec_clean holds the deterministic spellings of everything
+// the detcodec fixture flags: the analyzer must stay silent here.
+package detcodec_clean
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+type Spec struct {
+	Params map[string]float64
+	Name   string
+}
+
+// Normalize ranges only sorted slices.
+func (s *Spec) Normalize() {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params { // collect...
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // ...then sort: deterministic.
+	for _, k := range keys {
+		s.Name += k
+	}
+}
+
+// Canonical leans on json.Marshal's sorted map keys, and accumulates
+// numerically over a map — both order-insensitive.
+func (s *Spec) Canonical() ([]byte, error) {
+	var total float64
+	for _, v := range s.Params {
+		total += v
+	}
+	s.Params["__total"] = total
+	return json.Marshal(s.Params)
+}
+
+// HashSeed exercises the keyed map-write allowance: building an inverse
+// map is order-insensitive when keys are unique.
+func (s *Spec) HashSeed(counts map[string]int) uint64 {
+	inverse := make(map[int]string, len(counts))
+	for k, v := range counts {
+		inverse[v] = k
+	}
+	delete(counts, "")
+	return uint64(len(inverse))
+}

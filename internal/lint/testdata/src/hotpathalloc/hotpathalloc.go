@@ -1,0 +1,50 @@
+// Package hotpathalloc seeds one violation of each allocation class the
+// hotpathalloc analyzer flags inside //consensus:hotpath functions.
+package hotpathalloc
+
+import "fmt"
+
+type Engine struct {
+	buf []int64
+	key []byte
+	acc map[string]int64
+}
+
+func sink(v any) { _ = v }
+
+//consensus:hotpath
+func (e *Engine) Step(xs []int64) {
+	var grown []int64
+	for _, x := range xs {
+		grown = append(grown, x) // want `appends to grown, a local declared without capacity`
+	}
+	m := map[int64]bool{} // want `allocates a map literal`
+	_ = m
+	s := []int64{1, 2} // want `allocates a slice literal`
+	_ = s
+	p := &Engine{} // want `heap-allocates a &composite literal`
+	_ = p
+	q := new(Engine) // want `heap-allocates with new`
+	_ = q
+	f := func() {} // want `allocates a closure`
+	f()
+	fmt.Println(len(xs)) // want `calls fmt\.Println`
+	sink(xs[0])          // want `boxes a int64 into interface`
+	_ = grown
+}
+
+// makeNoGuard has no cap/len/nil guard anywhere, so its make allocates on
+// every call.
+//
+//consensus:hotpath
+func makeNoGuard(k int) []int64 {
+	out := make([]int64, k) // want `make without a grow-once guard`
+	return out
+}
+
+// keyCopy converts outside a map index, copying per call.
+//
+//consensus:hotpath
+func keyCopy(b []byte) string {
+	return string(b) // want `string/\[\]byte conversion`
+}

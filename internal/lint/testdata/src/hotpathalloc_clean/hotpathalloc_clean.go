@@ -1,0 +1,40 @@
+// Package hotpathalloc_clean is the reuse idiom the hotpathalloc analyzer
+// must accept unflagged: guarded make, field and reslice appends,
+// map-index string conversion, and pointer-to-interface passing.
+package hotpathalloc_clean
+
+import "sort"
+
+type Engine struct {
+	buf    []int64
+	key    []byte
+	acc    map[string]int64
+	sorter int64Sorter
+}
+
+type int64Sorter struct{ xs []int64 }
+
+func (s *int64Sorter) Len() int           { return len(s.xs) }
+func (s *int64Sorter) Less(i, j int) bool { return s.xs[i] < s.xs[j] }
+func (s *int64Sorter) Swap(i, j int)      { s.xs[i], s.xs[j] = s.xs[j], s.xs[i] }
+
+func sink(v any) { _ = v }
+
+//consensus:hotpath
+func (e *Engine) Step(xs []int64) int64 {
+	if cap(e.buf) < len(xs) {
+		e.buf = make([]int64, len(xs))
+	}
+	scratch := e.buf[:0]
+	for _, x := range xs {
+		scratch = append(scratch, x)
+	}
+	e.key = e.key[:0]
+	for _, x := range xs {
+		e.key = append(e.key, byte(x))
+	}
+	sink(&xs)             // pointer into interface: no box allocation
+	e.sorter.xs = scratch // slice header copy
+	sort.Sort(&e.sorter)  // pointer receiver satisfies sort.Interface
+	return e.acc[string(e.key)] + scratch[0]
+}

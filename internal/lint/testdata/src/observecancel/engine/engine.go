@@ -1,0 +1,23 @@
+// Package engine is a minimal stub of the repro/engine run surface: the
+// observecancel analyzer matches RunContext by package-path suffix, so
+// fixture payloads exercise the contract without the real engine.
+package engine
+
+// Record mirrors the per-round observation record.
+type Record struct {
+	Round int
+	N     int64
+}
+
+// RunContext mirrors repro/engine.RunContext: Observe is the per-round
+// cancellation point.
+type RunContext struct {
+	Seed      uint64
+	MaxRounds int
+	Observe   func(Record)
+}
+
+// Result mirrors the run outcome.
+type Result struct {
+	Rounds int
+}

@@ -1,0 +1,37 @@
+// Package observecancel seeds Payload.Run implementations that break the
+// observer contract: one that never wires ctx.Observe at all, and one
+// whose round loop skips it.
+package observecancel
+
+import (
+	"repro/internal/lint/testdata/src/observecancel/engine"
+)
+
+// DeafSpec never touches ctx.Observe: the run can neither be cancelled
+// nor observed.
+type DeafSpec struct{ N int64 }
+
+// Run implements the payload shape without the observer.
+func (s *DeafSpec) Run(ctx engine.RunContext) (engine.Result, error) { // want `DeafSpec\.Run never calls ctx\.Observe`
+	rounds := 0
+	for i := 0; i < ctx.MaxRounds; i++ {
+		rounds++
+	}
+	return engine.Result{Rounds: rounds}, nil
+}
+
+// SilentLoopSpec observes once up front but runs its rounds blind: a
+// cancellation issued mid-run is never noticed.
+type SilentLoopSpec struct{ N int64 }
+
+func (s *SilentLoopSpec) Run(ctx engine.RunContext) (engine.Result, error) {
+	ctx.Observe(engine.Record{Round: 0, N: s.N})
+	rounds := 0
+	for i := 0; i < ctx.MaxRounds; i++ { // want `round loop in Run does not call ctx\.Observe`
+		rounds++
+	}
+	for range ctx.MaxRounds { // want `round loop in Run does not call ctx\.Observe`
+		rounds++
+	}
+	return engine.Result{Rounds: rounds}, nil
+}

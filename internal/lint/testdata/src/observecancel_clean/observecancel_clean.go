@@ -1,0 +1,53 @@
+// Package observecancel_clean holds the observer spellings the analyzer
+// must accept: a direct per-iteration Observe, an observing local closure,
+// and delegation of the context to an observing helper — the shapes the
+// real payload kinds use.
+package observecancel_clean
+
+import (
+	"repro/internal/lint/testdata/src/observecancel/engine"
+)
+
+// DirectSpec observes inline every round.
+type DirectSpec struct{ N int64 }
+
+func (s *DirectSpec) Run(ctx engine.RunContext) (engine.Result, error) {
+	rounds := 0
+	for i := 0; i < ctx.MaxRounds; i++ {
+		rounds++
+		ctx.Observe(engine.Record{Round: i, N: s.N})
+	}
+	return engine.Result{Rounds: rounds}, nil
+}
+
+// EmitSpec wires an emit closure — the idiom every real kind uses.
+type EmitSpec struct{ N int64 }
+
+func (s *EmitSpec) Run(ctx engine.RunContext) (engine.Result, error) {
+	emit := func(round int) {
+		ctx.Observe(engine.Record{Round: round, N: s.N})
+	}
+	emit(0)
+	rounds := 0
+	for range ctx.MaxRounds {
+		rounds++
+		emit(rounds)
+	}
+	return engine.Result{Rounds: rounds}, nil
+}
+
+// DelegateSpec hands the context to a helper, the multidim runCount shape.
+type DelegateSpec struct{ N int64 }
+
+func (s *DelegateSpec) Run(ctx engine.RunContext) (engine.Result, error) {
+	return s.runRounds(ctx), nil
+}
+
+func (s *DelegateSpec) runRounds(ctx engine.RunContext) engine.Result {
+	rounds := 0
+	for i := 0; i < ctx.MaxRounds; i++ {
+		rounds++
+		ctx.Observe(engine.Record{Round: i, N: s.N})
+	}
+	return engine.Result{Rounds: rounds}
+}

@@ -1,0 +1,36 @@
+// Package badkind violates all three registration rules: Register outside
+// init(), an empty Descriptor.Example, and no conformance-test import.
+package badkind
+
+import (
+	"repro/internal/lint/testdata/src/registrycontract/engine"
+)
+
+type badEngine struct{}
+
+func (badEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{
+		Kind:    "bad",
+		Summary: "registered sideways",
+		Example: nil, // want `Descriptor\.Example must be a non-empty example spec`
+	}
+}
+
+// Setup registers lazily — kind availability now depends on someone
+// remembering to call it.
+func Setup() {
+	engine.Register(badEngine{}) // want `engine\.Register must be called from a package init` `not imported by the engine/conformance test`
+}
+
+type emptyEngine struct{}
+
+func (emptyEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{ // want `Descriptor literal omits Example`
+		Kind:    "empty",
+		Summary: "descriptor without an Example field",
+	}
+}
+
+func init() {
+	engine.Register(emptyEngine{}) // want `not imported by the engine/conformance test`
+}

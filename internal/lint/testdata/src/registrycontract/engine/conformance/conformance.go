@@ -1,0 +1,4 @@
+// Package conformance is the fixture stand-in for repro/engine/conformance:
+// the registrycontract analyzer reads this package's test imports to learn
+// which registering packages are contract-tested.
+package conformance

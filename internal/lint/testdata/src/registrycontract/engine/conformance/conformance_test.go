@@ -1,0 +1,5 @@
+package conformance_test
+
+import (
+	_ "repro/internal/lint/testdata/src/registrycontract/goodkind"
+)

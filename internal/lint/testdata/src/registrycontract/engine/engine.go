@@ -1,0 +1,20 @@
+// Package engine is a minimal stub of the real repro/engine surface: the
+// registrycontract analyzer matches it by import-path suffix, so fixtures
+// exercise the contract without importing (and mutating) the real
+// registry.
+package engine
+
+// Descriptor mirrors repro/engine.Descriptor's checked fields.
+type Descriptor struct {
+	Kind    string
+	Summary string
+	Example []byte
+}
+
+// Engine mirrors the registered plugin interface.
+type Engine interface {
+	Descriptor() Descriptor
+}
+
+// Register mirrors repro/engine.Register.
+func Register(e Engine) { _ = e }

@@ -1,0 +1,20 @@
+// Package goodkind registers its engine exactly as the contract demands:
+// from init(), with a non-empty Descriptor.Example, and imported by the
+// conformance test. The analyzer must stay silent here.
+package goodkind
+
+import (
+	"repro/internal/lint/testdata/src/registrycontract/engine"
+)
+
+type goodEngine struct{}
+
+func (goodEngine) Descriptor() engine.Descriptor {
+	return engine.Descriptor{
+		Kind:    "good",
+		Summary: "a well-behaved kind",
+		Example: []byte(`{"n":8}`),
+	}
+}
+
+func init() { engine.Register(goodEngine{}) }

@@ -1,0 +1,21 @@
+// Package randx is the fixture stand-in for internal/randx: its
+// import-path suffix puts it on the seedhygiene allowlist, so math/rand
+// is legal here — but wall-clock seeding still is not, which the clean
+// spelling below avoids by taking the seed as an argument.
+package randx
+
+import (
+	"math/rand"
+)
+
+// Sampler wraps an explicitly seeded source; callers derive seed from
+// the canonical spec hash.
+type Sampler struct{ r *rand.Rand }
+
+// New builds a sampler from a caller-provided seed.
+func New(seed int64) *Sampler {
+	return &Sampler{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn samples [0, n).
+func (s *Sampler) Intn(n int) int { return s.r.Intn(n) }

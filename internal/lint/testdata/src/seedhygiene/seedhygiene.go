@@ -1,0 +1,21 @@
+// Package seedhygiene seeds the two violations the seedhygiene analyzer
+// exists for: math/rand outside the sampler packages, and a generator
+// seeded from the wall clock.
+package seedhygiene
+
+import (
+	"math/rand" // want `math/rand is forbidden outside internal/randx`
+	"time"
+)
+
+// Shuffle leans on a wall-clock-seeded source: two runs of one spec
+// produce different results.
+func Shuffle(xs []int64) {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeding NewSource from time\.Now`
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Reseed pushes wall-clock entropy into shared state.
+func Reseed(src *rand.Rand) {
+	src.Seed(time.Now().Unix()) // want `seeding Seed from time\.Now`
+}

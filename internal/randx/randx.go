@@ -34,6 +34,8 @@ const btrsThreshold = 10
 
 // Binomial returns an exact sample from Binomial(n, p) using g as the
 // randomness source. It panics if p is outside [0, 1] or n < 0.
+//
+//consensus:hotpath
 func Binomial(g *rng.Xoshiro256, n int64, p float64) int64 {
 	if n < 0 {
 		panic("randx: Binomial with n < 0")
@@ -60,6 +62,8 @@ func Binomial(g *rng.Xoshiro256, n int64, p float64) int64 {
 
 // binomialInversion samples Binomial(n,p) by inverting the CDF with
 // sequential search from 0. Expected work is O(np + 1). Exact.
+//
+//consensus:hotpath
 func binomialInversion(g *rng.Xoshiro256, n int64, p float64) int64 {
 	q := 1 - p
 	// s = Pr[X = 0] = q^n, computed in log space for robustness at large n.
@@ -91,6 +95,8 @@ func binomialInversion(g *rng.Xoshiro256, n int64, p float64) int64 {
 // binomialBTRS samples Binomial(n,p) for p ≤ 1/2 and np ≥ 10 using the
 // transformed rejection method with squeeze (BTRS) of W. Hörmann,
 // "The generation of binomial random variates", JSCS 46 (1993).
+//
+//consensus:hotpath
 func binomialBTRS(g *rng.Xoshiro256, n int64, p float64) int64 {
 	nf := float64(n)
 	q := 1 - p
@@ -129,6 +135,8 @@ func binomialBTRS(g *rng.Xoshiro256, n int64, p float64) int64 {
 // logFactorial returns ln(k!) using exact precomputation for small k and
 // Stirling's series otherwise. Accuracy is ~1e-12 relative, far below the
 // rejection test's needs.
+//
+//consensus:hotpath
 func logFactorial(k int64) float64 {
 	if k < 0 {
 		panic("randx: logFactorial of negative")
@@ -156,6 +164,8 @@ var logFactTable = func() [128]float64 {
 // with success probability p, i.e. Pr[X = k] = (1-p)^(k-1) p — the
 // distribution in the paper's Lemma 6. Sampled by inversion:
 // X = ceil(ln U / ln(1-p)).
+//
+//consensus:hotpath
 func Geometric(g *rng.Xoshiro256, p float64) int64 {
 	if p <= 0 || p > 1 || math.IsNaN(p) {
 		panic("randx: Geometric with p outside (0,1]")
@@ -178,6 +188,8 @@ func Geometric(g *rng.Xoshiro256, p float64) int64 {
 // the conditional-binomial decomposition, writing counts into out (which
 // must have len(probs)). The draw is exact. probs need not be normalised;
 // only ratios matter.
+//
+//consensus:hotpath
 func Multinomial(g *rng.Xoshiro256, n int64, probs []float64, out []int64) {
 	if len(out) != len(probs) {
 		panic("randx: Multinomial out length mismatch")
@@ -242,6 +254,8 @@ func NewAlias(weights []float64) *Alias {
 // reusing its internal buffers: after the first call with the largest
 // support, subsequent rebuilds are allocation-free. At least one weight
 // must be positive.
+//
+//consensus:hotpath
 func (a *Alias) Rebuild(weights []float64) {
 	k := len(weights)
 	if k == 0 {
@@ -299,6 +313,8 @@ func (a *Alias) Rebuild(weights []float64) {
 
 // growFloats returns a slice of length k, reusing buf's backing array when
 // it is large enough.
+//
+//consensus:hotpath
 func growFloats(buf []float64, k int) []float64 {
 	if cap(buf) >= k {
 		return buf[:k]
@@ -307,6 +323,8 @@ func growFloats(buf []float64, k int) []float64 {
 }
 
 // growInts is growFloats for int32 slices.
+//
+//consensus:hotpath
 func growInts(buf []int32, k int) []int32 {
 	if cap(buf) >= k {
 		return buf[:k]
@@ -315,6 +333,8 @@ func growInts(buf []int32, k int) []int32 {
 }
 
 // Draw returns an outcome index distributed per the table's weights.
+//
+//consensus:hotpath
 func (a *Alias) Draw(g *rng.Xoshiro256) int {
 	col := g.Intn(len(a.prob))
 	if g.Float64() < a.prob[col] {
@@ -331,6 +351,8 @@ func (a *Alias) K() int { return len(a.prob) }
 // items. It is used by adversary budget-splitting across bins. The
 // implementation is exact via inversion for small k and via the
 // conditional-binomial-style recursion otherwise.
+//
+//consensus:hotpath
 func Hypergeometric(g *rng.Xoshiro256, n, marked, k int64) int64 {
 	if marked < 0 || k < 0 || n < 0 || marked > n || k > n {
 		panic("randx: Hypergeometric with invalid parameters")

@@ -199,6 +199,8 @@ func NewCountEngineDist(tuples []Point, counts []int64, adv CountAdversary, seed
 // intern returns the slot of p, creating one (with a cloned representative)
 // on first sight. Steady-state calls are pure map lookups: the string(buf)
 // key conversion does not allocate.
+//
+//consensus:hotpath
 func (e *CountEngine) intern(p Point) int32 {
 	e.keyBuf = appendPointKey(e.keyBuf[:0], p)
 	if slot, ok := e.index[string(e.keyBuf)]; ok {
@@ -212,6 +214,7 @@ func (e *CountEngine) intern(p Point) int32 {
 	return slot
 }
 
+//consensus:hotpath
 func (e *CountEngine) sortLive() {
 	e.sorter.slots, e.sorter.reps = e.live, e.reps
 	sort.Sort(&e.sorter)
@@ -328,6 +331,8 @@ func (e *CountEngine) Reset(tuples []Point, counts []int64) {
 
 // refreshViews rebuilds the flattened live (tuples, counts) view into the
 // reusable view buffers.
+//
+//consensus:hotpath
 func (e *CountEngine) refreshViews() {
 	e.viewTuples = e.viewTuples[:0]
 	e.viewCounts = e.viewCounts[:0]
@@ -341,6 +346,8 @@ func (e *CountEngine) refreshViews() {
 // timing), then every process applies the coordinate-wise median of its own
 // tuple and two tuples drawn independently and uniformly from the pre-round
 // distribution.
+//
+//consensus:hotpath
 func (e *CountEngine) Step() {
 	if e.adv != nil {
 		e.applyAdversary()
@@ -361,6 +368,8 @@ func (e *CountEngine) Step() {
 
 // rebuildWeights refreshes the live-parallel sampling weights (counts as
 // float64 — peers are uniform over processes, so tuples weigh by count).
+//
+//consensus:hotpath
 func (e *CountEngine) rebuildWeights() {
 	e.weights = e.weights[:0]
 	for _, s := range e.live {
@@ -369,6 +378,8 @@ func (e *CountEngine) rebuildWeights() {
 }
 
 // bump adds c balls to slot's next-round bin, tracking first touches.
+//
+//consensus:hotpath
 func (e *CountEngine) bump(slot int32, c int64) {
 	if e.nxt[slot] == 0 {
 		e.tch = append(e.tch, slot)
@@ -377,6 +388,8 @@ func (e *CountEngine) bump(slot int32, c int64) {
 }
 
 // stepSampled is the per-ball round: two alias draws per ball. O(n) time.
+//
+//consensus:hotpath
 func (e *CountEngine) stepSampled() {
 	e.rebuildWeights()
 	e.alias.Rebuild(e.weights)
@@ -394,6 +407,8 @@ func (e *CountEngine) stepSampled() {
 // stepBlocks is the block-multinomial round: split each bin over the first
 // peer with one exact multinomial draw, each block over the second peer,
 // and move every (own, a, b) group at once. O(k³) time, independent of n.
+//
+//consensus:hotpath
 func (e *CountEngine) stepBlocks() {
 	e.rebuildWeights()
 	k := len(e.live)
@@ -424,6 +439,8 @@ func (e *CountEngine) stepBlocks() {
 
 // commit swaps the accumulated next-round counts in as the live
 // distribution, restoring the all-zero accumulator invariant.
+//
+//consensus:hotpath
 func (e *CountEngine) commit() {
 	for _, s := range e.live {
 		e.cur[s] = 0
@@ -507,6 +524,8 @@ func (e *CountEngine) result() Result {
 // first maximal count wins, so ties resolve to the smallest tuple —
 // deterministic, like Plurality's state-order tie-break. The winner
 // aliases a tuple in the slice.
+//
+//consensus:hotpath
 func DistPlurality(tuples []Point, counts []int64) (Point, int64) {
 	var winner Point
 	var best int64 = -1

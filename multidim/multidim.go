@@ -65,6 +65,8 @@ func (p Point) String() string { return fmt.Sprint([]int64(p)) }
 // CoordMedian writes the coordinate-wise median of (own, a, b) into dst.
 // dst must have the common dimension; own/a/b are not modified. dst may
 // alias own.
+//
+//consensus:hotpath
 func CoordMedian(dst, own, a, b Point) {
 	for i := range dst {
 		dst[i] = median3(own[i], a[i], b[i])
@@ -245,6 +247,8 @@ func plurality(state []Point) (Point, int) {
 // appendPointKey appends p's raw coordinate bytes to buf — the map key
 // both Plurality and the count engine bucket tuples under. The encoding is
 // injective for a fixed dimension, which is all a hash key needs.
+//
+//consensus:hotpath
 func appendPointKey(buf []byte, p Point) []byte {
 	for _, v := range p {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))

@@ -28,6 +28,8 @@ type Histogram struct {
 }
 
 // Observe records one value (negative values clamp to 0).
+//
+//consensus:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -43,6 +45,8 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration in nanoseconds; pair it with scale
 // 1e-9 so the exposition reads in seconds.
+//
+//consensus:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // ObserveSince records the time elapsed since start.

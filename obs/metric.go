@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -13,10 +14,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//consensus:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are a programming error; they are applied
 // anyway rather than paying a branch on the hot path).
+//
+//consensus:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -42,15 +47,23 @@ type Gauge struct {
 }
 
 // Inc adds one.
+//
+//consensus:hotpath
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//consensus:hotpath
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Add adds n (which may be negative).
+//
+//consensus:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Set replaces the value.
+//
+//consensus:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Value returns the current value.
@@ -116,7 +129,6 @@ func (r *Registry) Info(name, jsonName, help string, labels, values []string) {
 type vec[T any] struct {
 	mu       sync.Mutex
 	children map[string]*T
-	order    []string // insertion order of keys, for stable collection
 	values   map[string][]string
 	newChild func() *T
 }
@@ -134,17 +146,23 @@ func (v *vec[T]) with(labelValues []string) *T {
 	}
 	c := v.newChild()
 	v.children[key] = c
-	v.order = append(v.order, key)
 	vals := make([]string, len(labelValues))
 	copy(vals, labelValues)
 	v.values[key] = vals
 	return c
 }
 
+// snapshot returns the children in sorted-key order, so the exposition
+// (Prometheus text and JSON alike) is canonical regardless of which
+// request first resolved which child.
 func (v *vec[T]) snapshot() (keys []string, children []*T, values [][]string) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	keys = append(keys, v.order...)
+	keys = make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	for _, k := range keys {
 		children = append(children, v.children[k])
 		values = append(values, v.values[k])

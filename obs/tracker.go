@@ -26,6 +26,8 @@ func NewRunTracker(rounds *Counter, bus *Bus, every int, proto Event) *RunTracke
 
 // Tick records one observed round. round is the engine-reported round
 // number carried on throttled progress events.
+//
+//consensus:hotpath
 func (t *RunTracker) Tick(round int) {
 	if t.rounds != nil {
 		t.rounds.Inc()
