@@ -6,6 +6,7 @@
 //	consensusctl submit -kind gossip -n 5000 -selector drop-value:1 -stream
 //	consensusctl submit -kind multidim -init random -n 2000 -d 3 -wait
 //	consensusctl submit -kind robust -n 5000 -loss 0.1 -crashes 50 -wait
+//	consensusctl submit -kind exact -n 60 -start 20 -wait
 //	consensusctl submit -spec run.json -stream
 //	consensusctl batch -axis n=1e3,1e4 -axis seed=1,2,3
 //	consensusctl batch -axis n=1e3,1e4 -zip crashes=10,100 -reps 5
@@ -147,6 +148,7 @@ type specFlags struct {
 	mode      *string
 	capFactor *float64
 	selector  *string
+	start     *int
 	seed      *uint64
 	rounds    *int
 	slack     *int
@@ -174,6 +176,7 @@ func addSpecFlags(fs *flag.FlagSet) *specFlags {
 		mode:      fs.String("mode", "", "crash fault mode: responsive, silent (kind robust)"),
 		capFactor: fs.Float64("cap-factor", 0, "per-round request capacity scale (kind gossip; 0 = default, negative = unlimited)"),
 		selector:  fs.String("selector", "", "drop selector: fair, drop-value:<victim> (kind gossip)"),
+		start:     fs.Int("start", 0, "initial left-bin count (kind exact; 0 = n/2)"),
 		seed:      fs.Uint64("seed", 0, "run seed (0 = derived from the spec hash)"),
 		rounds:    fs.Int("rounds", 0, "round cap (0 = engine default)"),
 		slack:     fs.Int("slack", 0, "almost-stable slack (0 = off)"),
@@ -205,6 +208,7 @@ var flagParams = map[string]string{
 	"mode":          "mode",
 	"cap-factor":    "cap_factor",
 	"selector":      "selector",
+	"start":         "start",
 }
 
 // sharedFlagParams maps the flags that are legal for every kind to the
@@ -267,7 +271,12 @@ func (f *specFlags) checkFlagValues(d engine.Descriptor) error {
 		}
 		p, known := byName[param]
 		if !known {
-			return // checkKindFlags already rejected kind-foreign flags
+			// Kinds without the scalar init block declare shared flags as
+			// bare parameters (exact: "n", "init") rather than the dotted
+			// "init.n"/"init.kind" — validate against those when present.
+			if p, known = byName[fl.Name]; !known {
+				return // checkKindFlags already rejected kind-foreign flags
+			}
 		}
 		if err := checkParamValue(p, raw); err != nil {
 			errs = append(errs, fmt.Sprintf("-%s: %v", fl.Name, err))
@@ -360,6 +369,8 @@ func (f *specFlags) spec(c *client.Client) (service.Spec, error) {
 		spec.Payload = f.gossipPayload()
 	case service.KindMedian:
 		spec.Payload = f.medianPayload()
+	case service.KindExact:
+		spec.Payload = f.exactPayload()
 	default:
 		return service.Spec{}, fmt.Errorf("kind %s has no flag surface; submit it with -spec", d.Kind)
 	}
@@ -447,6 +458,12 @@ func (f *specFlags) multidimPayload() *service.MultidimSpec {
 		payload.Adversary = adv
 	}
 	return payload
+}
+
+// exactPayload builds the analytic kind's payload. -init here selects the
+// exact kind's start distribution ("point"/"uniform"), not a scalar init.
+func (f *specFlags) exactPayload() *service.ExactSpec {
+	return &service.ExactSpec{N: *f.n, Init: *f.initKind, Start: *f.start}
 }
 
 func (f *specFlags) robustPayload() *service.RobustSpec {

@@ -127,7 +127,7 @@ func TestAxisFlags(t *testing.T) {
 func TestSpecFlagKinds(t *testing.T) {
 	// Each kind builds a valid spec from defaults, with the family
 	// payload populated and foreign fields left out.
-	for _, kind := range []string{"median", "gossip", "multidim", "robust"} {
+	for _, kind := range []string{"median", "gossip", "multidim", "robust", "exact"} {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)
 		sf := addSpecFlags(fs)
 		if err := fs.Parse([]string{"-kind", kind, "-n", "100"}); err != nil {
@@ -218,6 +218,43 @@ func TestGossipFlags(t *testing.T) {
 	}
 	if _, err := sf.spec(nil); err == nil {
 		t.Fatal("-selector must be rejected for kind median")
+	}
+}
+
+func TestExactFlags(t *testing.T) {
+	// The exact kind's flag surface: -n/-init/-start map onto its bare
+	// descriptor parameters, everything simulation-specific is foreign.
+	sf := parseSpecFlags(t, "-kind", "exact", "-n", "60", "-start", "20")
+	spec, err := sf.spec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("exact flag spec invalid: %v", err)
+	}
+	p := spec.Payload.(*service.ExactSpec)
+	if p.N != 60 || p.Start != 20 {
+		t.Fatalf("exact flags not applied: %+v", p)
+	}
+	// -start belongs to the exact kind only.
+	sf = parseSpecFlags(t, "-start", "20")
+	if _, err := sf.spec(nil); err == nil {
+		t.Fatal("-start must be rejected for kind median")
+	}
+	// Values are validated against the exact descriptor's bare params:
+	// -init against its enum, -n against its O(n³) bound.
+	sf = parseSpecFlags(t, "-kind", "exact", "-init", "gaussian")
+	if _, err := sf.spec(nil); err == nil {
+		t.Fatal("-init gaussian must be rejected for kind exact")
+	}
+	sf = parseSpecFlags(t, "-kind", "exact", "-n", "5000")
+	if _, err := sf.spec(nil); err == nil {
+		t.Fatal("-n above the exact kind's bound must be rejected")
+	}
+	// Simulation flags stay foreign.
+	sf = parseSpecFlags(t, "-kind", "exact", "-rule", "voter")
+	if _, err := sf.spec(nil); err == nil {
+		t.Fatal("-rule must be rejected for kind exact")
 	}
 }
 

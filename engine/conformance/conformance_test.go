@@ -9,6 +9,7 @@ import (
 	// suite walks engine.Kinds() at run time, so every kind the service
 	// serves must be imported by this test binary.
 	_ "repro/consensus"       // median (the default kind)
+	_ "repro/internal/exact"  // exact (analytic, no simulation)
 	_ "repro/internal/gossip" // gossip
 	_ "repro/multidim"        // multidim
 	_ "repro/robust"          // robust

@@ -45,6 +45,10 @@ type Record struct {
 	LeaderCount int64 `json:"leader_count"`
 	// LeaderPoint is the plurality tuple of a multidim run (Leader is 0).
 	LeaderPoint []int64 `json:"leader_point,omitempty"`
+	// Absorbed is the exact kind's analytic telemetry: the probability
+	// that the chain has reached consensus (been absorbed) by this round —
+	// the absorption CDF at Round. Simulation kinds leave it zero.
+	Absorbed float64 `json:"absorbed,omitempty"`
 }
 
 // Result is the serializable outcome of a run of any kind, plus the
@@ -77,11 +81,31 @@ type Result struct {
 	// Dissenters counts processes (crashed included) not holding Winner
 	// at the end of a robust run.
 	Dissenters int `json:"dissenters,omitempty"`
+	// Exact carries the analytic output of the exact kind: closed-form
+	// absorption statistics with no simulation behind them.
+	Exact *ExactStats `json:"exact,omitempty"`
 	// Timing is the service-side lifecycle breakdown of the run. It is
 	// set by the service layer after a job finishes, never by an engine:
 	// Run output must stay deterministic in (payload, seed), and wall
 	// clocks are not.
 	Timing *RunTiming `json:"timing,omitempty"`
+}
+
+// ExactStats is the exact kind's analytic result: absorption statistics of
+// the paper's two-bin median chain computed by linear algebra rather than
+// Monte-Carlo — the ground truth the differential tests pin the simulation
+// engines against.
+type ExactStats struct {
+	// ExpectedRounds is E[rounds to consensus] from the start state
+	// (averaged over the start distribution for init "uniform").
+	ExpectedRounds float64 `json:"expected_rounds"`
+	// WinProbability is the exact probability that the left (low) value
+	// wins the dynamics.
+	WinProbability float64 `json:"win_probability"`
+	// AbsorbedByEnd is the absorption CDF at the last emitted round;
+	// 1 − AbsorbedByEnd is the probability mass still unabsorbed when the
+	// record stream ends.
+	AbsorbedByEnd float64 `json:"absorbed_by_end"`
 }
 
 // RunTiming is the wall-clock breakdown of one job's lifecycle (accepted →

@@ -92,7 +92,12 @@ type Chain struct {
 	P [][]float64
 }
 
-// NewChain builds the exact chain for n balls.
+// NewChain builds the exact chain for n balls. Every transition row is
+// renormalized to sum to exactly the float64-rounded 1: BinomialPMF and
+// Convolve each leave O(n·ε) rounding error in a row, and AbsorptionCDF
+// compounds row error across propagated rounds — without the
+// renormalization a long propagation can push the absorbed mass (a CDF)
+// above 1.
 func NewChain(n int) *Chain {
 	if n < 1 {
 		panic("exact: n must be >= 1")
@@ -103,6 +108,16 @@ func NewChain(n int) *Chain {
 		stay := BinomialPMF(i, StayProb(p))
 		defect := BinomialPMF(n-i, DefectProb(p))
 		row := Convolve(stay, defect) // length n+1
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 && sum != 1 {
+			inv := 1 / sum
+			for j := range row {
+				row[j] *= inv
+			}
+		}
 		P[i] = row
 	}
 	return &Chain{N: n, P: P}
@@ -112,11 +127,25 @@ func NewChain(n int) *Chain {
 func (c *Chain) Absorbing(i int) bool { return i == 0 || i == c.N }
 
 // Step propagates a distribution over states one round: out = dist · P.
+// It allocates the output; propagation loops should ping-pong two buffers
+// through StepInto instead.
 func (c *Chain) Step(dist []float64) []float64 {
-	if len(dist) != c.N+1 {
+	out := make([]float64, c.N+1)
+	c.StepInto(dist, out)
+	return out
+}
+
+// StepInto propagates a distribution one round into out (out = dist · P),
+// reusing out's storage — the allocation-free form of Step for per-round
+// propagation loops. Both slices must have length N+1; out is overwritten
+// and must not alias dist.
+//
+//consensus:hotpath
+func (c *Chain) StepInto(dist, out []float64) {
+	if len(dist) != c.N+1 || len(out) != c.N+1 {
 		panic("exact: distribution has wrong length")
 	}
-	out := make([]float64, c.N+1)
+	clear(out)
 	for i, di := range dist {
 		if di == 0 {
 			continue
@@ -126,7 +155,6 @@ func (c *Chain) Step(dist []float64) []float64 {
 			out[j] += di * pij
 		}
 	}
-	return out
 }
 
 // AbsorptionTimes returns t[i] = E[rounds until absorption | L_0 = i],
@@ -168,20 +196,41 @@ func (c *Chain) WinProbabilities() []float64 {
 }
 
 // AbsorptionCDF returns F[t] = Pr[absorbed by round t | L_0 = start] for
-// t = 0..maxRounds, computed by exact distribution propagation.
+// t = 0..maxRounds, computed by exact distribution propagation reusing two
+// ping-pong buffers (no per-round allocation). maxRounds must be >= 0 —
+// the result always includes the round-0 entry — and a negative value
+// panics with a clear message instead of reaching make with a bogus size.
+// Transition rows are renormalized at construction and the absorbed mass
+// is clamped, so accumulated float error can never report a CDF above 1.
 func (c *Chain) AbsorptionCDF(start, maxRounds int) []float64 {
 	if start < 0 || start > c.N {
 		panic("exact: start out of range")
 	}
+	if maxRounds < 0 {
+		panic(fmt.Sprintf("exact: negative maxRounds %d in AbsorptionCDF", maxRounds))
+	}
 	dist := make([]float64, c.N+1)
+	next := make([]float64, c.N+1)
 	dist[start] = 1
 	cdf := make([]float64, maxRounds+1)
-	cdf[0] = dist[0] + dist[c.N]
+	cdf[0] = absorbedMass(dist, c.N)
 	for t := 1; t <= maxRounds; t++ {
-		dist = c.Step(dist)
-		cdf[t] = dist[0] + dist[c.N]
+		c.StepInto(dist, next)
+		dist, next = next, dist
+		cdf[t] = absorbedMass(dist, c.N)
 	}
 	return cdf
+}
+
+// absorbedMass is the probability mass on the two absorbing states,
+// clamped to 1 — it is a CDF value, and clamping caps the residual float
+// error the row renormalization cannot remove (mass already absorbed is
+// re-multiplied by its row every round).
+func absorbedMass(dist []float64, n int) float64 {
+	if m := dist[0] + dist[n]; m < 1 {
+		return m
+	}
+	return 1
 }
 
 // DriftProbability returns Pr[Δ_{t+1} ≥ factor·Δ_t | L_t = i] exactly,
@@ -225,33 +274,18 @@ func newAugmented(c *Chain, rhs func(i int) []float64) [][]float64 {
 	return a
 }
 
+// minPivot is the degenerate-pivot threshold of the Gaussian solver. The
+// systems solved here are I − Q with O(1) entries, so after partial
+// pivoting any honest pivot is far above it; a pivot below (or a NaN from
+// poisoned input) means the system is singular, and dividing by it would
+// silently turn every returned expectation into ±Inf or NaN.
+const minPivot = 1e-12
+
 // solve runs Gaussian elimination with partial pivoting on the m×(m+k)
-// augmented matrix and returns the k solution columns per row.
+// augmented matrix and returns the k solution columns per row. It panics
+// on a degenerate pivot (see eliminate) rather than returning NaNs.
 func solve(a [][]float64, m, k int) [][]float64 {
-	for col := 0; col < m; col++ {
-		// Pivot.
-		piv := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
-				piv = r
-			}
-		}
-		if math.Abs(a[piv][col]) < 1e-300 {
-			panic("exact: singular system (is some transient state absorbing?)")
-		}
-		a[col], a[piv] = a[piv], a[col]
-		// Eliminate below.
-		inv := 1 / a[col][col]
-		for r := col + 1; r < m; r++ {
-			f := a[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			for j := col; j < m+k; j++ {
-				a[r][j] -= f * a[col][j]
-			}
-		}
-	}
+	eliminate(a, m, k)
 	// Back substitution.
 	sol := make([][]float64, m)
 	for r := m - 1; r >= 0; r-- {
@@ -266,4 +300,39 @@ func solve(a [][]float64, m, k int) [][]float64 {
 		sol[r] = row
 	}
 	return sol
+}
+
+// eliminate runs the in-place forward-elimination pass with partial
+// pivoting over the m×(m+k) augmented matrix — the O(m³) hot path of every
+// analytic solve. A zero, denormal or NaN pivot panics immediately: the
+// division below would otherwise propagate garbage into the returned
+// expectations without any error surfacing.
+//
+//consensus:hotpath
+func eliminate(a [][]float64, m, k int) {
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		pv := math.Abs(a[piv][col])
+		if math.IsNaN(pv) || pv < minPivot {
+			panic("exact: degenerate pivot in linear solve — singular or NaN system (is some transient state absorbing?)")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < m+k; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
 }

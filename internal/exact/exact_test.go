@@ -2,6 +2,7 @@ package exact
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -280,6 +281,63 @@ func TestChainPanics(t *testing.T) {
 	c := NewChain(5)
 	assertPanics(t, "bad dist", func() { c.Step(make([]float64, 3)) })
 	assertPanics(t, "bad start", func() { c.AbsorptionCDF(99, 5) })
+	assertPanics(t, "negative maxRounds", func() { c.AbsorptionCDF(2, -1) })
+}
+
+// TestAbsorptionCDFBounded: with renormalized transition rows and the
+// clamped absorbed mass, even a propagation far past convergence — where
+// absorbed mass is re-multiplied by its row thousands of times — must
+// never report a CDF above 1.
+func TestAbsorptionCDFBounded(t *testing.T) {
+	c := NewChain(120)
+	cdf := c.AbsorptionCDF(60, 3000)
+	for i, f := range cdf {
+		if f > 1 {
+			t.Fatalf("CDF exceeds 1 at round %d: %v (by %g)", i, f, f-1)
+		}
+		if f < 0 {
+			t.Fatalf("CDF negative at round %d: %v", i, f)
+		}
+	}
+	if last := cdf[len(cdf)-1]; last < 1-1e-12 {
+		t.Fatalf("CDF should have converged to 1, got %v", last)
+	}
+}
+
+// TestRowsRenormalized: NewChain renormalizes each row to sum to 1 up to
+// an ulp — the property AbsorptionCDFBounded relies on. Without the
+// renormalization, raw BinomialPMF+Convolve rows carry O(n·ε) error that
+// compounds across propagated rounds.
+func TestRowsRenormalized(t *testing.T) {
+	c := NewChain(97)
+	for i, row := range c.P {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-15 {
+			t.Fatalf("row %d sums to %v after renormalization", i, sum)
+		}
+	}
+}
+
+// TestSolveDegeneratePivotPanics: a poisoned (NaN) system must fail loudly
+// in the solver, not propagate NaN into every returned expectation.
+// math.Abs(NaN) compares false against any threshold, so the pre-fix code
+// passed NaN pivots straight into the division.
+func TestSolveDegeneratePivotPanics(t *testing.T) {
+	a := newAugmented(NewChain(6), func(i int) []float64 { return []float64{1} })
+	a[2][3] = math.NaN()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on NaN pivot")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "exact:") {
+			t.Fatalf("panic %v lacks the exact: prefix", r)
+		}
+	}()
+	solve(a, 5, 1)
 }
 
 func assertPanics(t *testing.T, name string, f func()) {

@@ -198,8 +198,17 @@ func ExpectedHitting(p [][]float64, targets map[int]bool) []float64 {
 	return h
 }
 
+// minPivot is the degenerate-pivot threshold: the systems here are I − Q
+// with O(1) entries, so a pivot below it — or a NaN from poisoned input —
+// means the system is singular, and dividing by it would silently turn
+// every returned hitting time into ±Inf or NaN.
+const minPivot = 1e-12
+
 // solveInPlace solves a·x = b by Gaussian elimination with partial
-// pivoting; the solution is written into b.
+// pivoting; the solution is written into b. It panics on a degenerate
+// (zero, denormal or NaN) pivot rather than returning NaNs.
+//
+//consensus:hotpath
 func solveInPlace(a [][]float64, b []float64) {
 	n := len(a)
 	for col := 0; col < n; col++ {
@@ -210,8 +219,9 @@ func solveInPlace(a [][]float64, b []float64) {
 				piv = r
 			}
 		}
-		if math.Abs(a[piv][col]) < 1e-12 {
-			panic("markov: singular system (unreachable target)")
+		pv := math.Abs(a[piv][col])
+		if math.IsNaN(pv) || pv < minPivot {
+			panic("markov: degenerate pivot in linear solve — singular or NaN system (unreachable target?)")
 		}
 		a[col], a[piv] = a[piv], a[col]
 		b[col], b[piv] = b[piv], b[col]

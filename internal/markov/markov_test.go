@@ -2,6 +2,7 @@ package markov
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -166,6 +167,28 @@ func TestExpectedHittingSingularPanics(t *testing.T) {
 		}
 	}()
 	ExpectedHitting(p, map[int]bool{1: true})
+}
+
+// TestExpectedHittingNaNPanics: a NaN anywhere in the transition matrix
+// must fail loudly in the solver instead of silently poisoning every
+// returned hitting time — math.Abs(NaN) compares false against any pivot
+// threshold, so the pre-fix check let NaN pivots through to the division.
+func TestExpectedHittingNaNPanics(t *testing.T) {
+	p := [][]float64{
+		{0.5, 0.5, 0},
+		{math.NaN(), 0, 1 - math.NaN()},
+		{0, 0, 1},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on NaN transition probabilities")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "markov:") {
+			t.Fatalf("panic %v lacks the markov: prefix", r)
+		}
+	}()
+	ExpectedHitting(p, map[int]bool{2: true})
 }
 
 func TestAbsorptionProbabilityGamblersRuin(t *testing.T) {

@@ -113,6 +113,77 @@ func TestEndToEndHTTP(t *testing.T) {
 	}
 }
 
+// TestExactEndToEndHTTP: POST /v1/runs with kind exact answers from the
+// analytic chain — no simulation behind the result — and streams one
+// absorption-CDF record per propagated round through the same NDJSON
+// surface as every simulated run. Resubmission hits the cache like any
+// other kind.
+func TestExactEndToEndHTTP(t *testing.T) {
+	s := newHTTPService(t, service.Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	spec := service.Spec{Kind: service.KindExact, Payload: &service.ExactSpec{N: 60, Start: 20}}
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, view.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone || final.Result == nil {
+		t.Fatalf("run did not complete: %+v", final)
+	}
+	res := final.Result
+	if res.Reason != "analytic" || res.Exact == nil {
+		t.Fatalf("exact run must report analytic results: %+v", res)
+	}
+	if res.Exact.ExpectedRounds <= 0 || res.Exact.ExpectedRounds > 100 {
+		t.Fatalf("implausible expected rounds %v", res.Exact.ExpectedRounds)
+	}
+	if res.Exact.WinProbability <= 0 || res.Exact.WinProbability >= 0.5 {
+		t.Fatalf("start 20 of 60 must give the low value a win probability in (0, 0.5), got %v",
+			res.Exact.WinProbability)
+	}
+
+	var streamed []service.RoundRecord
+	if err := c.Stream(ctx, view.ID, func(r service.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != res.Rounds+1 {
+		t.Fatalf("streamed %d records, want %d", len(streamed), res.Rounds+1)
+	}
+	for i, r := range streamed {
+		if r.Round != i || r.N != 60 {
+			t.Fatalf("bad stream record %d: %+v", i, r)
+		}
+		if r.Absorbed < 0 || r.Absorbed > 1 {
+			t.Fatalf("record %d absorbed %v outside [0, 1]", i, r.Absorbed)
+		}
+		if i > 0 && r.Absorbed < streamed[i-1].Absorbed {
+			t.Fatalf("absorption CDF decreases at record %d", i)
+		}
+	}
+	if last := streamed[len(streamed)-1].Absorbed; last < 0.999 {
+		t.Fatalf("stream ends with CDF %v, want near 1", last)
+	}
+
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatalf("identical exact resubmission must be a cache hit: %+v", again)
+	}
+}
+
 // TestBatchEndToEndHTTP drives the batch acceptance flow over httptest: a
 // 2-axis grid is expanded server-side, streamed cell by cell, and a second
 // identical submission is served entirely from the cache.
@@ -364,9 +435,9 @@ func TestEnginesEndpoint(t *testing.T) {
 	for i, d := range descriptors {
 		kinds[i] = d.Kind
 	}
-	want := []string{"gossip", "median", "multidim", "robust"}
-	if len(kinds) < 4 {
-		t.Fatalf("engines endpoint lists %d kinds, want at least 4", len(kinds))
+	want := []string{"exact", "gossip", "median", "multidim", "robust"}
+	if len(kinds) < 5 {
+		t.Fatalf("engines endpoint lists %d kinds, want at least 5", len(kinds))
 	}
 	for i, k := range want {
 		if kinds[i] != k {

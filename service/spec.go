@@ -19,6 +19,9 @@
 //     points (package multidim; payload multidim.Spec).
 //   - "robust": the asynchronous faulty execution (package robust;
 //     payload robust.Spec).
+//   - "exact": the closed-form two-bin Markov chain — analytic absorption
+//     times, win probabilities and the per-round absorption CDF with no
+//     simulation behind them (internal/exact; payload exact.Spec).
 //
 // GET /v1/engines serves each kind's engine.Descriptor, so clients can
 // discover the registered kinds and their parameter schemas instead of
@@ -35,6 +38,7 @@ import (
 	"repro/adversary"
 	"repro/consensus"
 	"repro/engine"
+	"repro/internal/exact"
 	"repro/internal/gossip"
 	"repro/multidim"
 	"repro/robust"
@@ -53,6 +57,9 @@ const (
 	KindMultidim = "multidim"
 	// KindRobust is the asynchronous execution with loss and crash faults.
 	KindRobust = "robust"
+	// KindExact is the analytic two-bin Markov chain: closed-form
+	// absorption statistics, no simulation.
+	KindExact = "exact"
 )
 
 // Kinds returns the registered spec kinds in sorted order.
@@ -80,6 +87,8 @@ type (
 	MultidimAdversarySpec = multidim.AdversaryRef
 	// RobustSpec is the robust kind's payload.
 	RobustSpec = robust.Spec
+	// ExactSpec is the exact kind's payload.
+	ExactSpec = exact.Spec
 	// InitSpec is the scalar initial-state description shared by the
 	// median, gossip and robust kinds.
 	InitSpec = consensus.InitSpec

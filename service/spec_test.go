@@ -278,6 +278,17 @@ func TestCanonicalHashKinds(t *testing.T) {
 	if mustHash(t, m1) == mustHash(t, m3) {
 		t.Fatal("different dimensions must hash differently")
 	}
+
+	// Exact defaults canonicalize: "" init means point, start 0 means n/2.
+	e1 := Spec{Kind: KindExact, Seed: 5, Payload: &ExactSpec{N: 50}}
+	e2 := Spec{Kind: KindExact, Seed: 5, Payload: &ExactSpec{N: 50, Init: "point", Start: 25}}
+	if mustHash(t, e1) != mustHash(t, e2) {
+		t.Fatal("implied and explicit exact defaults must hash equal")
+	}
+	e3 := Spec{Kind: KindExact, Seed: 5, Payload: &ExactSpec{N: 50, Start: 10}}
+	if mustHash(t, e1) == mustHash(t, e3) {
+		t.Fatal("different exact start states must hash differently")
+	}
 }
 
 // TestGoldenHashes pins the canonical encoding and hash of one
@@ -356,6 +367,16 @@ func TestGoldenHashes(t *testing.T) {
 			}},
 			canonical: `{"crashes":10,"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"robust","loss_prob":0.1,"mode":"responsive","seed":1}`,
 			hash:      "ead575f63a7f16699fd4c9e44d9e191ee521fd4d4c9df9612b0576b42242c443",
+		},
+		{
+			// The analytic kind: its result never depends on the seed, but
+			// the seed still participates in the cache key like every other
+			// envelope field — two exact specs differing only in seed are
+			// two store entries with byte-identical results.
+			kind:      KindExact,
+			spec:      Spec{Kind: KindExact, Seed: 1, Payload: &ExactSpec{N: 64, Start: 16}},
+			canonical: `{"init":"point","kind":"exact","n":64,"seed":1,"start":16}`,
+			hash:      "394efdf9898ae4ee92d3ad116165131043545bbf82b57925b624d37397bba0ac",
 		},
 	}
 	for _, c := range cases {
@@ -707,7 +728,7 @@ func TestEngineDescriptors(t *testing.T) {
 	for i, d := range ds {
 		kinds[i] = d.Kind
 	}
-	want := []string{KindGossip, KindMedian, KindMultidim, KindRobust}
+	want := []string{KindExact, KindGossip, KindMedian, KindMultidim, KindRobust}
 	if !reflect.DeepEqual(kinds, want) {
 		t.Fatalf("descriptor kinds %v, want sorted %v", kinds, want)
 	}
