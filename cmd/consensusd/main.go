@@ -5,11 +5,20 @@
 //	consensusd -addr :8645 -service-workers 8
 //	consensusd -addr :8645 -auth-token s3cret   # 401 on unauthenticated writes
 //	consensusd -addr :8645 -store /var/lib/consensusd/runs.store
+//	consensusd -store runs.store -store-max-bytes 1073741824 -store-max-age 2160h
+//	consensusd -auth-token s3cret -quota-file quotas.json
+//	consensusd -tls-cert server.crt -tls-key server.key
 //
 // With -store, completed runs are committed to the file-backed store
 // (package service/store) and reloaded on startup, so a restarted daemon
 // serves previously computed results as cache hits without re-running
-// them.
+// them. -store-max-bytes and -store-max-age bound the store's retention
+// for sustained traffic: the newest runs within the byte budget and age
+// bound are kept, older ones are garbage-collected (at open and by
+// background compaction) and evicted from the cache in step. -quota-file
+// loads per-token submit quotas (JSON: token → {"rate": r, "burst": b});
+// quota tokens authenticate like -auth-token but each meters its own
+// bucket. -tls-cert/-tls-key serve the API over TLS.
 //
 // Endpoints (see package service for details):
 //
@@ -65,7 +74,12 @@ func main() {
 	submitRate := flag.Float64("submit-rate", 0, "submit requests per second admitted (0 = unlimited; 429 beyond)")
 	submitBurst := flag.Int("submit-burst", 0, "submit rate limiter burst (0 = default)")
 	authToken := flag.String("auth-token", "", "bearer token required on mutating endpoints ('' = no auth)")
+	quotaFile := flag.String("quota-file", "", "JSON file mapping bearer tokens to per-token submit quotas ('' = disabled)")
 	storePath := flag.String("store", "", "path of the persistent job/result store; completed runs survive restarts ('' = in-memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store retention byte budget: newest runs that fit are kept (0 = unbounded)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "store retention age bound: runs finished longer ago are dropped (0 = unbounded)")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve the API over TLS ('' = plain HTTP)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file (paired with -tls-cert)")
 	debugAddr := flag.String("debug-addr", "", "separate debug listener serving net/http/pprof and /debug/metrics ('' = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	version := flag.Bool("version", false, "print version and exit")
@@ -82,6 +96,19 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "consensusd: -tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
+	var quotas map[string]service.Quota
+	if *quotaFile != "" {
+		var err error
+		if quotas, err = service.LoadQuotaFile(*quotaFile); err != nil {
+			logger.Error("loading quota file failed", "error", err)
+			os.Exit(1)
+		}
+	}
+
 	svc, err := service.New(service.Options{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -94,7 +121,10 @@ func main() {
 		SubmitRate:    *submitRate,
 		SubmitBurst:   *submitBurst,
 		AuthToken:     *authToken,
+		Quotas:        quotas,
 		StorePath:     *storePath,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreMaxAge:   *storeMaxAge,
 		Logger:        logger,
 	})
 	if err != nil {
@@ -136,8 +166,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- server.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "version", buildinfo.Version)
+	go func() {
+		if *tlsCert != "" {
+			errc <- server.ListenAndServeTLS(*tlsCert, *tlsKey)
+		} else {
+			errc <- server.ListenAndServe()
+		}
+	}()
+	logger.Info("listening", "addr", *addr, "version", buildinfo.Version, "tls", *tlsCert != "")
 
 	select {
 	case err := <-errc:

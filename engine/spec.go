@@ -5,11 +5,33 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"reflect"
 
 	"repro/internal/rng"
 )
+
+// SpecVersion is the version of the canonical spec encoding, stamped into
+// every normalized spec as the envelope field "v". The canonical encoding
+// is what the cache key, the derived seed and the persistent store are
+// defined over, and the store outlives any one binary — so a change to the
+// encoding that is not purely additive must bump SpecVersion. Decoding
+// rejects specs carrying a different version (ErrSpecVersion), which is
+// what lets the persistent store preserve frames written under another
+// codec opaquely instead of serving stale entries under drifted keys.
+//
+// Version history:
+//
+//	1: the first explicitly versioned encoding. Specs encoded before
+//	   versioning carry no "v" field and decode with V == 0; persistence
+//	   layers treat them as a foreign version.
+const SpecVersion = 1
+
+// ErrSpecVersion marks a spec whose "v" field names a canonical-encoding
+// version this binary does not speak. Persistence layers match it with
+// errors.Is to preserve such records opaquely rather than dropping them.
+var ErrSpecVersion = errors.New("engine: unsupported spec version")
 
 // Spec is the serializable description of one simulation run: the envelope
 // fields every family shares plus the family's typed payload, selected by
@@ -38,10 +60,15 @@ type Spec struct {
 	// Payload is the family's typed spec body (nil behaves like the
 	// family's zero payload).
 	Payload Payload `json:"-"`
+	// V is the canonical-encoding version ("v" on the wire). 0 means the
+	// spec has not been normalized yet (or was decoded from a pre-version
+	// encoding); Normalize stamps SpecVersion. Decoding rejects any other
+	// value with ErrSpecVersion.
+	V int `json:"-"`
 }
 
 // envelope names the Spec fields that live beside the flattened payload.
-var envelopeFields = []string{"kind", "seed", "max_rounds"}
+var envelopeFields = []string{"kind", "seed", "max_rounds", "v"}
 
 // MarshalJSON flattens the payload's fields into the envelope object. Map
 // encoding sorts keys lexicographically, so the output — and therefore the
@@ -71,6 +98,9 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	if s.MaxRounds != 0 {
 		fields["max_rounds"], _ = json.Marshal(s.MaxRounds)
 	}
+	if s.V != 0 {
+		fields["v"], _ = json.Marshal(s.V)
+	}
 	return json.Marshal(fields)
 }
 
@@ -87,9 +117,16 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		Kind      string `json:"kind"`
 		Seed      uint64 `json:"seed"`
 		MaxRounds int    `json:"max_rounds"`
+		V         int    `json:"v"`
 	}
 	if err := json.Unmarshal(data, &env); err != nil {
 		return err
+	}
+	// An absent "v" (V == 0, the pre-version encoding) is accepted for
+	// compatibility with existing clients; any explicit version other than
+	// ours is a spec this binary must not reinterpret under its own codec.
+	if env.V != 0 && env.V != SpecVersion {
+		return fmt.Errorf("%w: spec has v%d, this binary speaks v%d", ErrSpecVersion, env.V, SpecVersion)
 	}
 	e, err := Lookup(env.Kind)
 	if err != nil {
@@ -106,7 +143,7 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	if err := strictDecode(rest, p); err != nil {
 		return fmt.Errorf("engine: bad %s spec: %w", kindOrDefault(env.Kind), err)
 	}
-	*s = Spec{Kind: env.Kind, Seed: env.Seed, MaxRounds: env.MaxRounds, Payload: p}
+	*s = Spec{Kind: env.Kind, Seed: env.Seed, MaxRounds: env.MaxRounds, Payload: p, V: env.V}
 	return nil
 }
 
@@ -167,16 +204,18 @@ func (s Spec) Clone() Spec {
 	return s
 }
 
-// Normalize returns a copy with the kind made explicit and the payload
-// rewritten to its canonical form (defaulted fields explicit, empty
-// parameter maps dropped), so equivalent specs share one canonical
-// encoding. Specs of unknown kinds pass through untouched — Validate, not
-// Normalize, rejects them.
+// Normalize returns a copy with the kind made explicit, the spec-codec
+// version stamped (V = SpecVersion, the "v" of the canonical encoding) and
+// the payload rewritten to its canonical form (defaulted fields explicit,
+// empty parameter maps dropped), so equivalent specs share one canonical
+// encoding. Specs of unknown kinds pass through otherwise untouched —
+// Validate, not Normalize, rejects them.
 func (s Spec) Normalize() Spec {
 	kind := s.kind()
 	e, err := Lookup(kind)
 	if err != nil {
 		s.Kind = kind
+		s.V = SpecVersion
 		return s
 	}
 	p, err := s.payloadFor(e)
@@ -184,6 +223,7 @@ func (s Spec) Normalize() Spec {
 		// A foreign payload cannot be canonicalized; leave it for
 		// Validate to reject.
 		s.Kind = kind
+		s.V = SpecVersion
 		return s
 	}
 	if p == s.Payload {
@@ -192,7 +232,7 @@ func (s Spec) Normalize() Spec {
 		p = clone.Payload
 	}
 	p.Normalize()
-	return Spec{Kind: kind, Seed: s.Seed, MaxRounds: s.MaxRounds, Payload: p}
+	return Spec{Kind: kind, Seed: s.Seed, MaxRounds: s.MaxRounds, Payload: p, V: SpecVersion}
 }
 
 // Validate checks that the kind is registered, the payload belongs to it,
@@ -202,6 +242,9 @@ func (s Spec) Normalize() Spec {
 func (s Spec) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("engine: negative max_rounds")
+	}
+	if s.V != 0 && s.V != SpecVersion {
+		return fmt.Errorf("%w: spec has v%d, this binary speaks v%d", ErrSpecVersion, s.V, SpecVersion)
 	}
 	e, err := Lookup(s.kind())
 	if err != nil {

@@ -60,6 +60,35 @@ func (c *resultCache) put(hash string, e *cacheEntry) {
 	}
 }
 
+// remove evicts the entries for hashes, reporting how many were present.
+// This is the retention-consistency hook: when the store's GC drops a
+// persisted run, the cache must stop serving a result the disk no longer
+// backs (a later identical submission re-runs instead).
+func (c *resultCache) remove(hashes []string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, h := range hashes {
+		e, ok := c.entries[h]
+		if !ok {
+			continue
+		}
+		c.totalRecords -= len(e.records)
+		delete(c.entries, h)
+		removed++
+	}
+	if removed > 0 {
+		kept := c.order[:0]
+		for _, h := range c.order {
+			if _, ok := c.entries[h]; ok {
+				kept = append(kept, h)
+			}
+		}
+		c.order = kept
+	}
+	return removed
+}
+
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -132,42 +132,62 @@ func (w *statusWriter) Flush() {
 
 // handleEngines serves the engine registry's descriptors — the discovery
 // document clients use to generate per-kind flags and validate specs
-// before submitting.
+// before submitting — and the spec-codec version this binary speaks, so a
+// client can detect a codec bump before submitting under stale keys.
 func handleEngines(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"engines": engine.Descriptors()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engines":      engine.Descriptors(),
+		"spec_version": engine.SpecVersion,
+	})
 }
 
-// requireAuth guards a mutating endpoint with the configured bearer token.
-// Without Options.AuthToken the guard is a no-op; with it, requests must
-// carry "Authorization: Bearer <token>" or they get 401. Read-only
-// endpoints stay open either way.
+// requireAuth guards a mutating endpoint with the configured credentials.
+// With neither Options.AuthToken nor Options.Quotas set the guard is a
+// no-op; otherwise requests must carry "Authorization: Bearer <token>"
+// matching AuthToken or one of the quota tokens, or they get 401. A quota
+// token's per-token bucket rides the request context into admitSubmit.
+// Read-only endpoints stay open either way.
 func (s *Service) requireAuth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.opts.AuthToken == "" {
+		if s.opts.AuthToken == "" && len(s.quotas) == 0 {
 			h(w, r)
 			return
 		}
 		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AuthToken)) != 1 {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="consensusd"`)
-			writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+		if ok && s.opts.AuthToken != "" &&
+			subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AuthToken)) == 1 {
+			h(w, r)
 			return
 		}
-		h(w, r)
+		if ok {
+			if b, found := s.lookupQuota(tok); found {
+				h(w, r.WithContext(withQuotaBucket(r.Context(), b)))
+				return
+			}
+		}
+		w.Header().Set("WWW-Authenticate", `Bearer realm="consensusd"`)
+		writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
 	}
 }
 
 // admitSubmit applies the submit-endpoint protections: the token-bucket
-// rate limit (429) and the request body cap (decode errors become 413).
-// It reports whether the request may proceed.
+// rate limit (429) — the authenticated token's own quota bucket when one
+// rode in on the context, the shared limiter otherwise — and the request
+// body cap (decode errors become 413). It reports whether the request may
+// proceed.
 func (s *Service) admitSubmit(w http.ResponseWriter, r *http.Request) bool {
-	if !s.limiter.allow() {
+	limiter := s.limiter
+	if b, ok := quotaBucketFrom(r.Context()); ok {
+		limiter = b
+	}
+	if !limiter.allow() {
 		s.metrics.rateLimited.Add(1)
-		// Hint the time one token takes to refill, so compliant clients
-		// retrying on schedule can actually succeed at low rates.
+		// Hint the bucket's actual deficit — after a drained burst the
+		// next token can be several periods out — clamped to >= 1s, so
+		// compliant clients retrying on schedule can actually succeed.
 		retry := 1
-		if s.opts.SubmitRate > 0 && s.opts.SubmitRate < 1 {
-			retry = int(math.Ceil(1 / s.opts.SubmitRate))
+		if d := limiter.retryAfter(); d > time.Second {
+			retry = int(math.Ceil(d.Seconds()))
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, errors.New("submit rate limit exceeded, retry later"))

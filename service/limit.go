@@ -34,15 +34,39 @@ func (b *tokenBucket) allow() bool {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfter reports how long until the next whole token refills — the
+// bucket's actual deficit, not a flat guess. A drained burst means the
+// next token can be several periods out even at rates >= 1; callers clamp
+// the Retry-After hint to >= 1s themselves. Zero for a nil (disabled) or
+// currently-admitting bucket.
+func (b *tokenBucket) retryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// refillLocked credits tokens for the time since the last refill; callers
+// hold b.mu.
+func (b *tokenBucket) refillLocked() {
 	now := time.Now()
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	b.last = now
 	if b.tokens > b.burst {
 		b.tokens = b.burst
 	}
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
 }

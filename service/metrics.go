@@ -32,6 +32,7 @@ type Metrics struct {
 	batchCellsCached    *obs.Counter
 	batchCellsCoalesced *obs.Counter
 	storeAppendErrors   *obs.Counter
+	storeGCEvicted      *obs.Counter
 	workersBusy         *obs.Gauge
 
 	// Run-lifecycle latency breakdown (seconds, log2 buckets).
@@ -69,6 +70,7 @@ func newMetrics(workers int, queueDepth func() int, storeStats func() store.Stat
 		batchCellsCached:    r.Counter("consensusd_batch_cells_cached_total", "batch_cells_cached", "Batch cells answered from the result cache."),
 		batchCellsCoalesced: r.Counter("consensusd_batch_cells_coalesced_total", "batch_cells_coalesced", "Batch cells absorbed by an identical earlier cell."),
 		storeAppendErrors:   r.Counter("consensusd_store_append_errors_total", "store_append_errors", "Failed store write-throughs (job still completed)."),
+		storeGCEvicted:      r.Counter("consensusd_store_gc_cache_evictions_total", "store_gc_cache_evictions", "Result-cache entries evicted in step with store retention GC."),
 		workersBusy:         r.Gauge("consensusd_workers_busy", "workers_busy", "Workers currently running a job."),
 
 		runDuration: r.HistogramVec("consensusd_run_duration_seconds", "run_duration_seconds",
@@ -122,6 +124,18 @@ func newMetrics(workers int, queueDepth func() int, storeStats func() store.Stat
 	ctrFn("consensusd_store_compactions_total", "store_compactions",
 		"Compacting rewrites of the persistent store.",
 		func(st store.Stats) int64 { return st.Compactions })
+	ctrFn("consensusd_store_records_old_spec_total", "store_records_old_spec",
+		"Intact store records under a different spec-codec version (preserved, not loaded).",
+		func(st store.Stats) int64 { return st.RecordsOldSpec })
+	ctrFn("consensusd_store_gc_records_dropped_total", "store_gc_records_dropped",
+		"Store records dropped by the retention policy (age or byte budget).",
+		func(st store.Stats) int64 { return st.GCRecordsDropped })
+	ctrFn("consensusd_store_gc_bytes_reclaimed_total", "store_gc_bytes_reclaimed",
+		"File bytes reclaimed by retention compactions.",
+		func(st store.Stats) int64 { return st.GCBytesReclaimed })
+	ctrFn("consensusd_store_gc_compactions_total", "store_gc_compactions",
+		"Retention (background or forced) compacting rewrites.",
+		func(st store.Stats) int64 { return st.GCCompactions })
 	r.GaugeFunc("consensusd_store_bytes", "store_bytes", "Persistent store file size in bytes.",
 		func() float64 { return float64(storeStats().Bytes) })
 
@@ -168,6 +182,16 @@ type MetricsSnapshot struct {
 	StoreBytes           int64 `json:"store_bytes"`
 	StoreCompactions     int64 `json:"store_compactions"`
 	StoreAppendErrors    int64 `json:"store_append_errors"`
+	// StoreRecordsOldSpec counts intact records persisted under a
+	// different spec-codec version — preserved opaquely, never served.
+	StoreRecordsOldSpec int64 `json:"store_records_old_spec"`
+	// StoreGC* report the retention policy: records dropped (age or byte
+	// budget), file bytes reclaimed by retention rewrites, the rewrites
+	// themselves, and the result-cache entries evicted in step.
+	StoreGCRecordsDropped int64 `json:"store_gc_records_dropped"`
+	StoreGCBytesReclaimed int64 `json:"store_gc_bytes_reclaimed"`
+	StoreGCCompactions    int64 `json:"store_gc_compactions"`
+	StoreGCCacheEvictions int64 `json:"store_gc_cache_evictions"`
 	// Workers is the pool size; WorkersBusy the number currently running a
 	// job; QueueDepth the number of jobs waiting for a worker.
 	Workers     int   `json:"workers"`

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Quota is one bearer token's submit budget: Rate requests per second
+// with a burst of Burst. Tokens in Options.Quotas authenticate the
+// mutating endpoints like Options.AuthToken does, but each meters its own
+// bucket instead of sharing the global Options.SubmitRate limiter.
+type Quota struct {
+	Rate  float64 `json:"rate"`
+	Burst int     `json:"burst"`
+}
+
+// LoadQuotaFile reads a token → Quota map from a JSON file:
+//
+//	{"team-a-token": {"rate": 5, "burst": 10},
+//	 "batch-token":  {"rate": 0.5, "burst": 2}}
+//
+// consensusd loads this behind the -quota-file flag.
+func LoadQuotaFile(path string) (map[string]Quota, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var quotas map[string]Quota
+	if err := json.Unmarshal(data, &quotas); err != nil {
+		return nil, fmt.Errorf("service: quota file %s: %w", path, err)
+	}
+	for tok, q := range quotas {
+		if tok == "" {
+			return nil, fmt.Errorf("service: quota file %s: empty token", path)
+		}
+		if q.Rate <= 0 {
+			return nil, fmt.Errorf("service: quota file %s: token %q needs a positive rate", path, tok)
+		}
+	}
+	return quotas, nil
+}
+
+// lookupQuota resolves a bearer token to its per-token bucket. Every
+// configured token is compared in constant time so the scan's timing does
+// not narrow down which token prefix matched.
+func (s *Service) lookupQuota(tok string) (*tokenBucket, bool) {
+	var match *tokenBucket
+	for t, b := range s.quotas {
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(t)) == 1 {
+			match = b
+		}
+	}
+	return match, match != nil
+}
+
+// quotaBucketKey carries the authenticated token's bucket from requireAuth
+// to admitSubmit on the request context.
+type quotaBucketKey struct{}
+
+func withQuotaBucket(ctx context.Context, b *tokenBucket) context.Context {
+	return context.WithValue(ctx, quotaBucketKey{}, b)
+}
+
+func quotaBucketFrom(ctx context.Context) (*tokenBucket, bool) {
+	b, ok := ctx.Value(quotaBucketKey{}).(*tokenBucket)
+	return b, ok
+}

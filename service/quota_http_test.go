@@ -1,0 +1,143 @@
+package service_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/service"
+)
+
+func postRun(t *testing.T, url, token, spec string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/runs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestQuotaTokens: tokens in Options.Quotas authenticate the mutating
+// endpoints and are metered by their own buckets — a drained low-quota
+// token gets 429 with a deficit-derived Retry-After while the admin token
+// and other quota tokens keep submitting.
+func TestQuotaTokens(t *testing.T) {
+	s := newHTTPService(t, service.Options{
+		Workers:   1,
+		AuthToken: "admin-token",
+		Quotas: map[string]service.Quota{
+			"low-quota":  {Rate: 0.001, Burst: 2},
+			"high-quota": {Rate: 1000, Burst: 100},
+		},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specN := func(seed int) string {
+		return fmt.Sprintf(`{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"seed":%d}`, seed)
+	}
+
+	// Unknown or missing tokens stay 401 even with quotas configured.
+	for _, tok := range []string{"", "wrong"} {
+		if resp := postRun(t, ts.URL, tok, specN(1)); resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", tok, resp.StatusCode)
+		}
+	}
+
+	// The low-quota token burns its burst of 2, then gets 429 — and the
+	// Retry-After must reflect its own bucket's deficit (a whole token is
+	// 1000s out at rate 0.001), not the flat 1s of the shared limiter.
+	for i := 0; i < 2; i++ {
+		if resp := postRun(t, ts.URL, "low-quota", specN(i+10)); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("low-quota burst submit %d: status %d, want 202", i, resp.StatusCode)
+		}
+	}
+	resp := postRun(t, ts.URL, "low-quota", specN(12))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained low-quota token: status %d, want 429", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q not a number: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if retry < 500 || retry > 1001 {
+		t.Fatalf("Retry-After = %d, want the bucket's ~1000s deficit", retry)
+	}
+
+	// Other principals are unaffected by the drained token.
+	if resp := postRun(t, ts.URL, "high-quota", specN(20)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("high-quota token: status %d, want 202", resp.StatusCode)
+	}
+	if resp := postRun(t, ts.URL, "admin-token", specN(21)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admin token: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestQuotaTokensWithoutAuthToken: quotas alone (no AuthToken) still turn
+// auth on for mutating endpoints.
+func TestQuotaTokensWithoutAuthToken(t *testing.T) {
+	s := newHTTPService(t, service.Options{
+		Workers: 1,
+		Quotas:  map[string]service.Quota{"only": {Rate: 100, Burst: 10}},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := `{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"seed":1}`
+	if resp := postRun(t, ts.URL, "", spec); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous submit with quotas configured: status %d, want 401", resp.StatusCode)
+	}
+	if resp := postRun(t, ts.URL, "only", spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("quota token submit: status %d, want 202", resp.StatusCode)
+	}
+	// Read-only endpoints stay open.
+	r, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("read-only list: status %d, want 200", r.StatusCode)
+	}
+}
+
+// TestRetryAfterBurstHTTP: at SubmitRate >= 1 with a drained burst > 1
+// the hint is still clamped to >= 1s (never 0), pinned at the HTTP layer.
+func TestRetryAfterBurstHTTP(t *testing.T) {
+	s := newHTTPService(t, service.Options{Workers: 1, SubmitRate: 5, SubmitBurst: 3})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := func(seed int) string {
+		return fmt.Sprintf(`{"init":{"kind":"twovalue","n":100},"rule":{"name":"median"},"seed":%d}`, seed)
+	}
+	var last *http.Response
+	for i := 0; i < 10 && (last == nil || last.StatusCode != http.StatusTooManyRequests); i++ {
+		last = postRun(t, ts.URL, "", spec(i))
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Skip("burst never drained on this machine")
+	}
+	retry, err := strconv.Atoi(last.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", last.Header.Get("Retry-After"))
+	}
+}

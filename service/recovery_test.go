@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -201,6 +202,180 @@ func populateAndRestart(t *testing.T, storePath string) [][]byte {
 
 	verifyReloaded(t, storePath, streams)
 	return streams
+}
+
+// storeFrameSizes walks the raw store file (16-byte header, then frames
+// of 4B length + 4B CRC + payload) and returns each frame's on-disk size.
+func storeFrameSizes(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	for off := 16; off+8 <= len(data); {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+8+n > len(data) {
+			break
+		}
+		sizes = append(sizes, int64(8+n))
+		off += 8 + n
+	}
+	return sizes
+}
+
+// TestRetentionRestartE2E is the acceptance test for retention GC across a
+// restart: a store populated with one run per kind is reopened under a
+// -store-max-bytes budget sized to keep only the newest two records. The
+// daemon must come up with the store trimmed to the budget, serve the
+// retained runs as born-done cache hits, and re-run the dropped ones.
+// With -crashdir the populated store comes from a different process.
+func TestRetentionRestartE2E(t *testing.T) {
+	// Source store: the shared crashdir one when a previous invocation (or
+	// process) populated it, else populate our own. Either way the
+	// retention phase runs against a private copy so the shared fixture
+	// stays intact for other tests.
+	src := filepath.Join(*crashDir, "runs.store")
+	if *crashDir == "" {
+		dir := t.TempDir()
+		src = filepath.Join(dir, "runs.store")
+		populateAndRestart(t, src)
+	} else if _, err := os.Stat(src); err != nil {
+		src = filepath.Join(t.TempDir(), "runs.store")
+		populateAndRestart(t, src)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "runs.store")
+	if err := os.WriteFile(storePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := storeFrameSizes(t, storePath)
+	if len(sizes) < len(recoverySpecs) {
+		t.Fatalf("store holds %d frames, want >= %d", len(sizes), len(recoverySpecs))
+	}
+	// Budget exactly the newest two frames. MaxBytes keeps the newest-first
+	// suffix that fits, so everything older is dropped at open.
+	const keep = 2
+	var budget int64
+	for _, sz := range sizes[len(sizes)-keep:] {
+		budget += sz
+	}
+	dropped := int64(len(sizes) - keep)
+
+	s := newHTTPService(t, service.Options{Workers: 2, StorePath: storePath, StoreMaxBytes: budget})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Map each recovery spec to its canonical hash via a throwaway
+	// in-memory service — hashes are canonical, so they match the
+	// store-backed service's.
+	hashOf := make(map[string]int, len(recoverySpecs))
+	{
+		tmp := newHTTPService(t, service.Options{Workers: 2})
+		tts := httptest.NewServer(tmp.Handler())
+		for i, spec := range recoverySpecs {
+			hashOf[postSpec(t, tts.URL, spec).SpecHash] = i
+		}
+		tts.Close()
+		tmp.Close()
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.StoreRecordsLoaded != keep {
+		t.Fatalf("store_records_loaded = %d under budget %d, want %d", m.StoreRecordsLoaded, budget, keep)
+	}
+	if m.StoreGCRecordsDropped != dropped {
+		t.Fatalf("store_gc_records_dropped = %d, want %d", m.StoreGCRecordsDropped, dropped)
+	}
+	if m.StoreGCCompactions < 1 {
+		t.Fatalf("store_gc_compactions = %d, want >= 1", m.StoreGCCompactions)
+	}
+	fi, err := os.Stat(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if framed := fi.Size() - 16; framed > budget {
+		t.Fatalf("store framed region %d bytes exceeds budget %d after GC", framed, budget)
+	}
+
+	// The reloaded history identifies which runs survived the budget.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Runs []service.JobView `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed.Runs) != keep {
+		t.Fatalf("reloaded history lists %d runs under budget, want %d", len(listed.Runs), keep)
+	}
+	retained := map[int]bool{}
+	for _, v := range listed.Runs {
+		i, ok := hashOf[v.SpecHash]
+		if !ok {
+			t.Fatalf("reloaded run %s has unknown spec hash %s", v.ID, v.SpecHash)
+		}
+		retained[i] = true
+	}
+
+	// Retained specs first: they must be born-done cache hits. Submitting
+	// them first matters — a cache hit appends nothing, while the re-runs
+	// below push the store back over budget and background GC then evicts
+	// the oldest entries again.
+	for i, spec := range recoverySpecs {
+		if !retained[i] {
+			continue
+		}
+		view := postSpec(t, ts.URL, spec)
+		if !view.CacheHit || view.Status != service.StatusDone || view.Result == nil {
+			t.Fatalf("retained spec %d must be a born-done cache hit: %+v", i, view)
+		}
+	}
+	// The dropped specs re-run and are committed again — the store stays
+	// the single source of truth for the next restart.
+	for i, spec := range recoverySpecs {
+		if retained[i] {
+			continue
+		}
+		view := postSpec(t, ts.URL, spec)
+		if view.CacheHit {
+			t.Fatalf("dropped spec %d served from cache after GC", i)
+		}
+		waitTerminal(t, ts.URL, view.ID)
+	}
+	if m = getMetrics(t, ts.URL); m.StoreRecordsAppended != dropped {
+		t.Fatalf("store_records_appended = %d after re-runs, want %d", m.StoreRecordsAppended, dropped)
+	}
+	// The re-run appends overflow the budget and kick background GC. Its
+	// steady state is framed <= budget + compaction threshold (default
+	// budget/4): excess below the threshold does not trigger a rewrite.
+	slack := budget / 4
+	if slack < 1 {
+		slack = 1
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if fi, err = os.Stat(storePath); err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size()-16 <= budget+slack {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store framed region %d bytes never settled under budget+threshold %d",
+				fi.Size()-16, budget+slack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // verifyReloaded opens a fresh service on an existing store and asserts

@@ -81,6 +81,19 @@ type Options struct {
 	// runs are written through on finish and reloaded by New, so cache
 	// hits survive restarts. "" = in-memory only.
 	StorePath string
+	// StoreMaxBytes and StoreMaxAge bound the file store's retention
+	// (store.Policy.MaxBytes / MaxAge): the newest runs within the byte
+	// budget and age bound are kept, older ones are garbage-collected at
+	// open and by background compaction — and evicted from the result
+	// cache and job history in step. Only meaningful with StorePath;
+	// 0 = unbounded (the pre-retention behavior).
+	StoreMaxBytes int64
+	StoreMaxAge   time.Duration
+	// Quotas maps additional bearer tokens to per-token submit budgets:
+	// each token authenticates the mutating endpoints like AuthToken does,
+	// but is metered by its own rate/burst bucket instead of the shared
+	// SubmitRate limiter. nil = token-level quotas disabled.
+	Quotas map[string]Quota
 	// Store injects a persistence backend directly; it takes precedence
 	// over StorePath. New closes it on failure and Service.Close closes
 	// it on shutdown. nil (with StorePath empty) = in-memory only.
@@ -253,6 +266,7 @@ type Service struct {
 	cache   *resultCache
 	store   Store
 	limiter *tokenBucket
+	quotas  map[string]*tokenBucket
 	queue   chan *Job
 	bus     *obs.Bus
 	logger  *slog.Logger
@@ -276,7 +290,10 @@ func New(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
 	st := opts.Store
 	if st == nil && opts.StorePath != "" {
-		l, err := store.Open(opts.StorePath)
+		l, err := store.OpenWithPolicy(opts.StorePath, store.Policy{
+			MaxBytes: opts.StoreMaxBytes,
+			MaxAge:   opts.StoreMaxAge,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -294,6 +311,18 @@ func New(opts Options) (*Service, error) {
 		jobs:    make(map[string]*Job),
 		pending: make(map[string]*Job),
 		logger:  opts.Logger,
+	}
+	if len(opts.Quotas) > 0 {
+		s.quotas = make(map[string]*tokenBucket, len(opts.Quotas))
+		for tok, q := range opts.Quotas {
+			s.quotas[tok] = newTokenBucket(q.Rate, float64(q.Burst))
+		}
+	}
+	// Keep the in-memory serving layers consistent with retention: when
+	// the store's background GC drops persisted runs, their cache entries
+	// and history jobs go with them.
+	if dropper, ok := st.(interface{ OnDrop(func([]string)) }); ok {
+		dropper.OnDrop(s.dropPersisted)
 	}
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
@@ -504,6 +533,46 @@ func (s *Service) evictLocked() {
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// dropPersisted is the retention-consistency hook the store's GC calls
+// (outside the store lock) with the spec hashes it dropped: the matching
+// result-cache entries are evicted — a later identical submission re-runs
+// instead of serving a result the disk no longer backs — and terminal
+// history jobs for those hashes are evicted with them. Live jobs
+// (queued/running) are untouched; they will re-persist on finish.
+func (s *Service) dropPersisted(hashes []string) {
+	if len(hashes) == 0 {
+		return
+	}
+	cacheEvicted := s.cache.remove(hashes)
+	dropped := make(map[string]bool, len(hashes))
+	for _, h := range hashes {
+		dropped[h] = true
+	}
+	s.mu.Lock()
+	kept := s.order[:0]
+	jobsEvicted := 0
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		evictable := dropped[j.hash] && j.status.terminal()
+		j.mu.Unlock()
+		if evictable {
+			delete(s.jobs, id)
+			jobsEvicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	s.mu.Unlock()
+	s.metrics.storeGCEvicted.Add(int64(cacheEvicted))
+	s.bus.Publish(obs.Event{Type: "store.gc", Detail: fmt.Sprintf(
+		"retention dropped %d runs; evicted %d cache entries, %d history jobs",
+		len(hashes), cacheEvicted, jobsEvicted)})
+	s.logger.Info("store gc", "hashes_dropped", len(hashes),
+		"cache_evicted", cacheEvicted, "jobs_evicted", jobsEvicted)
 }
 
 // Get returns a job's current state.

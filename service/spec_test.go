@@ -296,7 +296,11 @@ func TestCanonicalHashKinds(t *testing.T) {
 // cache key and the derived seed of every submitted run — an accidental
 // codec change would silently invalidate caches and change seedless
 // trajectories, so any diff here must be deliberate (and released with
-// migration notes).
+// migration notes). PR 10 bumped these deliberately: the canonical
+// encoding now carries the spec-codec version ("v", engine.SpecVersion),
+// so every key changed at once and store records persisted under the
+// pre-version codec are preserved opaquely instead of orphaned silently
+// (see TestSpecVersionMigration in service/store).
 func TestGoldenHashes(t *testing.T) {
 	cases := []struct {
 		kind      string
@@ -310,8 +314,8 @@ func TestGoldenHashes(t *testing.T) {
 				Init: InitSpec{Kind: "twovalue", N: 1000},
 				Rule: RuleSpec{Name: "median"},
 			}),
-			canonical: `{"engine":"auto","init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"median","rule":{"name":"median"},"seed":1,"timing":"before-round"}`,
-			hash:      "17371ec3efe5c68f47d182eef6c389bf057106df870d351b49cfebf91c1921e6",
+			canonical: `{"engine":"auto","init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"median","rule":{"name":"median"},"seed":1,"timing":"before-round","v":1}`,
+			hash:      "e325e5f4b99e541c70d83d865e5c34cbf82079a60275e9bdc99a8ec6bd2ff55d",
 		},
 		{
 			kind: KindGossip,
@@ -319,8 +323,8 @@ func TestGoldenHashes(t *testing.T) {
 				Init:     InitSpec{Kind: "twovalue", N: 1000},
 				Selector: "drop-value:2",
 			}},
-			canonical: `{"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"gossip","rule":{"name":"median"},"seed":1,"selector":"drop-value:2"}`,
-			hash:      "073ce1b37b3e8ed1d9e07cc86a78055688b36ecb1c74e924b0db8ddf4872cff5",
+			canonical: `{"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"gossip","rule":{"name":"median"},"seed":1,"selector":"drop-value:2","v":1}`,
+			hash:      "7614ea03853c6b7fca21373eb5c830734b7ee9b7da66a441f0e215a3bda46f0b",
 		},
 		{
 			// The engine selector is canonical since PR 4 ("" → "auto",
@@ -330,8 +334,8 @@ func TestGoldenHashes(t *testing.T) {
 			spec: Spec{Kind: KindMultidim, Seed: 1, Payload: &MultidimSpec{
 				Init: multidim.InitSpec{Kind: "random", N: 1000, D: 2, M: 8, Seed: 1},
 			}},
-			canonical: `{"engine":"auto","init":{"kind":"random","n":1000,"d":2,"m":8,"seed":1},"kind":"multidim","seed":1}`,
-			hash:      "e42ecfcf3234a1fa6692260918d5e1849aca342fa3d5ead27c2a9cbac6e1b4b8",
+			canonical: `{"engine":"auto","init":{"kind":"random","n":1000,"d":2,"m":8,"seed":1},"kind":"multidim","seed":1,"v":1}`,
+			hash:      "797893f2676833426266a1ddb6f522aa88cef559fe822f937e6a25456fbfbd00",
 		},
 		{
 			// An explicit count-level engine is part of the cache key: a
@@ -342,8 +346,8 @@ func TestGoldenHashes(t *testing.T) {
 				Init:   multidim.InitSpec{Kind: "random", N: 100000, D: 2, M: 4, Seed: 1},
 				Engine: multidim.EngineCount,
 			}},
-			canonical: `{"engine":"count","init":{"kind":"random","n":100000,"d":2,"m":4,"seed":1},"kind":"multidim","seed":1}`,
-			hash:      "f2bcbf855296c4b9a8682eee9a93ae480931e957108c58e0b1d6924543d1f26a",
+			canonical: `{"engine":"count","init":{"kind":"random","n":100000,"d":2,"m":4,"seed":1},"kind":"multidim","seed":1,"v":1}`,
+			hash:      "4ecd26d739254389ba175ed0a7845cec92b76cdb5a96de92e151821a527400b0",
 		},
 		{
 			// A billion-process count-path spec: the hash (and the seed
@@ -356,8 +360,8 @@ func TestGoldenHashes(t *testing.T) {
 				Init:      multidim.InitSpec{Kind: "random", N: 1_000_000_000, D: 2, M: 2, Seed: 3},
 				Adversary: &MultidimAdversarySpec{Name: "noise"},
 			}},
-			canonical: `{"adversary":{"name":"noise"},"engine":"auto","init":{"kind":"random","n":1000000000,"d":2,"m":2,"seed":3},"kind":"multidim","seed":1}`,
-			hash:      "16ec3df6a9ba7373ca49ef33f47bfaaf20e9e96122572a9278a2046d0432472a",
+			canonical: `{"adversary":{"name":"noise"},"engine":"auto","init":{"kind":"random","n":1000000000,"d":2,"m":2,"seed":3},"kind":"multidim","seed":1,"v":1}`,
+			hash:      "305d2bfd1a080c5b3e53350a4691b8dbe9ddb32a36967d4523aefd672ede75b9",
 		},
 		{
 			kind: KindRobust,
@@ -365,8 +369,8 @@ func TestGoldenHashes(t *testing.T) {
 				Init:     InitSpec{Kind: "twovalue", N: 1000},
 				LossProb: 0.1, Crashes: 10,
 			}},
-			canonical: `{"crashes":10,"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"robust","loss_prob":0.1,"mode":"responsive","seed":1}`,
-			hash:      "ead575f63a7f16699fd4c9e44d9e191ee521fd4d4c9df9612b0576b42242c443",
+			canonical: `{"crashes":10,"init":{"kind":"twovalue","n":1000,"n_low":500,"low":1,"high":2},"kind":"robust","loss_prob":0.1,"mode":"responsive","seed":1,"v":1}`,
+			hash:      "9db86eacc226f41e76a2c96dcb00497ad720faae4186a06296ba0702fd667fc5",
 		},
 		{
 			// The analytic kind: its result never depends on the seed, but
@@ -375,8 +379,8 @@ func TestGoldenHashes(t *testing.T) {
 			// two store entries with byte-identical results.
 			kind:      KindExact,
 			spec:      Spec{Kind: KindExact, Seed: 1, Payload: &ExactSpec{N: 64, Start: 16}},
-			canonical: `{"init":"point","kind":"exact","n":64,"seed":1,"start":16}`,
-			hash:      "394efdf9898ae4ee92d3ad116165131043545bbf82b57925b624d37397bba0ac",
+			canonical: `{"init":"point","kind":"exact","n":64,"seed":1,"start":16,"v":1}`,
+			hash:      "85315fbb4fc54b589411bc116dc107e2dfbda019b85ffcaeda7918d2cc6a72bf",
 		},
 	}
 	for _, c := range cases {

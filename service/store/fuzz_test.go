@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // FuzzOpen feeds arbitrary bytes to Open as the framed region of a store
@@ -142,6 +143,112 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			gotBuf, _ := json.Marshal(runs[i])
 			if !bytes.Equal(wantBuf, gotBuf) {
 				t.Fatalf("run %d mismatch: %s vs %s", i, gotBuf, wantBuf)
+			}
+		}
+	})
+}
+
+// FuzzOpenWithPolicy: any retention policy over any recovered file must
+// keep a newest-first subset of what an unbounded Open would load, never
+// resurrect a record the policy dropped, and leave a file that reopens
+// parseable with exactly the survivors.
+func FuzzOpenWithPolicy(f *testing.F) {
+	var valid bytes.Buffer
+	for i := 0; i < 4; i++ {
+		run, err := makeRun(i)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload, err := EncodeRun(run)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(frame(payload))
+	}
+	f.Add(valid.Bytes(), int64(0), int64(0))
+	f.Add(valid.Bytes(), int64(400), int64(0))                             // tight byte budget
+	f.Add(valid.Bytes(), int64(1), int64(0))                               // budget below any frame
+	f.Add(valid.Bytes(), int64(0), int64(3600))                            // everything aged out
+	f.Add(valid.Bytes()[:valid.Len()-7], int64(500), int64(86400*365*100)) // truncated tail + roomy policy
+
+	f.Fuzz(func(t *testing.T, framed []byte, maxBytes, maxAgeSecs int64) {
+		if maxBytes < 0 {
+			maxBytes = -maxBytes
+		}
+		if maxAgeSecs < 0 {
+			maxAgeSecs = -maxAgeSecs
+		}
+		pol := Policy{MaxBytes: maxBytes, MaxAge: time.Duration(maxAgeSecs) * time.Second}
+
+		// Reference: what an unbounded Open recovers from the same bytes.
+		refPath := filepath.Join(t.TempDir(), "ref.store")
+		if err := os.WriteFile(refPath, append(Header(), framed...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		refLog, err := Open(refPath)
+		if err != nil {
+			t.Fatalf("unbounded Open must recover: %v", err)
+		}
+		ref := loadAll(t, refLog)
+		refLog.Close()
+
+		path := filepath.Join(t.TempDir(), "pol.store")
+		if err := os.WriteFile(path, append(Header(), framed...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenWithPolicy(path, pol)
+		if err != nil {
+			t.Fatalf("a policy must never make recovery fail: %v", err)
+		}
+		got := loadAll(t, l)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Survivors are a subset of the reference, in reference order —
+		// retention never invents or reorders records.
+		refIdx := map[string]int{}
+		for i, r := range ref {
+			refIdx[r.SpecHash] = i
+		}
+		prev := -1
+		for _, r := range got {
+			i, ok := refIdx[r.SpecHash]
+			if !ok {
+				t.Fatalf("policy resurrected a record the reference never loaded: %s", r.SpecHash)
+			}
+			if i <= prev {
+				t.Fatalf("policy reordered survivors: %s", r.SpecHash)
+			}
+			prev = i
+		}
+		// With no age bound, a byte budget keeps a suffix: once a record
+		// survives, every newer one does too.
+		if pol.MaxAge == 0 && len(got) > 0 {
+			if want := ref[len(ref)-len(got):]; len(want) == len(got) {
+				for i := range got {
+					if got[i].SpecHash != want[i].SpecHash {
+						t.Fatalf("byte budget did not keep a newest-first suffix: got %d-of-%d with %s at %d",
+							len(got), len(ref), got[i].SpecHash, i)
+					}
+				}
+			}
+		}
+
+		// The rewritten file is parseable and replays exactly the
+		// survivors: dropped records stay dropped.
+		l2, err := Open(path)
+		if err != nil {
+			t.Fatalf("post-retention file does not reopen: %v", err)
+		}
+		again := loadAll(t, l2)
+		l2.Close()
+		if len(again) != len(got) {
+			t.Fatalf("reopen replays %d records, policy kept %d", len(again), len(got))
+		}
+		for i := range again {
+			if again[i].SpecHash != got[i].SpecHash {
+				t.Fatalf("reopen record %d is %s, want %s", i, again[i].SpecHash, got[i].SpecHash)
 			}
 		}
 	})

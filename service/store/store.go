@@ -29,13 +29,29 @@
 // dropped, everything before it is kept — append-only framing means
 // bytes after a corrupt frame cannot be trusted to be frame-aligned. A
 // frame whose CRC matches but whose payload this binary cannot decode
-// (e.g. a run of a kind it does not register) is preserved opaquely: not
-// loaded, but never destroyed, so a fuller binary can still read it
+// (e.g. a run of a kind it does not register, or a spec encoded under a
+// different engine.SpecVersion) is preserved opaquely: not loaded, but
+// never destroyed, so a fuller (or older) binary can still read it
 // later. When records were dropped, or the same spec hash appears more
 // than once (later records win), Open rewrites the file compacted —
 // survivors plus opaque frames — through an fsynced temp file renamed
 // into place, so a crash during compaction leaves either the old or the
-// new file, never a mix.
+// new file, never a mix. The temp file is flocked before the rename, so
+// the store path never names an unlocked inode: a second daemon starting
+// mid-compaction still fails fast.
+//
+// # Retention
+//
+// OpenWithPolicy bounds the store for years of sustained traffic: a
+// Policy sets a byte budget (MaxBytes — the newest records that fit are
+// kept, everything older is dropped) and an age bound (MaxAge — records
+// whose Finished timestamp is older are dropped; records and opaque
+// frames whose age is unknown are never age-dropped). The policy is
+// applied at open and, while the log is live, by a background compaction
+// goroutine kicked whenever the reclaimable bytes — superseded duplicates
+// plus the live excess over MaxBytes — exceed Policy.CompactAfter.
+// Dropped spec hashes are reported through OnDrop so the owning cache can
+// evict in step with the disk.
 package store
 
 import (
@@ -114,11 +130,19 @@ type Run struct {
 // byte-identical.
 func EncodeRun(r Run) ([]byte, error) { return json.Marshal(r) }
 
-// DecodeRun parses a frame payload. The spec's kind must be registered.
+// DecodeRun parses a frame payload. The spec's kind must be registered
+// and its canonical encoding must carry the current engine.SpecVersion —
+// a record persisted under a different spec codec must never be
+// reinterpreted (or served) under this binary's keys; recovery preserves
+// such frames opaquely instead (errors.Is(err, engine.ErrSpecVersion)).
 func DecodeRun(payload []byte) (Run, error) {
 	var r Run
 	if err := json.Unmarshal(payload, &r); err != nil {
 		return Run{}, err
+	}
+	if r.Spec.V != engine.SpecVersion {
+		return Run{}, fmt.Errorf("%w: persisted spec has v%d, this binary speaks v%d",
+			engine.ErrSpecVersion, r.Spec.V, engine.SpecVersion)
 	}
 	return r, nil
 }
@@ -134,31 +158,111 @@ type Stats struct {
 	RecordsLoaded  int64 `json:"records_loaded"`
 	RecordsDropped int64 `json:"records_dropped"`
 	RecordsUnknown int64 `json:"records_unknown"`
+	// RecordsOldSpec counts intact records whose spec was encoded under a
+	// different engine.SpecVersion — the codec-migration case. Like
+	// unknown kinds they are preserved on disk, never loaded: serving
+	// them would mean reinterpreting another codec's bytes under this
+	// binary's cache keys.
+	RecordsOldSpec int64 `json:"records_old_spec"`
 	// RecordsAppended counts successful Append calls on this handle.
 	RecordsAppended int64 `json:"records_appended"`
 	// Bytes is the current file size, header included.
 	Bytes int64 `json:"bytes"`
 	// Compactions counts rewrites (1 when Open compacted, 0 otherwise).
 	Compactions int64 `json:"compactions"`
+	// GCRecordsDropped counts records the retention policy dropped (age
+	// or byte budget), at open and by background compaction;
+	// GCBytesReclaimed the file bytes those rewrites returned;
+	// GCCompactions the background (and forced) retention rewrites.
+	GCRecordsDropped int64 `json:"gc_records_dropped"`
+	GCBytesReclaimed int64 `json:"gc_bytes_reclaimed"`
+	GCCompactions    int64 `json:"gc_compactions"`
+}
+
+// Policy bounds a store's disk footprint under sustained traffic. The
+// zero Policy retains everything (the pre-retention behavior).
+type Policy struct {
+	// MaxBytes budgets the framed region (file size minus the 16-byte
+	// header): the newest records that fit are kept, older ones — opaque
+	// frames included — are dropped at open and by background compaction.
+	// 0 = unbounded.
+	MaxBytes int64
+	// MaxAge drops records whose Finished timestamp is older than now -
+	// MaxAge. Records without a Finished timestamp, and opaque frames
+	// (whose age this binary cannot read), are never age-dropped — only
+	// the byte budget may remove data the policy cannot date. 0 = no age
+	// bound.
+	MaxAge time.Duration
+	// CompactAfter is the background-compaction trigger: a retention
+	// rewrite runs once the reclaimable bytes — superseded duplicates
+	// plus the live excess over MaxBytes — reach this many bytes.
+	// <=0 = MaxBytes/4 clamped to [1, 16 MiB], or 1 MiB when MaxBytes is
+	// unset.
+	CompactAfter int64
+}
+
+// enabled reports whether the policy bounds anything (and therefore
+// whether the background compaction goroutine runs).
+func (p Policy) enabled() bool { return p.MaxBytes > 0 || p.MaxAge > 0 }
+
+// threshold resolves the background-compaction trigger in bytes.
+func (p Policy) threshold() int64 {
+	if p.CompactAfter > 0 {
+		return p.CompactAfter
+	}
+	if p.MaxBytes > 0 {
+		t := p.MaxBytes / 4
+		if t < 1 {
+			t = 1
+		}
+		if t > 16<<20 {
+			t = 16 << 20
+		}
+		return t
+	}
+	return 1 << 20
 }
 
 // Log is an open store file. Open recovers and compacts it; Append
 // commits one record with an fsync; Load replays what Open recovered.
-// Append and Stats are safe for concurrent use.
+// Append, Stats and Compact are safe for concurrent use.
 type Log struct {
 	mu     sync.Mutex
 	f      *os.File
 	path   string
+	pol    Policy
 	stats  Stats
 	loaded []Run
+
+	// live maps each decodable record's spec hash to its current frame
+	// size; opaqueBytes totals the preserved frames without a usable
+	// hash; deadBytes totals frames superseded by a later append. The
+	// three drive the background-compaction trigger without rescanning.
+	live        map[string]int64
+	opaqueBytes int64
+	deadBytes   int64
+
+	// onDrop, when set, receives the spec hashes a retention compaction
+	// dropped, outside the log's lock (see OnDrop).
+	onDrop func([]string)
+
+	gcKick chan struct{}
+	gcDone chan struct{}
 }
 
-// Open opens (or creates) the store file at path, recovering every intact
-// record and compacting the file when anything was dropped or superseded.
-// The recovered records are replayed by Load, in append order. Recovery
-// streams the file frame by frame, so transient memory is one frame plus
-// the decoded records — never a second, raw copy of the whole file.
-func Open(path string) (*Log, error) {
+// Open opens (or creates) the store file at path with no retention policy,
+// recovering every intact record and compacting the file when anything was
+// dropped or superseded. The recovered records are replayed by Load, in
+// append order. Recovery streams the file frame by frame, so transient
+// memory is one frame plus the decoded records — never a second, raw copy
+// of the whole file.
+func Open(path string) (*Log, error) { return OpenWithPolicy(path, Policy{}) }
+
+// OpenWithPolicy is Open under a retention Policy: beyond recovery and
+// dedupe, records outside the policy's age or byte budget are dropped by
+// the opening rewrite, and a background goroutine keeps the live log
+// within budget (see Policy and Compact).
+func OpenWithPolicy(path string, pol Policy) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -172,13 +276,14 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, path: path}
+	l := &Log{f: f, path: path, pol: pol, live: map[string]int64{}}
 	if info.Size() == 0 {
 		if err := l.writeAndSync(Header()); err != nil {
 			f.Close()
 			return nil, err
 		}
 		l.stats.Bytes = int64(headerSize)
+		l.startGC()
 		return l, nil
 	}
 	br := bufio.NewReaderSize(f, 64<<10)
@@ -193,6 +298,7 @@ func Open(path string) (*Log, error) {
 				f.Close()
 				return nil, err
 			}
+			l.startGC()
 			return l, nil
 		}
 		f.Close()
@@ -211,21 +317,39 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	for _, fr := range frames {
-		if fr.decoded {
+	kept, _, gcDropped := applyPolicy(frames, pol, time.Now())
+	if gcDropped > 0 {
+		dirty = true
+		l.stats.GCRecordsDropped = gcDropped
+	}
+	for _, fr := range kept {
+		switch {
+		case fr.decoded:
 			l.loaded = append(l.loaded, fr.run)
-		} else {
+			l.live[fr.run.SpecHash] = fr.size
+		case fr.oldSpec:
+			l.stats.RecordsOldSpec++
+			l.opaqueBytes += fr.size
+		default:
 			l.stats.RecordsUnknown++
+			l.opaqueBytes += fr.size
 		}
 	}
 	l.stats.RecordsLoaded = int64(len(l.loaded))
 	l.stats.RecordsDropped = dropped
 	if dirty {
-		if err := l.compact(frames); err != nil {
+		preSize := info.Size()
+		if err := l.compact(kept); err != nil {
 			f.Close()
 			return nil, err
 		}
 		l.stats.Compactions++
+		if gcDropped > 0 {
+			l.stats.GCCompactions++
+			if rec := preSize - l.stats.Bytes; rec > 0 {
+				l.stats.GCBytesReclaimed = rec
+			}
+		}
 	} else {
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
 			f.Close()
@@ -233,18 +357,23 @@ func Open(path string) (*Log, error) {
 		}
 		l.stats.Bytes = info.Size()
 	}
+	l.startGC()
 	return l, nil
 }
 
 // frameRec is one CRC-valid frame as scanned. Frames this binary can
 // decode carry their Run (the payload is re-encoded at compaction time,
 // deterministically); frames it cannot — e.g. a run of a kind not
-// registered here — keep their raw payload so a compaction carries them
-// through opaquely instead of destroying intact data.
+// registered here, or a spec under a foreign engine.SpecVersion (oldSpec)
+// — keep their raw payload so a compaction carries them through opaquely
+// instead of destroying intact data. size is the framed on-disk size
+// (header + payload), which the retention byte budget is charged against.
 type frameRec struct {
 	run     Run
 	payload []byte
 	decoded bool
+	oldSpec bool
+	size    int64
 }
 
 // scanReader walks the framed region of a store file. It returns the
@@ -287,24 +416,78 @@ func scanReader(r io.Reader) (frames []frameRec, dropped int64, dirty bool, err 
 			// the file is not frame-aligned.
 			return frames, dropped + 1, true, nil
 		}
+		size := int64(frameHeaderSize) + int64(length)
 		run, e := DecodeRun(payload)
 		if e != nil || run.SpecHash == "" {
 			// CRC-intact but not decodable by this binary (a kind it does
-			// not register, or a record without a cache key): preserved
-			// opaquely, not loaded. Compaction must never destroy intact
-			// data a fuller binary could still read.
-			frames = append(frames, frameRec{payload: payload})
+			// not register, a spec under a different engine.SpecVersion, or
+			// a record without a cache key): preserved opaquely, not
+			// loaded. Compaction must never destroy intact data a fuller
+			// (or differently-versioned) binary could still read.
+			frames = append(frames, frameRec{
+				payload: payload,
+				oldSpec: errors.Is(e, engine.ErrSpecVersion),
+				size:    size,
+			})
 			continue
 		}
 		if i, dup := index[run.SpecHash]; dup {
-			frames[i] = frameRec{run: run, decoded: true} // later write wins
+			frames[i] = frameRec{run: run, decoded: true, size: size} // later write wins
 			dropped++
 			dirty = true
 			continue
 		}
 		index[run.SpecHash] = len(frames)
-		frames = append(frames, frameRec{run: run, decoded: true})
+		frames = append(frames, frameRec{run: run, decoded: true, size: size})
 	}
+}
+
+// applyPolicy filters frames under pol: age-expired records first, then
+// the newest frames that fit the byte budget — opaque frames compete for
+// the budget too, since preserved data still occupies disk, but only
+// records whose Finished timestamp this binary can read are ever
+// age-dropped. It returns the survivors in append order, the dropped spec
+// hashes (decodable records only), and the total frames dropped.
+func applyPolicy(frames []frameRec, pol Policy, now time.Time) ([]frameRec, []string, int64) {
+	if !pol.enabled() {
+		return frames, nil, 0
+	}
+	var hashes []string
+	var n int64
+	if pol.MaxAge > 0 {
+		cutoff := now.Add(-pol.MaxAge)
+		kept := make([]frameRec, 0, len(frames))
+		for _, fr := range frames {
+			if fr.decoded && !fr.run.Finished.IsZero() && fr.run.Finished.Before(cutoff) {
+				hashes = append(hashes, fr.run.SpecHash)
+				n++
+				continue
+			}
+			kept = append(kept, fr)
+		}
+		frames = kept
+	}
+	if pol.MaxBytes > 0 {
+		// Newest-first budget: walk back from the tail, keeping frames
+		// while they fit; everything older than the first overflow goes.
+		var total int64
+		cut := 0
+		for i := len(frames) - 1; i >= 0; i-- {
+			if total+frames[i].size > pol.MaxBytes {
+				cut = i + 1
+				break
+			}
+			total += frames[i].size
+		}
+		for _, fr := range frames[:cut] {
+			if fr.decoded {
+				hashes = append(hashes, fr.run.SpecHash)
+			}
+			n++
+		}
+		frames = frames[cut:]
+	}
+	return frames, hashes, n
 }
 
 // scan is scanReader over an in-memory framed region, returning only the
@@ -320,33 +503,61 @@ func scan(data []byte) ([]Run, int64, bool) {
 	return runs, dropped, dirty
 }
 
+// renameFile and fsyncFile are indirection points so tests can inject
+// rename/sync failures into compact's error paths; production code never
+// overrides them. testHookAfterRename, when set, runs in the instant after
+// the compacted file is renamed into place and before compact returns —
+// the window in which a pre-fix compact left the store path naming an
+// unlocked inode.
+var (
+	renameFile          = os.Rename
+	fsyncFile           = func(f *os.File) error { return f.Sync() }
+	testHookAfterRename func()
+)
+
 // compact rewrites the store as header + the surviving frames (decoded
-// runs re-encoded, unknown-kind frames carried through verbatim), via a
-// temp file in the same directory renamed over the original.
+// runs re-encoded, opaque frames carried through verbatim), via a temp
+// file in the same directory renamed over the original. The temp file is
+// flocked *before* the rename — a flock follows the inode through rename —
+// so there is no instant in which the store path names an unlocked file
+// that a second daemon could grab. On success the temp descriptor becomes
+// the live one (no reopen, so no reopen failure modes); on any failure the
+// original descriptor and its lock are untouched and only the temp file is
+// cleaned up. Callers hold l.mu or own l exclusively during Open.
 func (l *Log) compact(frames []frameRec) error {
 	dir, base := filepath.Split(l.path)
 	tmp, err := os.CreateTemp(dir, base+".compact-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	renamed := false
+	defer func() {
+		if !renamed {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
 	size := int64(headerSize)
 	if _, err := tmp.Write(Header()); err != nil {
-		tmp.Close()
 		return err
 	}
+	live := make(map[string]int64, len(frames))
+	var opaque int64
 	for _, fr := range frames {
 		payload := fr.payload
 		if fr.decoded {
 			if payload, err = EncodeRun(fr.run); err != nil {
-				tmp.Close()
 				return err
 			}
 		}
 		n, err := tmp.Write(frame(payload))
 		if err != nil {
-			tmp.Close()
 			return err
+		}
+		if fr.decoded {
+			live[fr.run.SpecHash] = int64(n)
+		} else {
+			opaque += int64(n)
 		}
 		size += int64(n)
 	}
@@ -356,31 +567,26 @@ func (l *Log) compact(frames []frameRec) error {
 	if info, err := l.f.Stat(); err == nil {
 		_ = tmp.Chmod(info.Mode().Perm())
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+	if err := fsyncFile(tmp); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
+	if err := lockFile(tmp.Fd()); err != nil {
+		return fmt.Errorf("store: locking compacted file: %w", err)
+	}
+	if err := renameFile(tmp.Name(), l.path); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), l.path); err != nil {
-		return err
+	renamed = true
+	if h := testHookAfterRename; h != nil {
+		h()
 	}
 	syncDir(dir)
-	// Reopen the renamed file for appending and lock it before dropping
-	// the old descriptor — the flock lives on the inode, and the rename
-	// just created a new one.
-	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	if err := lockFile(f.Fd()); err != nil {
-		f.Close()
-		return fmt.Errorf("store: %s is locked by another process: %w", l.path, err)
-	}
 	l.f.Close()
-	l.f = f
+	l.f = tmp
 	l.stats.Bytes = size
+	l.live = live
+	l.opaqueBytes = opaque
+	l.deadBytes = 0
 	return nil
 }
 
@@ -462,7 +668,148 @@ func (l *Log) Append(r Run) error {
 	}
 	l.stats.RecordsAppended++
 	l.stats.Bytes += int64(len(buf))
+	if prev, dup := l.live[r.SpecHash]; dup {
+		l.deadBytes += prev // superseded in place; reclaimable by the next rewrite
+	}
+	l.live[r.SpecHash] = int64(len(buf))
+	l.maybeKickGC()
 	return nil
+}
+
+// reclaimable returns the bytes a retention rewrite would free right now:
+// frames superseded by later appends plus the live excess over MaxBytes.
+// Callers hold l.mu.
+func (l *Log) reclaimable() int64 {
+	rec := l.deadBytes
+	if l.pol.MaxBytes > 0 {
+		framed := l.stats.Bytes - int64(headerSize) - l.deadBytes
+		if excess := framed - l.pol.MaxBytes; excess > 0 {
+			rec += excess
+		}
+	}
+	return rec
+}
+
+// maybeKickGC nudges the background goroutine when the reclaimable bytes
+// reach the policy threshold. Non-blocking: a kick while a pass is already
+// queued coalesces. Callers hold l.mu.
+func (l *Log) maybeKickGC() {
+	if l.gcKick == nil || l.reclaimable() < l.pol.threshold() {
+		return
+	}
+	select {
+	case l.gcKick <- struct{}{}:
+	default:
+	}
+}
+
+// startGC launches the background retention goroutine when the policy
+// bounds anything. Called once at the end of a successful open.
+func (l *Log) startGC() {
+	if !l.pol.enabled() {
+		return
+	}
+	l.gcKick = make(chan struct{}, 1)
+	l.gcDone = make(chan struct{})
+	go l.gcLoop(l.gcKick, l.gcDone)
+}
+
+// gcLoop runs retention passes on kicks from Append and, when an age
+// bound is set, on a timer (age expiry reclaims bytes without any append
+// to notice it). Exits when Close closes the kick channel.
+func (l *Log) gcLoop(kick <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	var tick <-chan time.Time
+	if l.pol.MaxAge > 0 {
+		d := l.pol.MaxAge / 2
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > 10*time.Minute {
+			d = 10 * time.Minute
+		}
+		t := time.NewTicker(d)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case _, ok := <-kick:
+			if !ok {
+				return
+			}
+			l.runGC(false)
+		case <-tick:
+			l.runGC(false)
+		}
+	}
+}
+
+// runGC is one retention pass. Drop notifications go out after the lock
+// is released, so an OnDrop callback may call back into the log.
+func (l *Log) runGC(force bool) error {
+	l.mu.Lock()
+	hashes, err := l.compactLocked(force)
+	onDrop := l.onDrop
+	l.mu.Unlock()
+	if err == nil && len(hashes) > 0 && onDrop != nil {
+		onDrop(hashes)
+	}
+	return err
+}
+
+// compactLocked rescans the file, applies the policy, and rewrites when
+// anything is reclaimable (threshold-gated unless forced). The rewrite is
+// built from what is actually durable on disk — the in-memory accounting
+// only decides when to look. Callers hold l.mu.
+func (l *Log) compactLocked(force bool) ([]string, error) {
+	if l.f == nil {
+		return nil, ErrClosed
+	}
+	if !force && l.reclaimable() < l.pol.threshold() {
+		return nil, nil
+	}
+	if _, err := l.f.Seek(int64(headerSize), io.SeekStart); err != nil {
+		return nil, err
+	}
+	frames, _, _, err := scanReader(bufio.NewReaderSize(l.f, 64<<10))
+	if err != nil {
+		l.f.Seek(0, io.SeekEnd)
+		return nil, err
+	}
+	kept, hashes, gcDropped := applyPolicy(frames, l.pol, time.Now())
+	if gcDropped == 0 && l.deadBytes == 0 {
+		_, err := l.f.Seek(0, io.SeekEnd)
+		return nil, err
+	}
+	pre := l.stats.Bytes
+	if err := l.compact(kept); err != nil {
+		l.f.Seek(0, io.SeekEnd)
+		return nil, err
+	}
+	l.stats.Compactions++
+	l.stats.GCCompactions++
+	l.stats.GCRecordsDropped += gcDropped
+	if rec := pre - l.stats.Bytes; rec > 0 {
+		l.stats.GCBytesReclaimed += rec
+	}
+	return hashes, nil
+}
+
+// Compact forces a retention pass now, regardless of the trigger
+// threshold — operational tooling and tests. Nothing is rewritten when
+// nothing is reclaimable. Dropped spec hashes are reported through OnDrop
+// as usual.
+func (l *Log) Compact() error { return l.runGC(true) }
+
+// OnDrop registers fn to receive the spec hashes each retention rewrite
+// drops, so the owning cache can evict in step with the disk. The callback
+// runs outside the log's lock (it may call back into the log) but serially
+// with respect to retention passes. Replaces any previous callback.
+func (l *Log) OnDrop(fn func([]string)) {
+	l.mu.Lock()
+	l.onDrop = fn
+	l.mu.Unlock()
 }
 
 // writeAndSync writes buf and fsyncs; callers hold l.mu (or own l
@@ -481,11 +828,12 @@ func (l *Log) Stats() Stats {
 	return l.stats
 }
 
-// Close fsyncs and closes the file. Further Appends return ErrClosed.
+// Close fsyncs and closes the file and drains the background retention
+// goroutine. Further Appends return ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return nil
 	}
 	err := l.f.Sync()
@@ -493,5 +841,14 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.f = nil
+	kick, done := l.gcKick, l.gcDone
+	l.gcKick, l.gcDone = nil, nil
+	l.mu.Unlock()
+	// The goroutine may be mid-pass waiting on l.mu; it will find l.f nil
+	// and bail, then observe the closed kick channel and exit.
+	if kick != nil {
+		close(kick)
+		<-done
+	}
 	return err
 }
